@@ -1,0 +1,64 @@
+//! Criterion micro-benchmarks of the SpMSpV-bucket configuration space:
+//! thread count, buckets per thread, staging buffer, sortedness — the knobs
+//! §III-A discusses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
+use sparse_substrate::PlusTimes;
+use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+
+fn bench_bucket_configurations(c: &mut Criterion) {
+    let a = rmat(13, 12, RmatParams::graph500(), 3);
+    let n = a.ncols();
+    let x = random_sparse_vec(n, n / 50, 5);
+    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("bucket_threads");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    let mut t = 1usize;
+    while t <= max_threads {
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(t));
+        group.bench_with_input(BenchmarkId::from_parameter(t), &x, |b, x| {
+            b.iter(|| alg.multiply(x, &PlusTimes))
+        });
+        t *= 2;
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bucket_nb_per_thread");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for k in [1usize, 4, 16] {
+        let mut alg = SpMSpVBucket::new(
+            &a,
+            SpMSpVOptions::with_threads(max_threads).buckets_per_thread(k),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &x, |b, x| {
+            b.iter(|| alg.multiply(x, &PlusTimes))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bucket_variants");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for (name, opts) in [
+        ("sorted_staged", SpMSpVOptions::with_threads(max_threads)),
+        ("sorted_direct", SpMSpVOptions::with_threads(max_threads).staging_buffer(0)),
+        ("unsorted", SpMSpVOptions::with_threads(max_threads).sorted(false)),
+    ] {
+        let mut alg = SpMSpVBucket::new(&a, opts);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &x, |b, x| {
+            b.iter(|| alg.multiply(x, &PlusTimes))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bucket_configurations);
+criterion_main!(benches);

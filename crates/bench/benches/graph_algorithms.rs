@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the end-to-end graph algorithms built on SpMSpV
+//! (BFS on both dataset families, PageRank, connected components).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use sparse_substrate::gen::{rmat, triangular_mesh, RmatParams};
+use spmspv::{AlgorithmKind, SpMSpVOptions};
+use spmspv_graphs::{bfs, connected_components, pagerank_datadriven, PageRankOptions};
+
+fn bench_graph_algorithms(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let scale_free = rmat(13, 10, RmatParams::graph500(), 9);
+    let mesh = triangular_mesh(90, 90);
+
+    let mut group = c.benchmark_group("bfs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for kind in [AlgorithmKind::Bucket, AlgorithmKind::CombBlasSpa, AlgorithmKind::GraphMat] {
+        group.bench_with_input(BenchmarkId::new("scale_free", kind.label()), &kind, |b, &k| {
+            b.iter(|| bfs(&scale_free, 0, k, SpMSpVOptions::with_threads(threads)))
+        });
+        group.bench_with_input(BenchmarkId::new("mesh", kind.label()), &kind, |b, &k| {
+            b.iter(|| bfs(&mesh, 0, k, SpMSpVOptions::with_threads(threads)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("applications");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function("pagerank_datadriven", |b| {
+        b.iter(|| {
+            pagerank_datadriven(
+                &scale_free,
+                AlgorithmKind::Bucket,
+                SpMSpVOptions::with_threads(threads),
+                PageRankOptions { tolerance: 1e-7, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| {
+            connected_components(&mesh, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(threads))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the substrate: format construction,
+//! conversion and column access — the operations the SpMSpV inner loops are
+//! built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+use sparse_substrate::{BitVec, CscMatrix, DcscMatrix, Spa};
+
+fn bench_formats(c: &mut Criterion) {
+    let a = erdos_renyi(50_000, 8.0, 1);
+    let x = random_sparse_vec(50_000, 2_000, 2);
+
+    let mut group = c.benchmark_group("sparse_formats");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("csc_from_coo", |b| {
+        let coo = a.to_coo();
+        b.iter(|| CscMatrix::from_coo(coo.clone(), |p, q| p + q))
+    });
+
+    group.bench_function("dcsc_from_csc", |b| b.iter(|| DcscMatrix::from_csc(&a)));
+
+    group.bench_function("csc_transpose", |b| b.iter(|| a.transpose()));
+
+    group.bench_function("csc_row_split_8", |b| b.iter(|| a.row_split(8)));
+
+    let dcsc = DcscMatrix::from_csc(&a);
+    group.bench_function("selected_column_gather_csc", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (j, _) in x.iter() {
+                acc += a.column(j).0.len();
+            }
+            acc
+        })
+    });
+    group.bench_function("selected_column_gather_dcsc", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (j, _) in x.iter() {
+                if let Some((rows, _)) = dcsc.column(j) {
+                    acc += rows.len();
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("bitvec_build_and_probe", |b| {
+        b.iter(|| {
+            let bv = BitVec::from_sparse(&x);
+            (0..50_000usize).filter(|&i| bv.contains(i)).count()
+        })
+    });
+
+    group.bench_function("spa_accumulate_drain", |b| {
+        let mut spa = Spa::new(50_000);
+        b.iter(|| {
+            for (j, v) in x.iter() {
+                spa.accumulate(j, *v, |p, q| p + q);
+            }
+            spa.drain().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks comparing all SpMSpV algorithm families at
+//! three input-vector densities (the micro-scale companion of Figure 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
+use sparse_substrate::PlusTimes;
+use spmspv::{AlgorithmKind, SpMSpVOptions};
+use spmspv_graphs::numeric_algorithm;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let a = rmat(13, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("spmspv_algorithms");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(500));
+    for &f in &[64usize, n / 100, n / 4] {
+        let x = random_sparse_vec(n, f, f as u64);
+        for kind in [
+            AlgorithmKind::Bucket,
+            AlgorithmKind::CombBlasSpa,
+            AlgorithmKind::CombBlasHeap,
+            AlgorithmKind::GraphMat,
+            AlgorithmKind::SortBased,
+            AlgorithmKind::Sequential,
+        ] {
+            let mut alg = numeric_algorithm(&a, kind, SpMSpVOptions::with_threads(threads));
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), f),
+                &x,
+                |b, x| b.iter(|| alg.multiply(x, &PlusTimes)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 6: strong scaling of the four components of the SpMSpV-bucket
+//! algorithm (estimate, bucketing, SPA merge, output) for three input-vector
+//! densities.
+//!
+//! Usage: `cargo run --release -p spmspv-bench --bin figure6_step_breakdown [small|large]`
+
+use sparse_substrate::gen::random_sparse_vec;
+use sparse_substrate::PlusTimes;
+use spmspv::{SpMSpVBucket, SpMSpVOptions, StepTimings};
+use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
+use spmspv_bench::platform_summary;
+use spmspv_bench::report::thread_sweep;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .map(|s| SuiteScale::from_arg(&s))
+        .unwrap_or(SuiteScale::Small);
+    println!("{}", platform_summary());
+    let d = ljournal_standin(scale);
+    let n = d.matrix.ncols();
+    println!(
+        "Figure 6: per-step breakdown of SpMSpV-bucket on the {} stand-in\n",
+        d.paper_name
+    );
+
+    // Paper: nnz(x) = 200, 10K, 2.5M on a 5.36M-vertex graph; keep the same
+    // absolute very-sparse point and scale the other two by density.
+    let densities = [
+        ("nnz(x)=200", 200usize),
+        ("nnz(x)~0.2%", (n as f64 * 0.002).max(256.0) as usize),
+        ("nnz(x)~47%", (n as f64 * 0.47) as usize),
+    ];
+
+    for (label, f) in densities {
+        println!("--- {label} (f = {f}) ---");
+        let x = random_sparse_vec(n, f, 13);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14} {:>14} {:>14}",
+            "threads", "estimate", "bucketing", "SPA-merge", "output", "total"
+        );
+        let mut one_thread: Option<StepTimings> = None;
+        for threads in thread_sweep() {
+            let mut alg =
+                SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads));
+            // best-of-3 on the whole multiplication, reporting its breakdown
+            let mut best: Option<StepTimings> = None;
+            for _ in 0..3 {
+                let (_, t) = alg.multiply_with_timings(&x, &PlusTimes);
+                if best.map(|b| t.total() < b.total()).unwrap_or(true) {
+                    best = Some(t);
+                }
+            }
+            let t = best.expect("three repetitions ran");
+            if threads == 1 {
+                one_thread = Some(t);
+            }
+            println!(
+                "{:>8} {:>11.3} ms {:>11.3} ms {:>11.3} ms {:>11.3} ms {:>11.3} ms",
+                threads,
+                t.estimate.as_secs_f64() * 1e3,
+                t.bucketing.as_secs_f64() * 1e3,
+                t.merge.as_secs_f64() * 1e3,
+                t.output.as_secs_f64() * 1e3,
+                t.total().as_secs_f64() * 1e3
+            );
+        }
+        if let Some(t1) = one_thread {
+            let f1 = t1.fractions();
+            println!(
+                "single-thread shares: estimate {:.0}%, bucketing {:.0}%, merge {:.0}%, output {:.0}%",
+                f1[0] * 100.0,
+                f1[1] * 100.0,
+                f1[2] * 100.0,
+                f1[3] * 100.0
+            );
+        }
+        println!();
+    }
+    println!("expected shape (Fig. 6): SPA-merge dominates the sequential runtime and");
+    println!("scales best (private per-bucket work); bucketing's share grows with nnz(x)");
+    println!("and its scaling is limited by irregular writes, so it dominates at high");
+    println!("thread counts; for the very sparse vector the parallel overheads dominate");
+    println!("and some steps stop scaling altogether.");
+}

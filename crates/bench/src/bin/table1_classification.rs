@@ -1,0 +1,77 @@
+//! Table I: classification of parallel SpMSpV algorithms.
+//!
+//! Prints the classification table populated from the algorithms actually
+//! implemented in this workspace, and validates the complexity claims with a
+//! measured single-thread runtime at two input-vector densities (a
+//! matrix-driven algorithm's runtime barely changes, a vector-driven one's
+//! runtime scales with nnz(x)).
+
+use sparse_substrate::gen::random_sparse_vec;
+use sparse_substrate::PlusTimes;
+use spmspv::AlgorithmKind;
+use spmspv::SpMSpVOptions;
+use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
+use spmspv_bench::report::best_of;
+use spmspv_graphs::numeric_algorithm;
+
+fn main() {
+    println!("Table I: classification of SpMSpV algorithms (as implemented here)\n");
+    println!(
+        "{:<16} {:<14} {:<8} {:<10} {:<9} {:<22} {}",
+        "algorithm", "class", "matrix", "vector", "merging", "sequential complexity", "parallelization"
+    );
+    let rows = [
+        (AlgorithmKind::GraphMat, "matrix-driven", "DCSC", "bitvector", "SPA", "O(nzc + df)", "row-split, private SPA"),
+        (AlgorithmKind::CombBlasSpa, "vector-driven", "DCSC", "list", "SPA", "O(df)", "row-split, private SPA"),
+        (AlgorithmKind::CombBlasHeap, "vector-driven", "DCSC", "list", "heap", "O(df lg f)", "row-split, private heap"),
+        (AlgorithmKind::SortBased, "vector-driven", "CSC", "list", "sorting", "O(df lg df)", "concatenate, sort, prune"),
+        (AlgorithmKind::Bucket, "vector-driven", "CSC", "list", "buckets", "O(df)", "2-step merge, private SPA"),
+    ];
+    for (kind, class, matrix, vector, merging, seq, par) in rows {
+        println!(
+            "{:<16} {:<14} {:<8} {:<10} {:<9} {:<22} {}",
+            kind.label(),
+            class,
+            matrix,
+            vector,
+            merging,
+            seq,
+            par
+        );
+    }
+
+    // Empirical sanity check of the matrix-driven vs vector-driven split.
+    println!("\nempirical check (1 thread, ljournal stand-in):");
+    let d = ljournal_standin(SuiteScale::Small);
+    let n = d.matrix.ncols();
+    println!(
+        "{:<16} {:>18} {:>18} {:>8}",
+        "algorithm",
+        "t(nnz(x)=64) ms",
+        "t(nnz(x)=n/4) ms",
+        "ratio"
+    );
+    for kind in [
+        AlgorithmKind::Bucket,
+        AlgorithmKind::CombBlasSpa,
+        AlgorithmKind::CombBlasHeap,
+        AlgorithmKind::GraphMat,
+        AlgorithmKind::SortBased,
+    ] {
+        let sparse_x = random_sparse_vec(n, 64, 1);
+        let dense_x = random_sparse_vec(n, n / 4, 2);
+        let mut alg = numeric_algorithm(&d.matrix, kind, SpMSpVOptions::with_threads(1));
+        let t_sparse = best_of(3, || alg.multiply(&sparse_x, &PlusTimes));
+        let t_dense = best_of(3, || alg.multiply(&dense_x, &PlusTimes));
+        println!(
+            "{:<16} {:>18.3} {:>18.3} {:>8.1}",
+            kind.label(),
+            t_sparse.as_secs_f64() * 1e3,
+            t_dense.as_secs_f64() * 1e3,
+            t_dense.as_secs_f64() / t_sparse.as_secs_f64().max(1e-12)
+        );
+    }
+    println!("\na matrix-driven algorithm (GraphMat) shows a small ratio: its runtime is");
+    println!("dominated by the O(nzc) column scan and barely depends on nnz(x); the");
+    println!("vector-driven algorithms show much larger ratios.");
+}

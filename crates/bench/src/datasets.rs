@@ -1,0 +1,224 @@
+//! The benchmark dataset suite, mirroring Table IV of the paper.
+//!
+//! The paper evaluates on eleven University of Florida matrices. Those files
+//! cannot be redistributed, so the suite below substitutes synthetic
+//! generators with matched sparsity character (see `DESIGN.md` for the
+//! mapping and the argument why the substitution preserves the experiments'
+//! behaviour). Scales are reduced so the whole suite fits comfortably in a
+//! laptop's memory; pass `--scale large` to the binaries for bigger graphs.
+//!
+//! Real `.mtx` files can be loaded with `sparse_substrate::mmio` to run the
+//! same harness on the original matrices.
+
+use sparse_substrate::gen::{grid2d, grid3d, random_geometric, rmat, triangular_mesh, RmatParams};
+use sparse_substrate::CscMatrix;
+
+/// The two dataset families of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetClass {
+    /// Scale-free graphs with small pseudo-diameter (social networks, web
+    /// crawls): BFS reaches dense frontiers within a few levels.
+    LowDiameter,
+    /// Meshes, circuits and geometric graphs with large pseudo-diameter:
+    /// BFS frontiers stay very sparse for thousands of levels.
+    HighDiameter,
+}
+
+impl std::fmt::Display for DatasetClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetClass::LowDiameter => f.write_str("low-diameter"),
+            DatasetClass::HighDiameter => f.write_str("high-diameter"),
+        }
+    }
+}
+
+/// One benchmark graph: a synthetic stand-in for a Table IV matrix.
+pub struct Dataset {
+    /// Name of the University of Florida matrix this stands in for.
+    pub paper_name: &'static str,
+    /// Short description of the generator used.
+    pub generator: &'static str,
+    /// Dataset family.
+    pub class: DatasetClass,
+    /// The adjacency matrix.
+    pub matrix: CscMatrix<f64>,
+}
+
+impl Dataset {
+    /// Number of vertices.
+    pub fn vertices(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    /// Number of stored edges (directed count, i.e. matrix nonzeros).
+    pub fn edges(&self) -> usize {
+        self.matrix.nnz()
+    }
+}
+
+/// Relative size of the generated suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Quick suite for CI / laptops (default).
+    Small,
+    /// Larger suite closer (but still far from equal) to the paper's sizes.
+    Large,
+}
+
+impl SuiteScale {
+    /// Parses `"small"` / `"large"` (case-insensitive); anything else is
+    /// `Small`.
+    pub fn from_arg(s: &str) -> Self {
+        if s.eq_ignore_ascii_case("large") {
+            SuiteScale::Large
+        } else {
+            SuiteScale::Small
+        }
+    }
+}
+
+/// Builds the full eleven-graph suite of Table IV at the requested scale.
+pub fn paper_suite(scale: SuiteScale) -> Vec<Dataset> {
+    let boost: u32 = match scale {
+        SuiteScale::Small => 0,
+        SuiteScale::Large => 2,
+    };
+    let side = |s: usize| match scale {
+        SuiteScale::Small => s,
+        SuiteScale::Large => s * 2,
+    };
+    vec![
+        Dataset {
+            paper_name: "amazon0312",
+            generator: "R-MAT (web-like skew)",
+            class: DatasetClass::LowDiameter,
+            matrix: rmat(14 + boost, 8, RmatParams::web_like(), 101),
+        },
+        Dataset {
+            paper_name: "web-Google",
+            generator: "R-MAT (web-like skew)",
+            class: DatasetClass::LowDiameter,
+            matrix: rmat(15 + boost, 6, RmatParams::web_like(), 102),
+        },
+        Dataset {
+            paper_name: "wikipedia-20070206",
+            generator: "R-MAT (Graph500 skew)",
+            class: DatasetClass::LowDiameter,
+            matrix: rmat(15 + boost, 12, RmatParams::graph500(), 103),
+        },
+        Dataset {
+            paper_name: "ljournal-2008",
+            generator: "R-MAT (Graph500 skew)",
+            class: DatasetClass::LowDiameter,
+            matrix: rmat(16 + boost, 14, RmatParams::graph500(), 104),
+        },
+        Dataset {
+            paper_name: "wb-edu",
+            generator: "R-MAT (web-like skew)",
+            class: DatasetClass::LowDiameter,
+            matrix: rmat(16 + boost, 6, RmatParams::web_like(), 105),
+        },
+        Dataset {
+            paper_name: "dielFilterV3real",
+            generator: "3D grid (7-point stencil)",
+            class: DatasetClass::HighDiameter,
+            matrix: grid3d(side(34), side(34), side(34)),
+        },
+        Dataset {
+            paper_name: "G3_circuit",
+            generator: "3D grid (7-point stencil)",
+            class: DatasetClass::HighDiameter,
+            matrix: grid3d(side(38), side(38), side(38)),
+        },
+        Dataset {
+            paper_name: "hugetric-00020",
+            generator: "triangular mesh",
+            class: DatasetClass::HighDiameter,
+            matrix: triangular_mesh(side(300), side(300)),
+        },
+        Dataset {
+            paper_name: "hugetrace-00020",
+            generator: "triangular mesh",
+            class: DatasetClass::HighDiameter,
+            matrix: triangular_mesh(side(360), side(360)),
+        },
+        Dataset {
+            paper_name: "delaunay_n24",
+            generator: "triangular mesh",
+            class: DatasetClass::HighDiameter,
+            matrix: triangular_mesh(side(330), side(330)),
+        },
+        Dataset {
+            paper_name: "rgg_n_2_24_s0",
+            generator: "random geometric graph",
+            class: DatasetClass::HighDiameter,
+            matrix: random_geometric(match scale {
+                SuiteScale::Small => 60_000,
+                SuiteScale::Large => 250_000,
+            }, 1.5, 106),
+        },
+    ]
+}
+
+/// The single graph used by the single-matrix experiments (Figures 2, 3
+/// and 6 all multiply the `ljournal-2008` adjacency matrix); we use the
+/// largest scale-free graph in the suite as its stand-in.
+pub fn ljournal_standin(scale: SuiteScale) -> Dataset {
+    let boost: u32 = match scale {
+        SuiteScale::Small => 0,
+        SuiteScale::Large => 2,
+    };
+    Dataset {
+        paper_name: "ljournal-2008",
+        generator: "R-MAT (Graph500 skew)",
+        class: DatasetClass::LowDiameter,
+        matrix: rmat(16 + boost, 14, RmatParams::graph500(), 104),
+    }
+}
+
+/// A small 2D-grid dataset used by quick smoke tests of the harness itself.
+pub fn tiny_mesh() -> Dataset {
+    Dataset {
+        paper_name: "tiny-mesh (test only)",
+        generator: "2D grid",
+        class: DatasetClass::HighDiameter,
+        matrix: grid2d(40, 40),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_eleven_graphs_matching_table_iv() {
+        let suite = paper_suite(SuiteScale::Small);
+        assert_eq!(suite.len(), 11);
+        let low = suite.iter().filter(|d| d.class == DatasetClass::LowDiameter).count();
+        let high = suite.iter().filter(|d| d.class == DatasetClass::HighDiameter).count();
+        assert_eq!(low, 5);
+        assert_eq!(high, 6);
+        for d in &suite {
+            assert!(d.vertices() > 0);
+            assert!(d.edges() > d.vertices(), "{} is suspiciously sparse", d.paper_name);
+            d.matrix.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn scale_flag_parses() {
+        assert_eq!(SuiteScale::from_arg("large"), SuiteScale::Large);
+        assert_eq!(SuiteScale::from_arg("LARGE"), SuiteScale::Large);
+        assert_eq!(SuiteScale::from_arg("small"), SuiteScale::Small);
+        assert_eq!(SuiteScale::from_arg("bogus"), SuiteScale::Small);
+    }
+
+    #[test]
+    fn ljournal_standin_is_scale_free() {
+        let d = ljournal_standin(SuiteScale::Small);
+        let avg = d.matrix.avg_column_degree();
+        let max = d.matrix.max_column_degree() as f64;
+        assert!(max > 4.0 * avg, "stand-in should have skewed degrees");
+    }
+}

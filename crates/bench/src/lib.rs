@@ -1,0 +1,11 @@
+//! Shared utilities for the benchmark harness (dataset suite, thread sweeps,
+//! result table printing). The figure/table binaries in `src/bin/` and the
+//! Criterion benches in `benches/` both build on this module.
+
+pub mod datasets;
+pub mod platform;
+pub mod report;
+
+pub use datasets::{paper_suite, Dataset, DatasetClass};
+pub use platform::platform_summary;
+pub use report::{geomean, thread_sweep, Series};

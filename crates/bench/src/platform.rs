@@ -1,0 +1,47 @@
+//! Host platform description, printed at the top of every experiment
+//! (the stand-in for Table III, which describes Edison and KNL).
+
+use std::fmt::Write as _;
+
+/// A human-readable summary of the machine the experiments run on.
+pub fn platform_summary() -> String {
+    let mut s = String::new();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let _ = writeln!(s, "platform summary (stand-in for Table III)");
+    let _ = writeln!(s, "  logical CPUs : {cores}");
+    let _ = writeln!(s, "  os           : {}", std::env::consts::OS);
+    let _ = writeln!(s, "  arch         : {}", std::env::consts::ARCH);
+    if let Some(model) = cpu_model() {
+        let _ = writeln!(s, "  cpu model    : {model}");
+    }
+    let _ = writeln!(
+        s,
+        "  note         : paper used Edison (2x12-core Ivy Bridge) and Cori (64-core KNL);"
+    );
+    let _ = writeln!(
+        s,
+        "                 absolute times are not comparable, scaling shapes are."
+    );
+    s
+}
+
+/// Best-effort CPU model string (Linux only; other platforms return `None`).
+fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    info.lines()
+        .find(|l| l.starts_with("model name"))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|m| m.trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_cpu_count_and_arch() {
+        let s = platform_summary();
+        assert!(s.contains("logical CPUs"));
+        assert!(s.contains(std::env::consts::ARCH));
+    }
+}

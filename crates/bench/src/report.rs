@@ -1,0 +1,141 @@
+//! Small helpers for running thread sweeps and printing figure-style tables.
+
+use std::time::{Duration, Instant};
+
+/// One named series of `(x, milliseconds)` points, e.g. one line of a
+/// figure ("SpMSpV-bucket" runtime vs. core count).
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, time)` points; `x` is thread count, `nnz(x)`, etc.
+    pub points: Vec<(usize, Duration)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series { label: label.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: usize, time: Duration) {
+        self.points.push((x, time));
+    }
+
+    /// Speedup of the last point relative to the first (e.g. 1-thread to
+    /// max-thread speedup), or 0.0 if fewer than two points exist.
+    pub fn end_to_end_speedup(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some((_, t1)), Some((_, tn))) if tn.as_secs_f64() > 0.0 => {
+                t1.as_secs_f64() / tn.as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Prints a set of series as a column-aligned table:
+/// first column is `x`, one column per series.
+pub fn print_series_table(x_label: &str, series: &[Series]) {
+    print!("{:>12}", x_label);
+    for s in series {
+        print!("  {:>16}", s.label);
+    }
+    println!();
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for r in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(r).map(|&(x, _)| x))
+            .unwrap_or(0);
+        print!("{x:>12}");
+        for s in series {
+            match s.points.get(r) {
+                Some((_, t)) => print!("  {:>13.3} ms", t.as_secs_f64() * 1e3),
+                None => print!("  {:>16}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// The thread counts to sweep on this machine: 1, 2, 4, … up to the number
+/// of logical CPUs (always including the maximum itself).
+pub fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = Vec::new();
+    let mut t = 1usize;
+    while t < max {
+        out.push(t);
+        t *= 2;
+    }
+    out.push(max);
+    out.dedup();
+    out
+}
+
+/// Times `f`, returning its result and the elapsed wall-clock time.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Runs `f` `reps` times and returns the minimum elapsed time (the usual
+/// "best of N" micro-benchmark estimator).
+pub fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let (_, t) = timed(&mut f);
+        best = best.min(t);
+    }
+    best
+}
+
+/// Geometric mean of a set of ratios.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_speedup() {
+        let mut s = Series::new("x");
+        s.push(1, Duration::from_millis(100));
+        s.push(8, Duration::from_millis(20));
+        assert!((s.end_to_end_speedup() - 5.0).abs() < 1e-9);
+        assert_eq!(Series::new("empty").end_to_end_speedup(), 0.0);
+    }
+
+    #[test]
+    fn thread_sweep_is_increasing_and_ends_at_max() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(
+            *sweep.last().unwrap(),
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        );
+    }
+
+    #[test]
+    fn geomean_of_equal_values_is_that_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn best_of_returns_a_plausible_duration() {
+        let d = best_of(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+    }
+}

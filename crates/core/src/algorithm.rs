@@ -1,0 +1,175 @@
+//! The common interface every SpMSpV implementation exposes.
+
+use sparse_substrate::{Scalar, Semiring, SparseVec};
+
+use crate::executor::Executor;
+
+/// Tuning knobs shared by the parallel algorithms.
+#[derive(Debug, Clone)]
+pub struct SpMSpVOptions {
+    /// Number of worker threads (`t`). `0` means all logical CPUs.
+    pub threads: usize,
+    /// Buckets per thread (`nb = buckets_per_thread · t`). The paper uses 4.
+    pub buckets_per_thread: usize,
+    /// Whether the output vector must be sorted by index. The paper's
+    /// "sorted" variant (Figure 2) also keeps the input sorted for cache
+    /// locality; when this flag is set and the input is unsorted, the
+    /// algorithm sorts an internal copy first.
+    pub sorted_output: bool,
+    /// Size (in entries) of the per-thread staging buffer used to batch
+    /// writes into the buckets (§III-A "Cache efficiency"). `0` disables the
+    /// optimization and writes straight into the buckets.
+    pub staging_buffer: usize,
+}
+
+impl Default for SpMSpVOptions {
+    fn default() -> Self {
+        SpMSpVOptions {
+            threads: 0,
+            buckets_per_thread: 4,
+            sorted_output: true,
+            staging_buffer: 512,
+        }
+    }
+}
+
+impl SpMSpVOptions {
+    /// Convenience constructor pinning the thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        SpMSpVOptions { threads, ..Default::default() }
+    }
+
+    /// Builder-style setter for [`SpMSpVOptions::sorted_output`].
+    pub fn sorted(mut self, sorted: bool) -> Self {
+        self.sorted_output = sorted;
+        self
+    }
+
+    /// Builder-style setter for [`SpMSpVOptions::buckets_per_thread`].
+    pub fn buckets_per_thread(mut self, k: usize) -> Self {
+        self.buckets_per_thread = k.max(1);
+        self
+    }
+
+    /// Builder-style setter for [`SpMSpVOptions::staging_buffer`].
+    pub fn staging_buffer(mut self, entries: usize) -> Self {
+        self.staging_buffer = entries;
+        self
+    }
+
+    /// Materializes the executor implied by `threads`.
+    pub fn build_executor(&self) -> Executor {
+        Executor::new(self.threads)
+    }
+}
+
+/// A prepared SpMSpV computation `y ← A ⊕.⊗ x` over a fixed matrix.
+///
+/// Implementations hold whatever matrix representation and pre-allocated
+/// workspace they need (the paper stresses that buckets and the SPA are
+/// allocated once and reused across the many multiplications of an iterative
+/// algorithm such as BFS), so `multiply` can be called repeatedly with
+/// different input vectors.
+pub trait SpMSpV<A: Scalar, X: Scalar, S: Semiring<A, X>>: Send {
+    /// Human-readable algorithm name, as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Number of matrix rows (`m`, the dimension of `y`).
+    fn nrows(&self) -> usize;
+
+    /// Number of matrix columns (`n`, the dimension of `x`).
+    fn ncols(&self) -> usize;
+
+    /// Computes `y ← A ⊕.⊗ x`.
+    ///
+    /// The output follows the sortedness convention of the implementation's
+    /// options: sorted by index when `sorted_output` is set (the default),
+    /// otherwise in unspecified order. Entries are unique either way.
+    fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output>;
+}
+
+/// Identifier for each algorithm family, used by the benchmark harness to
+/// enumerate competitors exactly as the paper's figures do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// The paper's SpMSpV-bucket algorithm.
+    Bucket,
+    /// CombBLAS row-split algorithm with a per-piece SPA.
+    CombBlasSpa,
+    /// CombBLAS row-split algorithm with heap-based merging.
+    CombBlasHeap,
+    /// GraphMat-style matrix-driven algorithm (DCSC + bitvector).
+    GraphMat,
+    /// Sort-based vector-driven algorithm (Yang et al., GPU origin).
+    SortBased,
+    /// Sequential SPA-based reference.
+    Sequential,
+}
+
+impl AlgorithmKind {
+    /// All parallel algorithms compared in Figures 3–5.
+    pub fn paper_competitors() -> [AlgorithmKind; 4] {
+        [
+            AlgorithmKind::Bucket,
+            AlgorithmKind::CombBlasSpa,
+            AlgorithmKind::CombBlasHeap,
+            AlgorithmKind::GraphMat,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Bucket => "SpMSpV-bucket",
+            AlgorithmKind::CombBlasSpa => "CombBLAS-SPA",
+            AlgorithmKind::CombBlasHeap => "CombBLAS-heap",
+            AlgorithmKind::GraphMat => "GraphMat",
+            AlgorithmKind::SortBased => "SpMSpV-sort",
+            AlgorithmKind::Sequential => "Sequential-SPA",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_match_the_paper() {
+        let o = SpMSpVOptions::default();
+        assert_eq!(o.buckets_per_thread, 4);
+        assert!(o.sorted_output);
+    }
+
+    #[test]
+    fn builder_setters_compose() {
+        let o = SpMSpVOptions::with_threads(2)
+            .sorted(false)
+            .buckets_per_thread(8)
+            .staging_buffer(0);
+        assert_eq!(o.threads, 2);
+        assert!(!o.sorted_output);
+        assert_eq!(o.buckets_per_thread, 8);
+        assert_eq!(o.staging_buffer, 0);
+        assert_eq!(o.build_executor().threads(), 2);
+    }
+
+    #[test]
+    fn buckets_per_thread_floor_is_one() {
+        let o = SpMSpVOptions::default().buckets_per_thread(0);
+        assert_eq!(o.buckets_per_thread, 1);
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(AlgorithmKind::Bucket.label(), "SpMSpV-bucket");
+        assert_eq!(AlgorithmKind::GraphMat.to_string(), "GraphMat");
+        assert_eq!(AlgorithmKind::paper_competitors().len(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! The SpMSpV algorithms the paper compares against (Table I).
+//!
+//! | name | class | matrix | vector | merging | parallelization |
+//! |---|---|---|---|---|---|
+//! | [`SequentialSpa`]  | vector-driven | CSC  | list      | SPA     | none (reference) |
+//! | [`CombBlasSpa`]    | vector-driven | DCSC | list      | SPA     | row-split matrix, private SPA |
+//! | [`CombBlasHeap`]   | vector-driven | DCSC | list      | heap    | row-split matrix, private heap |
+//! | [`GraphMatSpMSpV`] | matrix-driven | DCSC | bitvector | SPA     | row-split matrix, private SPA |
+//! | [`SortBased`]      | vector-driven | CSC  | list      | sorting | concatenate, sort and prune |
+//!
+//! Each reproduces the *algorithmic* behaviour the paper attributes to the
+//! original system (work complexity, scan patterns, synchronization
+//! strategy); none of them is a line-by-line port of CombBLAS or GraphMat.
+
+mod combblas_heap;
+mod combblas_spa;
+mod graphmat;
+mod sequential;
+mod sort_based;
+
+pub use combblas_heap::CombBlasHeap;
+pub use combblas_spa::CombBlasSpa;
+pub use graphmat::GraphMatSpMSpV;
+pub use sequential::SequentialSpa;
+pub use sort_based::SortBased;
+
+#[cfg(test)]
+mod conformance {
+    //! Every baseline must agree with the definition-level reference on the
+    //! same inputs the bucket algorithm is tested with.
+
+    use super::*;
+    use crate::algorithm::{SpMSpV, SpMSpVOptions};
+    use crate::bucket::SpMSpVBucket;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec, rmat, RmatParams};
+    use sparse_substrate::ops::spmspv_reference;
+    use sparse_substrate::{fixtures, CscMatrix, PlusTimes, SparseVec};
+
+    fn check_all(a: &CscMatrix<f64>, x: &SparseVec<f64>, threads: usize) {
+        let expected = spmspv_reference(a, x, &PlusTimes);
+        let opts = SpMSpVOptions::with_threads(threads);
+        let mut algs: Vec<Box<dyn SpMSpV<f64, f64, PlusTimes>>> = vec![
+            Box::new(SpMSpVBucket::new(a, opts.clone())),
+            Box::new(SequentialSpa::new(a, opts.clone())),
+            Box::new(CombBlasSpa::new(a, opts.clone())),
+            Box::new(CombBlasHeap::new(a, opts.clone())),
+            Box::new(GraphMatSpMSpV::new(a, opts.clone())),
+            Box::new(SortBased::new(a, opts)),
+        ];
+        for alg in algs.iter_mut() {
+            let y = alg.multiply(x, &PlusTimes);
+            assert!(
+                y.approx_same_entries(&expected, 1e-9),
+                "{} diverges from the reference (threads={threads}, nnz(x)={})",
+                alg.name(),
+                x.nnz()
+            );
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_figure1() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        check_all(&a, &x, 2);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_erdos_renyi() {
+        let a = erdos_renyi(350, 6.0, 11);
+        for f in [1usize, 10, 100, 350] {
+            let x = random_sparse_vec(350, f, f as u64 + 1);
+            check_all(&a, &x, 4);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_scale_free() {
+        let a = rmat(9, 6, RmatParams::graph500(), 23);
+        let x = random_sparse_vec(a.ncols(), 200, 99);
+        for threads in [1usize, 3, 8] {
+            check_all(&a, &x, threads);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_handle_empty_vectors() {
+        let a = erdos_renyi(100, 3.0, 1);
+        let x = SparseVec::new(100);
+        check_all(&a, &x, 4);
+    }
+
+    #[test]
+    fn all_algorithms_handle_matrices_with_empty_columns() {
+        // Hypersparse-ish matrix: many empty columns exercise the DCSC paths.
+        let mut coo = sparse_substrate::CooMatrix::new(500, 500);
+        for k in 0..50usize {
+            coo.push((k * 7) % 500, (k * 13) % 500, 1.0 + k as f64);
+        }
+        let a = CscMatrix::from_coo(coo, |p, q| p + q);
+        let x = random_sparse_vec(500, 80, 5);
+        check_all(&a, &x, 4);
+    }
+}

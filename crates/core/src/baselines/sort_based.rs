@@ -1,0 +1,141 @@
+//! Sort-based SpMSpV (Yang, Wang & Owens — "concatenate, sort and prune").
+//!
+//! A CPU port of the GPU algorithm the paper lists in Table I: gather all
+//! scaled entries of the selected columns into one array, sort the array by
+//! row index, then reduce runs of equal rows. Work is `O(d·f·lg(d·f))`;
+//! the algorithm is vector-driven and embarrassingly parallel (the gather
+//! parallelizes over `x`'s nonzeros, the sort is a parallel merge sort), but
+//! pays the `lg` factor the bucket algorithm avoids.
+
+use rayon::prelude::*;
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
+
+use crate::algorithm::{SpMSpV, SpMSpVOptions};
+use crate::executor::{even_ranges, Executor};
+
+/// Sort-based vector-driven SpMSpV over a CSC matrix.
+pub struct SortBased<'a, A> {
+    matrix: &'a CscMatrix<A>,
+    executor: Executor,
+}
+
+impl<'a, A: Scalar> SortBased<'a, A> {
+    /// Prepares the algorithm (no per-matrix preprocessing is needed).
+    pub fn new(matrix: &'a CscMatrix<A>, options: SpMSpVOptions) -> Self {
+        SortBased { matrix, executor: options.build_executor() }
+    }
+}
+
+impl<'a, A, X, S> SpMSpV<A, X, S> for SortBased<'a, A>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    fn name(&self) -> &'static str {
+        "SpMSpV-sort"
+    }
+
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
+        let matrix = self.matrix;
+        if x.is_empty() {
+            return SparseVec::new(matrix.nrows());
+        }
+        let t = self.executor.threads().min(x.nnz()).max(1);
+        let chunks = even_ranges(x.nnz(), t);
+
+        // Gather: each chunk of x produces its own (row, product) list.
+        let mut gathered: Vec<(usize, S::Output)> = self.executor.install(|| {
+            let mut parts: Vec<Vec<(usize, S::Output)>> = chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut out = Vec::new();
+                    for k in chunk.clone() {
+                        let j = x.indices()[k];
+                        let xv = &x.values()[k];
+                        let (rows, vals) = matrix.column(j);
+                        for (&i, av) in rows.iter().zip(vals.iter()) {
+                            out.push((i, semiring.multiply(av, xv)));
+                        }
+                    }
+                    out
+                })
+                .collect();
+            let total: usize = parts.iter().map(|p| p.len()).sum();
+            let mut all = Vec::with_capacity(total);
+            for p in parts.iter_mut() {
+                all.append(p);
+            }
+            all
+        });
+
+        // Sort by row (parallel) and prune by reducing runs of equal rows.
+        self.executor.install(|| gathered.par_sort_unstable_by_key(|&(i, _)| i));
+        let mut y = SparseVec::new(matrix.nrows());
+        let mut iter = gathered.into_iter();
+        if let Some((first_i, first_v)) = iter.next() {
+            let mut cur_i = first_i;
+            let mut cur_v = first_v;
+            for (i, v) in iter {
+                if i == cur_i {
+                    cur_v = semiring.add(cur_v, v);
+                } else {
+                    y.push(cur_i, cur_v);
+                    cur_i = i;
+                    cur_v = v;
+                }
+            }
+            y.push(cur_i, cur_v);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+    use sparse_substrate::ops::spmspv_reference;
+    use sparse_substrate::{fixtures, PlusTimes};
+
+    #[test]
+    fn matches_reference_and_is_sorted() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let mut alg = SortBased::new(&a, SpMSpVOptions::with_threads(2));
+        let y = SpMSpV::<f64, f64, PlusTimes>::multiply(&mut alg, &x, &PlusTimes);
+        assert!(y.approx_same_entries(&spmspv_reference(&a, &x, &PlusTimes), 1e-9));
+        assert!(y.is_sorted());
+    }
+
+    #[test]
+    fn random_inputs_across_thread_counts() {
+        let a = erdos_renyi(400, 6.0, 19);
+        for threads in [1usize, 2, 8] {
+            let mut alg = SortBased::new(&a, SpMSpVOptions::with_threads(threads));
+            for f in [1usize, 40, 400] {
+                let x = random_sparse_vec(400, f, f as u64 + 3);
+                let y = SpMSpV::<f64, f64, PlusTimes>::multiply(&mut alg, &x, &PlusTimes);
+                assert!(y.approx_same_entries(&spmspv_reference(&a, &x, &PlusTimes), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vector_short_circuits() {
+        let a = fixtures::tridiagonal(10);
+        let x = SparseVec::new(10);
+        let mut alg = SortBased::new(&a, SpMSpVOptions::default());
+        let y = SpMSpV::<f64, f64, PlusTimes>::multiply(&mut alg, &x, &PlusTimes);
+        assert!(y.is_empty());
+    }
+}

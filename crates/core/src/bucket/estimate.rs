@@ -1,0 +1,199 @@
+//! `ESTIMATE-BUCKETS` (Algorithm 2) and the bucket geometry helpers.
+//!
+//! A preprocessing pass over the selected columns counts how many scaled
+//! entries each thread will contribute to each bucket. Prefix sums over that
+//! `t × nb` count matrix give (a) the storage layout of the buckets inside
+//! one contiguous buffer and (b) an exclusive write window per
+//! `(thread, bucket)` pair, which is what makes the bucketing step of
+//! Algorithm 1 free of synchronization.
+
+use rayon::prelude::*;
+use sparse_substrate::{CscMatrix, Scalar, SparseVec};
+
+/// Bucket that row `i` of an `m`-row matrix maps to when `nb` buckets are
+/// used: `⌊i · nb / m⌋` (line 5 of Algorithm 1).
+#[inline]
+pub fn bucket_of(i: usize, m: usize, nb: usize) -> usize {
+    debug_assert!(i < m);
+    (i * nb) / m
+}
+
+/// The contiguous row range `[lo, hi)` owned by bucket `b`: exactly the rows
+/// `i` with `bucket_of(i, m, nb) == b`. The ranges of all buckets partition
+/// `0..m`, which is what lets Step 2 hand each bucket a disjoint slice of
+/// the SPA.
+pub fn bucket_row_ranges(m: usize, nb: usize) -> Vec<std::ops::Range<usize>> {
+    (0..nb)
+        .map(|b| {
+            let lo = (b * m).div_ceil(nb);
+            let hi = ((b + 1) * m).div_ceil(nb);
+            lo..hi
+        })
+        .collect()
+}
+
+/// Output of [`estimate_buckets`]: everything Step 1 needs to write without
+/// synchronization and Step 2 needs to find its bucket's entries.
+#[derive(Debug, Clone)]
+pub struct BucketPlan {
+    /// `boffset[k][b]`: number of entries thread `k` will insert into bucket
+    /// `b` (Algorithm 2's output).
+    pub boffset: Vec<Vec<usize>>,
+    /// `bucket_starts[b]`: position of bucket `b`'s first entry in the shared
+    /// bucket buffer; `bucket_starts[nb]` is the total entry count.
+    pub bucket_starts: Vec<usize>,
+    /// `write_offsets[k][b]`: position where thread `k` writes its first
+    /// entry of bucket `b` (exclusive window start).
+    pub write_offsets: Vec<Vec<usize>>,
+}
+
+impl BucketPlan {
+    /// Total number of scaled entries that will be produced
+    /// (= `Σ_{j: x(j)≠0} nnz(A(:,j))`, the paper's `d·f`).
+    pub fn total_entries(&self) -> usize {
+        *self.bucket_starts.last().expect("bucket_starts is never empty")
+    }
+
+    /// Number of buckets in the plan.
+    pub fn num_buckets(&self) -> usize {
+        self.bucket_starts.len() - 1
+    }
+
+    /// Entries thread `k` contributes to bucket `b`.
+    pub fn boffset_for(&self, k: usize, b: usize) -> usize {
+        self.boffset[k][b]
+    }
+
+    /// Number of entries that land in bucket `b` across all threads.
+    pub fn bucket_size(&self, b: usize) -> usize {
+        self.bucket_starts[b + 1] - self.bucket_starts[b]
+    }
+}
+
+/// Algorithm 2: counts per-(thread, bucket) contributions in parallel, then
+/// derives bucket layout and per-thread write windows with prefix sums
+/// (the prefix sums are `O(t·nb)` work on the calling thread, matching the
+/// paper's "on the master thread" note for Step 3's prefix sum).
+pub fn estimate_buckets<A: Scalar, X: Scalar>(
+    matrix: &CscMatrix<A>,
+    x: &SparseVec<X>,
+    chunks: &[std::ops::Range<usize>],
+    nb: usize,
+    m: usize,
+) -> BucketPlan {
+    let t = chunks.len();
+    let boffset: Vec<Vec<usize>> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut counts = vec![0usize; nb];
+            for k in chunk.clone() {
+                let j = x.indices()[k];
+                let (rows, _) = matrix.column(j);
+                for &i in rows {
+                    counts[bucket_of(i, m, nb)] += 1;
+                }
+            }
+            counts
+        })
+        .collect();
+
+    let mut bucket_starts = vec![0usize; nb + 1];
+    for b in 0..nb {
+        let size: usize = (0..t).map(|k| boffset[k][b]).sum();
+        bucket_starts[b + 1] = bucket_starts[b] + size;
+    }
+
+    let mut write_offsets = vec![vec![0usize; nb]; t];
+    for b in 0..nb {
+        let mut cursor = bucket_starts[b];
+        for k in 0..t {
+            write_offsets[k][b] = cursor;
+            cursor += boffset[k][b];
+        }
+    }
+
+    BucketPlan { boffset, bucket_starts, write_offsets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::even_ranges;
+    use sparse_substrate::fixtures::{figure1_matrix, figure1_vector};
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+    use sparse_substrate::ops::required_multiplications;
+
+    #[test]
+    fn bucket_of_partitions_rows() {
+        for &(m, nb) in &[(8usize, 4usize), (10, 3), (7, 7), (100, 96), (5, 16)] {
+            let ranges = bucket_row_ranges(m, nb);
+            assert_eq!(ranges.len(), nb);
+            // ranges are contiguous and cover 0..m
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[nb - 1].end, m);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // membership agrees with bucket_of
+            for i in 0..m {
+                let b = bucket_of(i, m, nb);
+                assert!(ranges[b].contains(&i), "row {i} not in range of bucket {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_counts_match_the_paper() {
+        // Figure 1 uses 4 buckets over 8 rows: rows 0-1, 2-3, 4-5, 6-7.
+        let a = figure1_matrix();
+        let x = figure1_vector();
+        let chunks = even_ranges(x.nnz(), 1);
+        let plan = estimate_buckets(&a, &x, &chunks, 4, 8);
+        assert_eq!(plan.total_entries(), 7);
+        // Buckets receive: rows {0,0}=2, {2,3}=2, {4,4}=2, {6}=1
+        assert_eq!(plan.bucket_size(0), 2);
+        assert_eq!(plan.bucket_size(1), 2);
+        assert_eq!(plan.bucket_size(2), 2);
+        assert_eq!(plan.bucket_size(3), 1);
+    }
+
+    #[test]
+    fn totals_equal_required_multiplications() {
+        let a = erdos_renyi(300, 5.0, 2);
+        let x = random_sparse_vec(300, 60, 3);
+        for threads in [1usize, 2, 5] {
+            let chunks = even_ranges(x.nnz(), threads);
+            let plan = estimate_buckets(&a, &x, &chunks, 4 * threads, a.nrows());
+            assert_eq!(plan.total_entries(), required_multiplications(&a, &x));
+        }
+    }
+
+    #[test]
+    fn write_windows_are_disjoint_and_cover_buckets() {
+        let a = erdos_renyi(200, 4.0, 5);
+        let x = random_sparse_vec(200, 50, 7);
+        let t = 3;
+        let nb = 12;
+        let chunks = even_ranges(x.nnz(), t);
+        let plan = estimate_buckets(&a, &x, &chunks, nb, a.nrows());
+        for b in 0..nb {
+            // windows within bucket b: [write_offsets[k][b], +boffset[k][b])
+            let mut cursor = plan.bucket_starts[b];
+            for k in 0..t {
+                assert_eq!(plan.write_offsets[k][b], cursor);
+                cursor += plan.boffset[k][b];
+            }
+            assert_eq!(cursor, plan.bucket_starts[b + 1]);
+        }
+    }
+
+    #[test]
+    fn empty_vector_plan() {
+        let a = figure1_matrix();
+        let x = sparse_substrate::SparseVec::<f64>::new(8);
+        let chunks = even_ranges(x.nnz(), 1);
+        let plan = estimate_buckets(&a, &x, &chunks, 4, 8);
+        assert_eq!(plan.total_entries(), 0);
+        assert_eq!(plan.num_buckets(), 4);
+    }
+}

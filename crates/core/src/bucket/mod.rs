@@ -1,0 +1,459 @@
+//! The SpMSpV-bucket algorithm (Algorithm 1 + Algorithm 2 of the paper).
+//!
+//! The algorithm is vector-driven and work-efficient: its total work is
+//! `O(d·f)` (the number of required multiplications) regardless of the
+//! thread count, and the only `O(m)` cost — allocating the SPA — is paid
+//! once at construction and amortized across every subsequent multiplication
+//! (exactly the pre-allocation strategy §III-A prescribes for iterative
+//! algorithms such as BFS).
+//!
+//! Parallel structure, per multiplication:
+//!
+//! ```text
+//!  estimate   Boffset[k][b]  = entries thread k will send to bucket b   (Alg. 2)
+//!  (prefix)   write window of thread k in bucket b = exclusive range
+//!  bucketing  scatter (row, A(i,j) ⊗ x(j)) into buckets, lock-free      (Step 1)
+//!  merge      per-bucket SPA merge, one bucket at a time per thread     (Step 2)
+//!  output     prefix sum over per-bucket unique counts, then gather     (Step 3)
+//! ```
+
+pub mod estimate;
+mod workspace;
+
+pub use estimate::{bucket_of, bucket_row_ranges, BucketPlan};
+pub use workspace::BucketWorkspace;
+
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
+
+use crate::algorithm::{SpMSpV, SpMSpVOptions};
+use crate::disjoint::{split_ranges, SliceWriter};
+use crate::executor::{even_ranges, Executor};
+use crate::timing::StepTimings;
+
+/// The paper's work-efficient, synchronization-avoiding SpMSpV algorithm,
+/// prepared for one matrix and reusable across many input vectors.
+pub struct SpMSpVBucket<'a, A, X, S: Semiring<A, X>> {
+    matrix: &'a CscMatrix<A>,
+    options: SpMSpVOptions,
+    executor: Executor,
+    workspace: BucketWorkspace<S::Output>,
+    _marker: PhantomData<fn(X, S)>,
+}
+
+impl<'a, A, X, S> SpMSpVBucket<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    /// Prepares the algorithm for `matrix` with the given options.
+    ///
+    /// Allocates the `O(m)` SPA once; buckets grow lazily up to
+    /// `O(nnz(A))` and are then reused.
+    pub fn new(matrix: &'a CscMatrix<A>, options: SpMSpVOptions) -> Self {
+        let executor = options.build_executor();
+        let workspace = BucketWorkspace::new(matrix.nrows());
+        SpMSpVBucket { matrix, options, executor, workspace, _marker: PhantomData }
+    }
+
+    /// Prepares the algorithm reusing an existing executor (so several
+    /// algorithm instances — e.g. inside one BFS — share a single pool).
+    pub fn with_executor(
+        matrix: &'a CscMatrix<A>,
+        options: SpMSpVOptions,
+        executor: Executor,
+    ) -> Self {
+        let workspace = BucketWorkspace::new(matrix.nrows());
+        SpMSpVBucket { matrix, options, executor, workspace, _marker: PhantomData }
+    }
+
+    /// The options this instance was built with.
+    pub fn options(&self) -> &SpMSpVOptions {
+        &self.options
+    }
+
+    /// Computes `y ← A ⊕.⊗ x` and also returns the per-step wall-clock
+    /// breakdown used by the Figure 6 experiment.
+    pub fn multiply_with_timings(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+    ) -> (SparseVec<S::Output>, StepTimings) {
+        let m = self.matrix.nrows();
+        let n = self.matrix.ncols();
+        assert_eq!(
+            x.len(),
+            n,
+            "input vector has dimension {} but the matrix has {} columns",
+            x.len(),
+            n
+        );
+        let mut timings = StepTimings::default();
+        if x.is_empty() {
+            return (SparseVec::new(m), timings);
+        }
+
+        // The paper assumes at most f threads take part (§III-B); with fewer
+        // nonzeros than threads the extra threads would only add overhead.
+        // We additionally require a minimum amount of input per thread
+        // (work-proportional thread count): BFS on high-diameter graphs
+        // issues thousands of multiplications whose frontiers hold only a
+        // handful of vertices, and fanning those out to every core costs more
+        // in scheduling than the multiplication itself. This is the same
+        // observation §IV-D makes ("our work-efficient algorithm might not
+        // scale well when the vector is very sparse ... due to the scarcity
+        // of work for all threads").
+        const MIN_NNZ_PER_THREAD: usize = 32;
+        let t = self
+            .executor
+            .threads()
+            .min(x.nnz().div_ceil(MIN_NNZ_PER_THREAD))
+            .max(1);
+        let nb = (self.options.buckets_per_thread * t).max(1);
+
+        // Sorted variant: keep the input sorted for cache-friendly column
+        // access (Figure 2's "with sorting" curve).
+        let sorted_holder;
+        let x_ref: &SparseVec<X> = if self.options.sorted_output && !x.is_sorted() {
+            sorted_holder = x.sorted();
+            &sorted_holder
+        } else {
+            x
+        };
+
+        let chunks = even_ranges(x_ref.nnz(), t);
+
+        // ---------------- Estimate (Algorithm 2) ----------------
+        let t0 = Instant::now();
+        let plan = self.executor.install(|| {
+            estimate::estimate_buckets(self.matrix, x_ref, &chunks, nb, m)
+        });
+        timings.estimate = t0.elapsed();
+
+        // ---------------- Step 1: bucketing ----------------
+        let t1 = Instant::now();
+        let total = plan.total_entries();
+        let ws = &mut self.workspace;
+        ws.entries.clear();
+        ws.entries.reserve(total);
+        {
+            let writer = SliceWriter::new(&mut ws.entries.spare_capacity_mut()[..total]);
+            let matrix = self.matrix;
+            let staging = self.options.staging_buffer;
+            let write_offsets = &plan.write_offsets;
+            self.executor.install(|| {
+                chunks
+                    .par_iter()
+                    .zip(write_offsets.par_iter())
+                    .enumerate()
+                    .for_each(|(thread_id, (chunk, offsets))| {
+                        let mut cursor = offsets.clone();
+                        let mut stage: Vec<(usize, usize, S::Output)> =
+                            Vec::with_capacity(staging);
+                        for k in chunk.clone() {
+                            let j = x_ref.indices()[k];
+                            let xv = &x_ref.values()[k];
+                            let (rows, vals) = matrix.column(j);
+                            for (&i, av) in rows.iter().zip(vals.iter()) {
+                                let b = bucket_of(i, m, nb);
+                                let prod = semiring.multiply(av, xv);
+                                if staging == 0 {
+                                    // SAFETY: cursor[b] lies inside this
+                                    // thread's exclusive window for bucket b
+                                    // (pre-computed by estimate_buckets) and
+                                    // is bumped after every write, so no slot
+                                    // is written twice.
+                                    unsafe { writer.write(cursor[b], (i, prod)) };
+                                    cursor[b] += 1;
+                                } else {
+                                    stage.push((b, i, prod));
+                                    if stage.len() == staging {
+                                        flush_stage(&writer, &mut stage, &mut cursor);
+                                    }
+                                }
+                            }
+                        }
+                        if !stage.is_empty() {
+                            flush_stage(&writer, &mut stage, &mut cursor);
+                        }
+                        // Postcondition: each cursor reached the end of its
+                        // exclusive window.
+                        debug_assert!((0..cursor.len()).all(|b| {
+                            cursor[b] == offsets[b] + plan.boffset_for(thread_id, b)
+                        }));
+                    });
+            });
+        }
+        // SAFETY: estimate_buckets counted exactly `total` entries and the
+        // loop above wrote every one of them at a distinct offset; the Rayon
+        // scope has ended, so all writes happened-before this point.
+        unsafe { ws.entries.set_len(total) };
+        timings.bucketing = t1.elapsed();
+
+        // ---------------- Step 2: per-bucket SPA merge ----------------
+        let t2 = Instant::now();
+        let row_ranges = bucket_row_ranges(m, nb);
+        ws.bump_generation();
+        let generation = ws.generation();
+        let sorted_output = self.options.sorted_output;
+        let uinds: Vec<Vec<usize>> = {
+            let spa_val_slices = split_ranges(&mut ws.spa_values, &row_ranges);
+            let spa_stamp_slices = split_ranges(&mut ws.spa_stamps, &row_ranges);
+            let entry_slices = split_by_boundaries(&ws.entries, &plan.bucket_starts);
+            self.executor.install(|| {
+                entry_slices
+                    .into_par_iter()
+                    .zip(spa_val_slices.into_par_iter())
+                    .zip(spa_stamp_slices.into_par_iter())
+                    .zip(row_ranges.par_iter())
+                    .map(|(((bucket_entries, spa_vals), spa_stamps), range)| {
+                        let lo = range.start;
+                        // Reserve for the worst case (every entry unique) to
+                        // avoid repeated growth inside the hot loop.
+                        let mut uind = Vec::with_capacity(bucket_entries.len());
+                        for &(i, ref v) in bucket_entries {
+                            let local = i - lo;
+                            if spa_stamps[local] != generation {
+                                spa_stamps[local] = generation;
+                                spa_vals[local] = *v;
+                                uind.push(i);
+                            } else {
+                                spa_vals[local] = semiring.add(spa_vals[local], *v);
+                            }
+                        }
+                        if sorted_output {
+                            uind.sort_unstable();
+                        }
+                        uind
+                    })
+                    .collect()
+            })
+        };
+        timings.merge = t2.elapsed();
+
+        // ---------------- Step 3: output ----------------
+        let t3 = Instant::now();
+        let mut out_starts = Vec::with_capacity(nb + 1);
+        out_starts.push(0usize);
+        for u in &uinds {
+            out_starts.push(out_starts.last().unwrap() + u.len());
+        }
+        let y_nnz = *out_starts.last().unwrap();
+        let mut out_indices = vec![0usize; y_nnz];
+        let mut out_values = vec![S::Output::default(); y_nnz];
+        {
+            let out_ranges: Vec<std::ops::Range<usize>> =
+                out_starts.windows(2).map(|w| w[0]..w[1]).collect();
+            let idx_slices = split_ranges(&mut out_indices, &out_ranges);
+            let val_slices = split_ranges(&mut out_values, &out_ranges);
+            let spa_values = &ws.spa_values;
+            let row_ranges = &row_ranges;
+            self.executor.install(|| {
+                uinds
+                    .par_iter()
+                    .zip(idx_slices.into_par_iter())
+                    .zip(val_slices.into_par_iter())
+                    .zip(row_ranges.par_iter())
+                    .for_each(|(((uind, idx_out), val_out), range)| {
+                        debug_assert!(uind.iter().all(|&i| range.contains(&i)));
+                        for (k, &i) in uind.iter().enumerate() {
+                            idx_out[k] = i;
+                            val_out[k] = spa_values[i];
+                        }
+                    });
+            });
+        }
+        let y = SparseVec::from_parts(m, out_indices, out_values)
+            .expect("bucket output indices are in bounds by construction");
+        timings.output = t3.elapsed();
+
+        (y, timings)
+    }
+}
+
+/// Flushes a thread-private staging buffer into the shared bucket storage.
+/// Batching the irregular bucket writes behind a small sequential buffer is
+/// the cache optimization of §III-A.
+#[inline]
+fn flush_stage<Y: Scalar>(
+    writer: &SliceWriter<'_, (usize, Y)>,
+    stage: &mut Vec<(usize, usize, Y)>,
+    cursor: &mut [usize],
+) {
+    for &(b, i, v) in stage.iter() {
+        // SAFETY: same exclusive-window argument as the direct-write path.
+        unsafe { writer.write(cursor[b], (i, v)) };
+        cursor[b] += 1;
+    }
+    stage.clear();
+}
+
+/// Splits a shared slice at the given boundary positions
+/// (`boundaries[0] == 0`, last boundary == `slice.len()`).
+fn split_by_boundaries<'s, T>(slice: &'s [T], boundaries: &[usize]) -> Vec<&'s [T]> {
+    boundaries.windows(2).map(|w| &slice[w[0]..w[1]]).collect()
+}
+
+impl<'a, A, X, S> SpMSpV<A, X, S> for SpMSpVBucket<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    fn name(&self) -> &'static str {
+        "SpMSpV-bucket"
+    }
+
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_with_timings(x, semiring).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec, rmat, RmatParams};
+    use sparse_substrate::ops::spmspv_reference;
+    use sparse_substrate::{fixtures, PlusTimes, Select2ndMin};
+
+    #[test]
+    fn figure1_example() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
+        let y = alg.multiply(&x, &PlusTimes);
+        let expected = spmspv_reference(&a, &x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-9));
+        assert!(y.is_sorted());
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        let a = fixtures::figure1_matrix();
+        let x = SparseVec::new(8);
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::default());
+        let y = alg.multiply(&x, &PlusTimes);
+        assert!(y.is_empty());
+        assert_eq!(y.len(), 8);
+    }
+
+    #[test]
+    fn matches_reference_on_random_matrices_all_thread_counts() {
+        let a = erdos_renyi(400, 6.0, 7);
+        for threads in [1usize, 2, 3, 4, 8] {
+            for f in [1usize, 5, 50, 400] {
+                let x = random_sparse_vec(400, f, 1000 + f as u64);
+                let expected = spmspv_reference(&a, &x, &PlusTimes);
+                let mut alg =
+                    SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(threads));
+                let y = alg.multiply(&x, &PlusTimes);
+                assert!(
+                    y.approx_same_entries(&expected, 1e-9),
+                    "mismatch at threads={threads}, nnz(x)={f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsorted_variant_produces_the_same_entries() {
+        let a = rmat(9, 8, RmatParams::graph500(), 21);
+        let x = random_sparse_vec(a.ncols(), 300, 9);
+        let expected = spmspv_reference(&a, &x, &PlusTimes);
+        let mut unsorted = SpMSpVBucket::new(
+            &a,
+            SpMSpVOptions::with_threads(4).sorted(false),
+        );
+        let y = unsorted.multiply(&x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-9));
+    }
+
+    #[test]
+    fn workspace_is_reused_across_calls() {
+        let a = erdos_renyi(300, 5.0, 3);
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
+        for seed in 0..5u64 {
+            let x = random_sparse_vec(300, 40, seed);
+            let expected = spmspv_reference(&a, &x, &PlusTimes);
+            let y = alg.multiply(&x, &PlusTimes);
+            assert!(y.approx_same_entries(&expected, 1e-9), "call with seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn staging_buffer_on_and_off_agree() {
+        let a = erdos_renyi(500, 8.0, 13);
+        let x = random_sparse_vec(500, 120, 5);
+        let mut direct = SpMSpVBucket::new(
+            &a,
+            SpMSpVOptions::with_threads(4).staging_buffer(0),
+        );
+        let mut staged = SpMSpVBucket::new(
+            &a,
+            SpMSpVOptions::with_threads(4).staging_buffer(8),
+        );
+        let y1 = direct.multiply(&x, &PlusTimes);
+        let y2 = staged.multiply(&x, &PlusTimes);
+        assert!(y1.approx_same_entries(&y2, 1e-9));
+    }
+
+    #[test]
+    fn more_buckets_than_entries_is_fine() {
+        // nb can exceed the number of output rows touched; empty buckets must
+        // be handled gracefully.
+        let a = fixtures::tridiagonal(50);
+        let x = SparseVec::from_pairs(50, vec![(0, 1.0)]).unwrap();
+        let mut alg = SpMSpVBucket::new(
+            &a,
+            SpMSpVOptions::with_threads(8).buckets_per_thread(16),
+        );
+        let y = alg.multiply(&x, &PlusTimes);
+        let expected = spmspv_reference(&a, &x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-9));
+    }
+
+    #[test]
+    fn select2nd_semiring_for_bfs_parents() {
+        let a = rmat(8, 8, RmatParams::graph500(), 4);
+        let n = a.ncols();
+        let x = SparseVec::from_pairs(n, vec![(3, 3usize), (100, 100usize)]).unwrap();
+        let expected = spmspv_reference(&a, &x, &Select2ndMin);
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(4));
+        let y = alg.multiply(&x, &Select2ndMin);
+        assert!(y.same_entries(&expected));
+    }
+
+    #[test]
+    fn timings_cover_all_steps() {
+        let a = erdos_renyi(2000, 8.0, 99);
+        let x = random_sparse_vec(2000, 500, 4);
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
+        let (y, t) = alg.multiply_with_timings(&x, &PlusTimes);
+        assert!(!y.is_empty());
+        assert!(t.total() > std::time::Duration::ZERO);
+        // every phase should have been entered (non-zero or at least measured)
+        let f = t.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn dimension_mismatch_panics() {
+        let a = fixtures::figure1_matrix();
+        let x = SparseVec::<f64>::from_pairs(9, vec![(0, 1.0)]).unwrap();
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::default());
+        let _ = alg.multiply(&x, &PlusTimes);
+    }
+}

@@ -1,0 +1,83 @@
+//! Pre-allocated, reusable workspace of the SpMSpV-bucket algorithm.
+//!
+//! §III-A ("Memory allocation"): *"we allocate enough memory for all buckets
+//! and for the SPA in advance and pass them to the SpMSpV-bucket algorithm"*,
+//! because allocation cost would otherwise dominate iterative workloads such
+//! as BFS. The workspace owns the dense SPA arrays (sized `m`, allocated
+//! once) and the shared bucket entry buffer, which keeps its capacity across
+//! multiplications and never exceeds `O(nnz(A))` entries.
+
+use sparse_substrate::Scalar;
+
+/// Reusable buffers shared by every multiplication of one
+/// [`super::SpMSpVBucket`] instance.
+#[derive(Debug)]
+pub struct BucketWorkspace<Y> {
+    /// Dense SPA values, indexed by matrix row. Entries are only meaningful
+    /// where the matching stamp equals the current generation.
+    pub(crate) spa_values: Vec<Y>,
+    /// Generation stamp per SPA slot; `stamp[i] == generation` means slot `i`
+    /// was initialized during the current multiplication. This realizes the
+    /// paper's "initialize only the entries of SPA to be accessed" rule with
+    /// an O(1) logical reset between multiplications.
+    pub(crate) spa_stamps: Vec<u64>,
+    generation: u64,
+    /// Shared bucket buffer: all buckets laid out back to back, entries are
+    /// `(row, scaled value)` pairs. Capacity is retained across calls.
+    pub(crate) entries: Vec<(usize, Y)>,
+}
+
+impl<Y: Scalar> BucketWorkspace<Y> {
+    /// Allocates the SPA for an `m`-row matrix. This is the only `O(m)`
+    /// allocation in the algorithm's lifetime.
+    pub fn new(m: usize) -> Self {
+        BucketWorkspace {
+            spa_values: vec![Y::default(); m],
+            spa_stamps: vec![0; m],
+            generation: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Starts a new multiplication: all SPA slots become logically
+    /// uninitialized without touching the dense arrays.
+    pub(crate) fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// The current generation stamp.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of SPA slots (matrix rows).
+    pub fn spa_len(&self) -> usize {
+        self.spa_values.len()
+    }
+
+    /// Current capacity of the shared bucket buffer, in entries.
+    pub fn bucket_capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_workspace_is_sized_to_rows() {
+        let ws: BucketWorkspace<f64> = BucketWorkspace::new(17);
+        assert_eq!(ws.spa_len(), 17);
+        assert_eq!(ws.bucket_capacity(), 0);
+        assert_eq!(ws.generation(), 0);
+    }
+
+    #[test]
+    fn generation_bumps_monotonically() {
+        let mut ws: BucketWorkspace<usize> = BucketWorkspace::new(4);
+        ws.bump_generation();
+        ws.bump_generation();
+        assert_eq!(ws.generation(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Thread-pool management.
+//!
+//! The paper's experiments pin the number of OpenMP threads per run
+//! (1, 2, 4, …, 24 on Edison; up to 64 on KNL). We mirror that with a
+//! dedicated Rayon pool of exactly `threads` workers so strong-scaling
+//! sweeps are meaningful and the per-thread `Boffset` table of Algorithm 2
+//! has a fixed, known number of rows.
+
+use std::sync::Arc;
+
+/// A fixed-size thread pool shared by the SpMSpV algorithms.
+#[derive(Clone)]
+pub struct Executor {
+    pool: Arc<rayon::ThreadPool>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor").field("threads", &self.threads).finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with exactly `threads` worker threads
+    /// (`0` means "all logical CPUs").
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { num_cpus() } else { threads };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("spmspv-{i}"))
+            .build()
+            .expect("failed to build thread pool");
+        Executor { pool: Arc::new(pool), threads }
+    }
+
+    /// Number of worker threads (`t` in the paper's notation).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` inside the pool so nested Rayon parallelism uses exactly
+    /// this pool's workers.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(f)
+    }
+
+    /// Runs a scope inside the pool; used for the "one task per logical
+    /// thread" pattern Algorithm 1/2 needs.
+    pub fn scope<'scope, R: Send>(
+        &self,
+        f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send,
+    ) -> R {
+        self.pool.scope(f)
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+/// Number of logical CPUs visible to the process.
+pub fn num_cpus() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `0..len` into `pieces` contiguous ranges of near-equal size.
+/// Piece `p` is `[bounds(p), bounds(p+1))`. Used to chunk the nonzeros of
+/// `x` across threads and the rows of the matrix across buckets.
+pub fn even_ranges(len: usize, pieces: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(pieces > 0);
+    (0..pieces).map(|p| (p * len / pieces)..((p + 1) * len / pieces)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_reports_thread_count() {
+        let ex = Executor::new(3);
+        assert_eq!(ex.threads(), 3);
+        let ex0 = Executor::new(0);
+        assert!(ex0.threads() >= 1);
+    }
+
+    #[test]
+    fn install_runs_inside_the_pool() {
+        let ex = Executor::new(2);
+        let inside = ex.install(|| rayon::current_num_threads());
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn even_ranges_cover_everything_without_overlap() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for pieces in [1usize, 2, 3, 8] {
+                let ranges = even_ranges(len, pieces);
+                assert_eq!(ranges.len(), pieces);
+                let total: usize = ranges.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges[pieces - 1].end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn scope_spawns_parallel_tasks() {
+        let ex = Executor::new(4);
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        ex.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! # spmspv
+//!
+//! A work-efficient parallel sparse matrix–sparse vector multiplication
+//! library, reproducing *"A Work-Efficient Parallel Sparse Matrix-Sparse
+//! Vector Multiplication Algorithm"* (Azad & Buluç, IPDPS 2017).
+//!
+//! The centerpiece is [`SpMSpVBucket`], the paper's three-step bucket
+//! algorithm:
+//!
+//! 1. **Estimate** (Algorithm 2): count, per `(thread, bucket)` pair, how
+//!    many scaled entries the thread will produce, so every thread gets an
+//!    exclusive, pre-computed write window — no locks, no atomics.
+//! 2. **Bucketing** (Step 1): scatter `(row, A(i,j) ⊗ x(j))` pairs from the
+//!    selected matrix columns into row-range buckets.
+//! 3. **SPA merge** (Step 2): merge each bucket independently with a
+//!    partially-initialized sparse accumulator.
+//! 4. **Output** (Step 3): concatenate the buckets' unique indices into the
+//!    result vector with a prefix sum.
+//!
+//! The crate also contains faithful re-implementations of the baselines the
+//! paper compares against — [`baselines::CombBlasSpa`],
+//! [`baselines::CombBlasHeap`], [`baselines::GraphMatSpMSpV`],
+//! [`baselines::SortBased`], and the sequential reference
+//! [`baselines::SequentialSpa`] — all behind the common [`SpMSpV`] trait so
+//! graph algorithms and benchmarks can swap them freely.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sparse_substrate::{fixtures, PlusTimes};
+//! use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+//!
+//! let a = fixtures::figure1_matrix();
+//! let x = fixtures::figure1_vector();
+//! let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::default());
+//! let y = alg.multiply(&x, &PlusTimes);
+//! assert_eq!(y.nnz(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod algorithm;
+pub mod baselines;
+pub mod bucket;
+pub mod disjoint;
+pub mod executor;
+pub mod masked;
+pub mod stats;
+pub mod timing;
+
+pub use algorithm::{AlgorithmKind, SpMSpV, SpMSpVOptions};
+pub use bucket::SpMSpVBucket;
+pub use executor::Executor;
+pub use masked::{MaskMode, MaskedSpMSpV};
+pub use stats::WorkStats;
+pub use timing::StepTimings;

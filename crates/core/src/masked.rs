@@ -1,0 +1,158 @@
+//! Masked SpMSpV — the GraphBLAS-style extension the paper lists as future
+//! work (§V: "GraphBLAS effort is in the process of defining masked
+//! operations, including SpMSpV").
+//!
+//! A mask restricts which output rows may appear in `y`. The dominant use is
+//! BFS: the complement of the "already visited" set masks the product so the
+//! next frontier only contains undiscovered vertices, without a separate
+//! filtering pass over `y`.
+
+use sparse_substrate::{Scalar, Semiring, SparseVec};
+
+use crate::algorithm::SpMSpV;
+
+/// Whether the mask selects the rows where it is set, or their complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskMode {
+    /// Keep output entries whose row is in the mask.
+    Keep,
+    /// Keep output entries whose row is *not* in the mask
+    /// (the BFS "unvisited" use-case).
+    Complement,
+}
+
+/// Wraps any [`SpMSpV`] implementation with an output mask.
+///
+/// The mask lives in the wrapper as a dense boolean array sized to the
+/// output dimension, so membership tests are O(1) and the mask can be
+/// updated incrementally between multiplications (as BFS does when it marks
+/// newly visited vertices).
+pub struct MaskedSpMSpV<Alg> {
+    inner: Alg,
+    mask: Vec<bool>,
+    mode: MaskMode,
+}
+
+impl<Alg> MaskedSpMSpV<Alg> {
+    /// Wraps `inner` with an initially empty mask.
+    pub fn new(inner: Alg, nrows: usize, mode: MaskMode) -> Self {
+        MaskedSpMSpV { inner, mask: vec![false; nrows], mode }
+    }
+
+    /// Adds row `i` to the mask.
+    pub fn set(&mut self, i: usize) {
+        self.mask[i] = true;
+    }
+
+    /// Adds every listed row to the mask.
+    pub fn set_all(&mut self, rows: impl IntoIterator<Item = usize>) {
+        for i in rows {
+            self.mask[i] = true;
+        }
+    }
+
+    /// Removes every row from the mask.
+    pub fn clear(&mut self) {
+        self.mask.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Whether row `i` is currently in the mask.
+    pub fn contains(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Number of rows currently in the mask.
+    pub fn mask_len(&self) -> usize {
+        self.mask.iter().filter(|&&b| b).count()
+    }
+
+    /// Access to the wrapped algorithm.
+    pub fn inner_mut(&mut self) -> &mut Alg {
+        &mut self.inner
+    }
+
+    fn keeps(&self, i: usize) -> bool {
+        match self.mode {
+            MaskMode::Keep => self.mask[i],
+            MaskMode::Complement => !self.mask[i],
+        }
+    }
+}
+
+impl<A, X, S, Alg> SpMSpV<A, X, S> for MaskedSpMSpV<Alg>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+    Alg: SpMSpV<A, X, S>,
+{
+    fn name(&self) -> &'static str {
+        "masked"
+    }
+
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        let mut y = self.inner.multiply(x, semiring);
+        y.retain(|i, _| self.keeps(i));
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::SpMSpVOptions;
+    use crate::bucket::SpMSpVBucket;
+    use sparse_substrate::ops::spmspv_reference;
+    use sparse_substrate::{fixtures, PlusTimes};
+
+    #[test]
+    fn complement_mask_drops_visited_rows() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let unmasked = spmspv_reference(&a, &x, &PlusTimes);
+        let inner = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
+        let mut masked = MaskedSpMSpV::new(inner, 8, MaskMode::Complement);
+        masked.set_all([0usize, 4]);
+        let y = masked.multiply(&x, &PlusTimes);
+        assert!(y.get(0).is_none());
+        assert!(y.get(4).is_none());
+        assert_eq!(y.nnz(), unmasked.nnz() - 2);
+        for (i, v) in y.iter() {
+            assert_eq!(unmasked.get(i), Some(v));
+        }
+    }
+
+    #[test]
+    fn keep_mask_retains_only_masked_rows() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let inner = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(1));
+        let mut masked = MaskedSpMSpV::new(inner, 8, MaskMode::Keep);
+        masked.set(2);
+        masked.set(3);
+        let y = masked.multiply(&x, &PlusTimes);
+        let rows: Vec<usize> = y.iter().map(|(i, _)| i).collect();
+        assert_eq!(rows, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_empties_the_mask() {
+        let a = fixtures::tridiagonal(6);
+        let inner: SpMSpVBucket<'_, f64, f64, PlusTimes> =
+            SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(1));
+        let mut masked = MaskedSpMSpV::new(inner, 6, MaskMode::Keep);
+        masked.set_all(0..6);
+        assert_eq!(masked.mask_len(), 6);
+        masked.clear();
+        assert_eq!(masked.mask_len(), 0);
+        assert!(!masked.contains(3));
+    }
+}

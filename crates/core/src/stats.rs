@@ -1,0 +1,190 @@
+//! Work accounting (Table II of the paper).
+//!
+//! The paper's argument is not about constant factors but about *how much
+//! work* each parallelization strategy performs relative to the lower bound
+//! `Ω(d·f)` (the number of matrix entries that must be read). This module
+//! computes, exactly and analytically from the operands, the work each
+//! algorithm family performs, so the `table2_characteristics` experiment can
+//! print measured work ratios instead of hand-waving.
+
+use sparse_substrate::{CscMatrix, Scalar, SparseVec};
+
+use crate::algorithm::AlgorithmKind;
+
+/// Exact operation counts for one SpMSpV invocation by one algorithm family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkStats {
+    /// Scalar multiplications performed (equals the lower bound for every
+    /// vector-driven algorithm).
+    pub multiplications: usize,
+    /// Matrix columns inspected (selected columns for vector-driven
+    /// algorithms, all non-empty columns per piece for matrix-driven ones).
+    pub columns_inspected: usize,
+    /// Input-vector entries read across all threads (the row-split
+    /// algorithms read all of `x` once *per thread*).
+    pub x_entries_read: usize,
+    /// Sparse-accumulator slots initialized across all threads.
+    pub spa_slots_initialized: usize,
+    /// Number of threads the estimate was computed for.
+    pub threads: usize,
+}
+
+impl WorkStats {
+    /// The paper's lower bound for this operand pair: the number of matrix
+    /// entries in the selected columns.
+    pub fn lower_bound(a: &CscMatrix<impl Scalar>, x: &SparseVec<impl Scalar>) -> usize {
+        sparse_substrate::ops::required_multiplications(a, x)
+    }
+
+    /// Total work performed (sum of all counted operations).
+    pub fn total_work(&self) -> usize {
+        self.multiplications + self.columns_inspected + self.x_entries_read
+            + self.spa_slots_initialized
+    }
+
+    /// Ratio of total work to the lower bound; `1.0` means work-optimal up
+    /// to constants. Returns infinity when the lower bound is zero but work
+    /// was still performed.
+    pub fn work_ratio(&self, lower_bound: usize) -> f64 {
+        if lower_bound == 0 {
+            if self.total_work() == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.total_work() as f64 / lower_bound as f64
+        }
+    }
+}
+
+/// Computes the exact work a given algorithm family performs for `A·x` with
+/// `t` threads, following the cost model of §II-F and Table I.
+pub fn analyze<A: Scalar, X: Scalar>(
+    kind: AlgorithmKind,
+    a: &CscMatrix<A>,
+    x: &SparseVec<X>,
+    t: usize,
+) -> WorkStats {
+    let t = t.max(1);
+    let f = x.nnz();
+    let df = WorkStats::lower_bound(a, x);
+    // nnz(y): exact count of distinct rows touched by the selected columns.
+    let mut touched = vec![false; a.nrows()];
+    let mut nnz_y = 0usize;
+    for (j, _) in x.iter() {
+        for &i in a.column(j).0 {
+            if !touched[i] {
+                touched[i] = true;
+                nnz_y += 1;
+            }
+        }
+    }
+
+    match kind {
+        AlgorithmKind::Bucket => WorkStats {
+            multiplications: df,
+            columns_inspected: 2 * f, // estimate pass + bucketing pass
+            x_entries_read: 2 * f,
+            spa_slots_initialized: nnz_y,
+            threads: t,
+        },
+        AlgorithmKind::Sequential => WorkStats {
+            multiplications: df,
+            columns_inspected: f,
+            x_entries_read: f,
+            spa_slots_initialized: nnz_y,
+            threads: 1,
+        },
+        AlgorithmKind::CombBlasSpa => WorkStats {
+            multiplications: df,
+            columns_inspected: t * f, // every piece probes every selected column
+            x_entries_read: t * f,    // every thread scans the whole vector
+            spa_slots_initialized: nnz_y,
+            threads: t,
+        },
+        AlgorithmKind::CombBlasHeap => WorkStats {
+            multiplications: df,
+            columns_inspected: t * f,
+            x_entries_read: t * f,
+            spa_slots_initialized: 0, // heap merge needs no SPA
+            threads: t,
+        },
+        AlgorithmKind::GraphMat => {
+            // Matrix-driven: every piece walks all of its non-empty columns.
+            let nzc_total: usize = a.nonempty_cols();
+            WorkStats {
+                multiplications: df,
+                columns_inspected: nzc_total, // across pieces, every stored column once
+                x_entries_read: f,            // loading the bitvector
+                spa_slots_initialized: nnz_y,
+                threads: t,
+            }
+        }
+        AlgorithmKind::SortBased => WorkStats {
+            multiplications: df,
+            columns_inspected: f,
+            x_entries_read: f,
+            // the sort-based algorithm materializes and sorts all df entries
+            spa_slots_initialized: df,
+            threads: t,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::fixtures::{figure1_matrix, figure1_vector};
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+
+    #[test]
+    fn lower_bound_matches_required_multiplications() {
+        let a = figure1_matrix();
+        let x = figure1_vector();
+        assert_eq!(WorkStats::lower_bound(&a, &x), 7);
+    }
+
+    #[test]
+    fn bucket_work_is_independent_of_thread_count() {
+        let a = erdos_renyi(500, 6.0, 3);
+        let x = random_sparse_vec(500, 100, 9);
+        let w1 = analyze(AlgorithmKind::Bucket, &a, &x, 1);
+        let w16 = analyze(AlgorithmKind::Bucket, &a, &x, 16);
+        assert_eq!(w1.total_work(), w16.total_work(), "bucket algorithm is work-efficient");
+    }
+
+    #[test]
+    fn combblas_spa_work_grows_with_threads() {
+        let a = erdos_renyi(500, 6.0, 3);
+        let x = random_sparse_vec(500, 100, 9);
+        let w1 = analyze(AlgorithmKind::CombBlasSpa, &a, &x, 1);
+        let w16 = analyze(AlgorithmKind::CombBlasSpa, &a, &x, 16);
+        assert!(w16.total_work() > w1.total_work(), "row-split work must grow with t");
+        assert!(w16.x_entries_read == 16 * x.nnz());
+    }
+
+    #[test]
+    fn graphmat_pays_nzc_even_for_tiny_vectors() {
+        let a = erdos_renyi(2000, 4.0, 5);
+        let x = random_sparse_vec(2000, 2, 3);
+        let w = analyze(AlgorithmKind::GraphMat, &a, &x, 4);
+        let lb = WorkStats::lower_bound(&a, &x);
+        assert!(
+            w.work_ratio(lb) > 10.0,
+            "matrix-driven work ratio should explode for sparse vectors (got {})",
+            w.work_ratio(lb)
+        );
+        let wb = analyze(AlgorithmKind::Bucket, &a, &x, 4);
+        assert!(wb.work_ratio(lb) < 10.0);
+    }
+
+    #[test]
+    fn work_ratio_handles_empty_inputs() {
+        let a = figure1_matrix();
+        let x = SparseVec::<f64>::new(8);
+        let w = analyze(AlgorithmKind::Bucket, &a, &x, 4);
+        assert_eq!(w.multiplications, 0);
+        assert!(w.work_ratio(0) >= 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-step timing instrumentation (Figure 6 of the paper).
+//!
+//! The SpMSpV-bucket algorithm has four distinct phases — estimate,
+//! bucketing, SPA merge, output — and the paper analyses how each one scales
+//! with thread count and vector density. [`StepTimings`] captures one
+//! multiplication's breakdown; [`StepTimings`] values can be summed across
+//! the many multiplications of a BFS run.
+
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Wall-clock duration of each phase of one (or several accumulated)
+/// SpMSpV-bucket multiplications.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTimings {
+    /// Algorithm 2: per-(thread, bucket) entry counting + prefix sums.
+    pub estimate: Duration,
+    /// Step 1: scattering scaled entries into buckets.
+    pub bucketing: Duration,
+    /// Step 2: per-bucket SPA merge.
+    pub merge: Duration,
+    /// Step 3: concatenation into the output vector (plus optional sorting).
+    pub output: Duration,
+}
+
+impl StepTimings {
+    /// Total time across the four phases.
+    pub fn total(&self) -> Duration {
+        self.estimate + self.bucketing + self.merge + self.output
+    }
+
+    /// Fraction of the total spent in each phase, in the order
+    /// (estimate, bucketing, merge, output). Returns zeros for an empty
+    /// timing.
+    pub fn fractions(&self) -> [f64; 4] {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.estimate.as_secs_f64() / total,
+            self.bucketing.as_secs_f64() / total,
+            self.merge.as_secs_f64() / total,
+            self.output.as_secs_f64() / total,
+        ]
+    }
+}
+
+impl AddAssign for StepTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.estimate += rhs.estimate;
+        self.bucketing += rhs.bucketing;
+        self.merge += rhs.merge;
+        self.output += rhs.output;
+    }
+}
+
+impl std::fmt::Display for StepTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "estimate {:.3} ms | bucketing {:.3} ms | merge {:.3} ms | output {:.3} ms",
+            self.estimate.as_secs_f64() * 1e3,
+            self.bucketing.as_secs_f64() * 1e3,
+            self.merge.as_secs_f64() * 1e3,
+            self.output.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_fractions() {
+        let t = StepTimings {
+            estimate: Duration::from_millis(10),
+            bucketing: Duration::from_millis(20),
+            merge: Duration::from_millis(50),
+            output: Duration::from_millis(20),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let f = t.fractions();
+        assert!((f[0] - 0.1).abs() < 1e-9);
+        assert!((f[2] - 0.5).abs() < 1e-9);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timings_have_zero_fractions() {
+        let t = StepTimings::default();
+        assert_eq!(t.total(), Duration::ZERO);
+        assert_eq!(t.fractions(), [0.0; 4]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = StepTimings {
+            estimate: Duration::from_millis(1),
+            bucketing: Duration::from_millis(2),
+            merge: Duration::from_millis(3),
+            output: Duration::from_millis(4),
+        };
+        a += a;
+        assert_eq!(a.total(), Duration::from_millis(20));
+        assert_eq!(a.merge, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn display_renders_milliseconds() {
+        let t = StepTimings { merge: Duration::from_millis(5), ..Default::default() };
+        let s = t.to_string();
+        assert!(s.contains("merge 5.000 ms"), "unexpected display: {s}");
+    }
+}

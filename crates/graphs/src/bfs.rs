@@ -1,0 +1,244 @@
+//! Breadth-first search via SpMSpV frontier expansion.
+//!
+//! One BFS level is exactly one SpMSpV: the current frontier is the sparse
+//! input vector `x` (carrying, for every frontier vertex, its own id), the
+//! graph's adjacency matrix is `A`, and `y ← Aᵀ·x` under the
+//! `(min, select2nd)` semiring yields, for every vertex adjacent to the
+//! frontier, the id of a frontier vertex that discovered it. Masking out
+//! already-visited vertices turns `y` into the next frontier.
+//!
+//! Figures 4 and 5 of the paper time *only* the SpMSpV calls of a BFS run;
+//! [`BfsResult::spmspv_time`] reports exactly that quantity.
+
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec};
+use spmspv::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
+use spmspv::{AlgorithmKind, SpMSpV, SpMSpVBucket, SpMSpVOptions};
+
+/// Result of a breadth-first search.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// `parents[v]` is the BFS parent of `v` (`parents[source] == source`),
+    /// or `None` when `v` was not reached.
+    pub parents: Vec<Option<usize>>,
+    /// `levels[v]` is the BFS level (distance in hops from the source).
+    pub levels: Vec<Option<usize>>,
+    /// Number of vertices reached, including the source.
+    pub num_visited: usize,
+    /// Number of BFS levels executed (= number of SpMSpV calls).
+    pub iterations: usize,
+    /// Sum of wall-clock time spent inside SpMSpV across all levels —
+    /// the quantity the paper's Figures 4 and 5 report.
+    pub spmspv_time: Duration,
+    /// `nnz(x)` of the frontier fed to each SpMSpV call.
+    pub frontier_sizes: Vec<usize>,
+}
+
+/// Runs BFS from `source` using the requested SpMSpV algorithm.
+///
+/// The adjacency matrix is interpreted column-wise: `a.column(v)` lists the
+/// out-neighbours of `v` (for the symmetric matrices produced by the
+/// generators the distinction does not matter).
+pub fn bfs(
+    a: &CscMatrix<f64>,
+    source: usize,
+    kind: AlgorithmKind,
+    options: SpMSpVOptions,
+) -> BfsResult {
+    match kind {
+        AlgorithmKind::Bucket => bfs_with(&mut SpMSpVBucket::new(a, options), a, source),
+        AlgorithmKind::CombBlasSpa => bfs_with(&mut CombBlasSpa::new(a, options), a, source),
+        AlgorithmKind::CombBlasHeap => bfs_with(&mut CombBlasHeap::new(a, options), a, source),
+        AlgorithmKind::GraphMat => bfs_with(&mut GraphMatSpMSpV::new(a, options), a, source),
+        AlgorithmKind::SortBased => bfs_with(&mut SortBased::new(a, options), a, source),
+        AlgorithmKind::Sequential => bfs_with(&mut SequentialSpa::new(a, options), a, source),
+    }
+}
+
+/// Runs BFS from `source` with a caller-provided SpMSpV implementation
+/// (any type implementing the [`SpMSpV`] trait for the
+/// `(min, select2nd)` semiring).
+pub fn bfs_with<Alg>(alg: &mut Alg, a: &CscMatrix<f64>, source: usize) -> BfsResult
+where
+    Alg: SpMSpV<f64, usize, Select2ndMin> + ?Sized,
+{
+    let n = a.ncols();
+    assert!(source < n, "source vertex {source} out of range for {n} vertices");
+    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
+
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    let mut levels: Vec<Option<usize>> = vec![None; n];
+    parents[source] = Some(source);
+    levels[source] = Some(0);
+
+    let mut frontier = SparseVec::from_pairs(n, vec![(source, source)]).expect("valid source");
+    let mut num_visited = 1usize;
+    let mut iterations = 0usize;
+    let mut spmspv_time = Duration::ZERO;
+    let mut frontier_sizes = Vec::new();
+    let semiring = Select2ndMin;
+
+    let mut level = 0usize;
+    while !frontier.is_empty() {
+        frontier_sizes.push(frontier.nnz());
+        let t = Instant::now();
+        let reached = alg.multiply(&frontier, &semiring);
+        spmspv_time += t.elapsed();
+        iterations += 1;
+        level += 1;
+
+        // Build the next frontier: newly discovered vertices only.
+        let mut next = SparseVec::new(n);
+        for (v, &parent) in reached.iter() {
+            if parents[v].is_none() {
+                parents[v] = Some(parent);
+                levels[v] = Some(level);
+                num_visited += 1;
+                next.push(v, v);
+            }
+        }
+        frontier = next;
+    }
+
+    BfsResult { parents, levels, num_visited, iterations, spmspv_time, frontier_sizes }
+}
+
+/// Runs a plain BFS and returns, for every level, the frontier as a sparse
+/// `f64` vector (unit values). Figure 3 of the paper sweeps `nnz(x)` by
+/// taking real BFS frontiers of different sizes; this helper produces them.
+pub fn bfs_frontiers(a: &CscMatrix<f64>, source: usize) -> Vec<SparseVec<f64>> {
+    let n = a.ncols();
+    let mut visited = vec![false; n];
+    visited[source] = true;
+    let mut frontier = vec![source];
+    let mut out = Vec::new();
+    while !frontier.is_empty() {
+        let sv = SparseVec::from_pairs(n, frontier.iter().map(|&v| (v, 1.0)).collect())
+            .expect("frontier indices are in range");
+        out.push(sv);
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in a.column(v).0 {
+                if !visited[u] {
+                    visited[u] = true;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{grid2d, rmat, RmatParams};
+    use sparse_substrate::CooMatrix;
+
+    fn path_graph(n: usize) -> CscMatrix<f64> {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        CscMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn bfs_on_a_path_gives_exact_levels() {
+        let a = path_graph(10);
+        let r = bfs(&a, 0, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+        assert_eq!(r.num_visited, 10);
+        assert_eq!(r.iterations, 10); // 9 productive levels + 1 empty-frontier check is folded; levels 1..=9
+        for v in 0..10 {
+            assert_eq!(r.levels[v], Some(v));
+        }
+        assert_eq!(r.parents[0], Some(0));
+        assert_eq!(r.parents[5], Some(4));
+    }
+
+    #[test]
+    fn all_algorithms_produce_identical_levels() {
+        let a = rmat(8, 8, RmatParams::graph500(), 5);
+        let source = 0;
+        let reference = bfs(&a, source, AlgorithmKind::Sequential, SpMSpVOptions::with_threads(1));
+        for kind in [
+            AlgorithmKind::Bucket,
+            AlgorithmKind::CombBlasSpa,
+            AlgorithmKind::CombBlasHeap,
+            AlgorithmKind::GraphMat,
+            AlgorithmKind::SortBased,
+        ] {
+            let r = bfs(&a, source, kind, SpMSpVOptions::with_threads(4));
+            assert_eq!(r.num_visited, reference.num_visited, "{kind} visited count differs");
+            assert_eq!(r.levels, reference.levels, "{kind} levels differ");
+        }
+    }
+
+    #[test]
+    fn parents_form_a_valid_bfs_tree() {
+        let a = grid2d(12, 17);
+        let r = bfs(&a, 5, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(3));
+        for v in 0..a.ncols() {
+            match (r.parents[v], r.levels[v]) {
+                (Some(p), Some(l)) => {
+                    if v == 5 {
+                        assert_eq!(p, 5);
+                        assert_eq!(l, 0);
+                    } else {
+                        // parent is a real neighbour one level closer
+                        assert!(a.get(v, p).is_some() || a.get(p, v).is_some());
+                        assert_eq!(r.levels[p], Some(l - 1));
+                    }
+                }
+                (None, None) => {}
+                other => panic!("inconsistent parent/level for {v}: {other:?}"),
+            }
+        }
+        // grid is connected
+        assert_eq!(r.num_visited, a.ncols());
+    }
+
+    #[test]
+    fn disconnected_vertices_stay_unvisited() {
+        // two disjoint edges: 0-1 and 2-3
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(2, 3, 1.0);
+        coo.push(3, 2, 1.0);
+        let a = CscMatrix::from_coo(coo, |x, _| x);
+        let r = bfs(&a, 0, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+        assert_eq!(r.num_visited, 2);
+        assert_eq!(r.levels[1], Some(1));
+        assert_eq!(r.levels[2], None);
+        assert_eq!(r.parents[3], None);
+    }
+
+    #[test]
+    fn frontier_sizes_sum_to_visited_count() {
+        let a = rmat(9, 6, RmatParams::graph500(), 12);
+        let r = bfs(&a, 1, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+        let total: usize = r.frontier_sizes.iter().sum();
+        assert_eq!(total, r.num_visited);
+        assert_eq!(r.frontier_sizes.len(), r.iterations);
+    }
+
+    #[test]
+    fn bfs_frontiers_match_bfs_levels() {
+        let a = grid2d(8, 8);
+        let frontiers = bfs_frontiers(&a, 0);
+        let r = bfs(&a, 0, AlgorithmKind::Sequential, SpMSpVOptions::with_threads(1));
+        // one frontier per level, sizes agree with the level histogram
+        let mut level_counts = std::collections::BTreeMap::new();
+        for l in r.levels.iter().flatten() {
+            *level_counts.entry(*l).or_insert(0usize) += 1;
+        }
+        assert_eq!(frontiers.len(), level_counts.len());
+        for (level, frontier) in frontiers.iter().enumerate() {
+            assert_eq!(frontier.nnz(), level_counts[&level]);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # spmspv-graphs
+//!
+//! Graph algorithms expressed on top of the SpMSpV primitive, mirroring the
+//! applications the paper motivates SpMSpV with (§I): breadth-first search,
+//! connected components, maximal independent set, data-driven PageRank and
+//! bipartite matching. BFS is also the workload of the paper's headline
+//! experiments (Figures 4 and 5 time the SpMSpV calls inside a BFS).
+//!
+//! All algorithms take an [`spmspv::AlgorithmKind`] so the benchmark harness
+//! can swap the underlying SpMSpV implementation exactly as the paper does.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod components;
+pub mod matching;
+pub mod mis;
+pub mod pagerank;
+pub mod pseudo_diameter;
+pub mod semirings;
+
+pub use bfs::{bfs, bfs_frontiers, BfsResult};
+pub use components::connected_components;
+pub use matching::bipartite_matching;
+pub use mis::maximal_independent_set;
+pub use pagerank::{pagerank_datadriven, PageRankOptions};
+pub use pseudo_diameter::pseudo_diameter;
+
+use sparse_substrate::{CscMatrix, Select2ndMin};
+use spmspv::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
+use spmspv::{AlgorithmKind, SpMSpV, SpMSpVBucket, SpMSpVOptions};
+
+/// Builds a boxed SpMSpV instance specialized to the `(min, select2nd)`
+/// semiring used by BFS, connected components and bipartite matching, for
+/// the requested algorithm family.
+pub fn bfs_algorithm<'a>(
+    a: &'a CscMatrix<f64>,
+    kind: AlgorithmKind,
+    options: SpMSpVOptions,
+) -> Box<dyn SpMSpV<f64, usize, Select2ndMin> + 'a> {
+    match kind {
+        AlgorithmKind::Bucket => Box::new(SpMSpVBucket::new(a, options)),
+        AlgorithmKind::CombBlasSpa => Box::new(CombBlasSpa::new(a, options)),
+        AlgorithmKind::CombBlasHeap => Box::new(CombBlasHeap::new(a, options)),
+        AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(a, options)),
+        AlgorithmKind::SortBased => Box::new(SortBased::new(a, options)),
+        AlgorithmKind::Sequential => Box::new(SequentialSpa::new(a, options)),
+    }
+}
+
+/// Builds a boxed SpMSpV instance for the numerical `(+, ×)` semiring over
+/// `f64`, used by data-driven PageRank and the benchmark harness.
+pub fn numeric_algorithm<'a>(
+    a: &'a CscMatrix<f64>,
+    kind: AlgorithmKind,
+    options: SpMSpVOptions,
+) -> Box<dyn SpMSpV<f64, f64, sparse_substrate::PlusTimes> + 'a> {
+    match kind {
+        AlgorithmKind::Bucket => Box::new(SpMSpVBucket::new(a, options)),
+        AlgorithmKind::CombBlasSpa => Box::new(CombBlasSpa::new(a, options)),
+        AlgorithmKind::CombBlasHeap => Box::new(CombBlasHeap::new(a, options)),
+        AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(a, options)),
+        AlgorithmKind::SortBased => Box::new(SortBased::new(a, options)),
+        AlgorithmKind::Sequential => Box::new(SequentialSpa::new(a, options)),
+    }
+}

@@ -1,0 +1,39 @@
+//! Additional semirings needed by the graph algorithms.
+
+use sparse_substrate::{Scalar, Semiring};
+
+/// `(max, select2nd)` over `f64`: propagates the input-vector value and keeps
+/// the maximum on collisions. Used by Luby's maximal-independent-set
+/// algorithm to ask "what is the largest priority among my undecided
+/// neighbours?".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Select2ndMax;
+
+impl<A: Scalar> Semiring<A, f64> for Select2ndMax {
+    type Output = f64;
+    #[inline]
+    fn zero(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    #[inline]
+    fn multiply(&self, _a: &A, x: &f64) -> f64 {
+        *x
+    }
+    #[inline]
+    fn add(&self, lhs: f64, rhs: f64) -> f64 {
+        lhs.max(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn propagates_vector_value_and_takes_max() {
+        let s = Select2ndMax;
+        assert_eq!(Semiring::<f64, f64>::multiply(&s, &123.0, &0.25), 0.25);
+        assert_eq!(Semiring::<f64, f64>::add(&s, 0.25, 0.75), 0.75);
+        assert_eq!(Semiring::<f64, f64>::add(&s, Semiring::<f64, f64>::zero(&s), 0.1), 0.1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The bitvector sparse-vector format used by GraphMat.
+//!
+//! §II-C of the paper: "The alternative bitvector format is composed of a
+//! O(n)-length bitmap that signals whether or not a particular index is
+//! nonzero, and an O(nnz) list of values." The matrix-driven baseline needs
+//! constant-time membership tests (`is x(j) nonzero?`) while iterating over
+//! all non-empty matrix columns.
+//!
+//! This implementation stores the bitmap as `u64` words plus a per-word rank
+//! (prefix popcount) so the position of an index's value within the compact
+//! value list is found in O(1).
+
+use crate::error::SparseError;
+use crate::spvec::SparseVec;
+use crate::Scalar;
+
+/// A sparse vector stored as a bitmap plus a compact list of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitVec<T> {
+    len: usize,
+    words: Vec<u64>,
+    /// `ranks[w]` = number of set bits in `words[..w]`.
+    ranks: Vec<usize>,
+    /// Values of the set positions, ordered by index.
+    values: Vec<T>,
+}
+
+impl<T: Scalar> BitVec<T> {
+    /// Builds a bitvector from a sparse list vector. The list does not need
+    /// to be sorted.
+    pub fn from_sparse(v: &SparseVec<T>) -> Self {
+        let sorted = v.sorted();
+        let len = sorted.len();
+        let nwords = len.div_ceil(64);
+        let mut words = vec![0u64; nwords];
+        let mut values = Vec::with_capacity(sorted.nnz());
+        for (i, val) in sorted.iter() {
+            words[i / 64] |= 1u64 << (i % 64);
+            values.push(*val);
+        }
+        let mut ranks = vec![0usize; nwords + 1];
+        for w in 0..nwords {
+            ranks[w + 1] = ranks[w] + words[w].count_ones() as usize;
+        }
+        BitVec { len, words, ranks, values }
+    }
+
+    /// Builds a bitvector directly from `(index, value)` pairs.
+    pub fn from_pairs(len: usize, pairs: Vec<(usize, T)>) -> Result<Self, SparseError> {
+        Ok(Self::from_sparse(&SparseVec::from_pairs(len, pairs)?))
+    }
+
+    /// Logical dimension.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no bits are set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of set positions.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Constant-time membership test, the operation GraphMat's inner loop
+    /// performs for every non-empty matrix column.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Value stored at position `i`, found by rank in O(1).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if !self.contains(i) {
+            return None;
+        }
+        let word = i / 64;
+        let bit = i % 64;
+        let below = (self.words[word] & ((1u64 << bit) - 1)).count_ones() as usize;
+        Some(&self.values[self.ranks[word] + below])
+    }
+
+    /// Iterates `(index, &value)` pairs in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        let mut value_pos = 0usize;
+        (0..self.len).filter_map(move |i| {
+            if self.contains(i) {
+                let v = &self.values[value_pos];
+                value_pos += 1;
+                Some((i, v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Converts back to the list format (sorted by index).
+    pub fn to_sparse(&self) -> SparseVec<T> {
+        let mut out = SparseVec::new(self.len);
+        for (i, v) in self.iter() {
+            out.push(i, *v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BitVec<f64> {
+        BitVec::from_pairs(200, vec![(0, 1.0), (63, 2.0), (64, 3.0), (130, 4.0), (199, 5.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn contains_and_get() {
+        let b = sample();
+        assert_eq!(b.nnz(), 5);
+        assert!(b.contains(63));
+        assert!(b.contains(64));
+        assert!(!b.contains(65));
+        assert!(!b.contains(1000));
+        assert_eq!(b.get(130).copied(), Some(4.0));
+        assert_eq!(b.get(131), None);
+        assert_eq!(b.get(0).copied(), Some(1.0));
+        assert_eq!(b.get(199).copied(), Some(5.0));
+    }
+
+    #[test]
+    fn rank_lookup_matches_iteration_order() {
+        let b = sample();
+        let via_iter: Vec<_> = b.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(
+            via_iter,
+            vec![(0, 1.0), (63, 2.0), (64, 3.0), (130, 4.0), (199, 5.0)]
+        );
+        for (i, v) in &via_iter {
+            assert_eq!(b.get(*i).copied(), Some(*v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_sparse_list() {
+        let v = SparseVec::from_pairs(100, vec![(7, 7.0), (99, 9.0), (42, 4.2)]).unwrap();
+        let b = BitVec::from_sparse(&v);
+        assert!(b.to_sparse().same_entries(&v));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let v = SparseVec::from_pairs(10, vec![(9, 9.0), (0, 0.5), (4, 4.0)]).unwrap();
+        let b = BitVec::from_sparse(&v);
+        assert_eq!(b.get(9).copied(), Some(9.0));
+        assert_eq!(b.get(0).copied(), Some(0.5));
+        assert_eq!(b.get(4).copied(), Some(4.0));
+    }
+
+    #[test]
+    fn empty_and_full_edge_cases() {
+        let empty: BitVec<f64> = BitVec::from_pairs(0, vec![]).unwrap();
+        assert!(empty.is_empty());
+        assert!(!empty.contains(0));
+
+        let full = BitVec::from_pairs(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)]).unwrap();
+        assert_eq!(full.nnz(), 3);
+        assert_eq!(full.get(2).copied(), Some(3.0));
+    }
+}

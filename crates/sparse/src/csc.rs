@@ -1,0 +1,431 @@
+//! Compressed Sparse Columns — the matrix format consumed by SpMSpV-bucket.
+//!
+//! CSC stores three arrays (`colptr`, `rowids`, `values`) exactly as
+//! described in §II-C of the paper. Random access to the start of a column is
+//! O(1), which is the property a vector-driven SpMSpV algorithm needs: only
+//! the columns `A(:, j)` with `x(j) ≠ 0` are ever touched.
+
+use crate::coo::CooMatrix;
+use crate::error::SparseError;
+use crate::Scalar;
+
+/// A sparse matrix in Compressed Sparse Columns format.
+///
+/// Invariants (checked by [`CscMatrix::validate`] and by construction):
+///
+/// * `colptr.len() == ncols + 1`, `colptr[0] == 0`,
+///   `colptr[ncols] == nnz`, and `colptr` is non-decreasing;
+/// * `rowids.len() == values.len() == nnz`;
+/// * every `rowids[k] < nrows`;
+/// * row ids inside each column are sorted ascending and unique
+///   (this implementation always keeps columns sorted, matching what
+///   CombBLAS produces and what the sorted-output experiments assume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    colptr: Vec<usize>,
+    rowids: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// Builds a CSC matrix from raw parts, validating every invariant.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        colptr: Vec<usize>,
+        rowids: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        let m = CscMatrix { nrows, ncols, colptr, rowids, values };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Builds a CSC matrix from triples. Duplicate entries are collapsed with
+    /// the reducer `add` and columns are sorted by row id.
+    pub fn from_coo(mut coo: CooMatrix<T>, add: impl Fn(T, T) -> T) -> Self {
+        coo.sum_duplicates(add);
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let nnz = coo.nnz();
+        let (rows, cols, vals) = coo.into_parts();
+
+        let mut colptr = vec![0usize; ncols + 1];
+        for &c in &cols {
+            colptr[c + 1] += 1;
+        }
+        for j in 0..ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        // `sum_duplicates` left the triples sorted column-major, so a single
+        // linear copy preserves sorted row ids within each column.
+        let mut rowids = vec![0usize; nnz];
+        let mut values = Vec::with_capacity(nnz);
+        rowids.copy_from_slice(&rows);
+        values.extend_from_slice(&vals);
+        CscMatrix { nrows, ncols, colptr, rowids, values }
+    }
+
+    /// An `nrows × ncols` matrix with no stored entries.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        CscMatrix {
+            nrows,
+            ncols,
+            colptr: vec![0; ncols + 1],
+            rowids: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The identity pattern: `I(i,i) = value` for square dimension `n`.
+    pub fn identity(n: usize, value: T) -> Self {
+        CscMatrix {
+            nrows: n,
+            ncols: n,
+            colptr: (0..=n).collect(),
+            rowids: (0..n).collect(),
+            values: vec![value; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of columns that contain at least one entry (`nzc` in the
+    /// paper). Matrix-driven algorithms pay `O(nzc)` per multiplication.
+    pub fn nonempty_cols(&self) -> usize {
+        (0..self.ncols).filter(|&j| self.colptr[j + 1] > self.colptr[j]).count()
+    }
+
+    /// Borrow of the column pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn colptr(&self) -> &[usize] {
+        &self.colptr
+    }
+
+    /// Borrow of the row-id array (`nnz` entries).
+    #[inline]
+    pub fn rowids(&self) -> &[usize] {
+        &self.rowids
+    }
+
+    /// Borrow of the value array (`nnz` entries).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of stored entries in column `j`.
+    #[inline]
+    pub fn column_nnz(&self, j: usize) -> usize {
+        self.colptr[j + 1] - self.colptr[j]
+    }
+
+    /// Row ids and values of column `j`, in ascending row order.
+    #[inline]
+    pub fn column(&self, j: usize) -> (&[usize], &[T]) {
+        let lo = self.colptr[j];
+        let hi = self.colptr[j + 1];
+        (&self.rowids[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        let (rows, vals) = self.column(j);
+        rows.binary_search(&i).ok().map(|k| &vals[k])
+    }
+
+    /// Iterates over all stored entries as `(row, col, &value)` in
+    /// column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.column(j);
+            rows.iter().zip(vals.iter()).map(move |(&i, v)| (i, j, v))
+        })
+    }
+
+    /// Average number of entries per column (`d` in the paper's analysis).
+    pub fn avg_column_degree(&self) -> f64 {
+        if self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.ncols as f64
+        }
+    }
+
+    /// Maximum number of entries in any single column.
+    pub fn max_column_degree(&self) -> usize {
+        (0..self.ncols).map(|j| self.column_nnz(j)).max().unwrap_or(0)
+    }
+
+    /// Converts back to triples (column-major order).
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (i, j, v) in self.iter() {
+            coo.push(i, j, *v);
+        }
+        coo
+    }
+
+    /// Returns the transpose as a new CSC matrix.
+    ///
+    /// Implemented as a linear-time bucket scatter (Gustavson's
+    /// "permuted transposition"), not via COO sorting.
+    pub fn transpose(&self) -> CscMatrix<T> {
+        let mut colptr = vec![0usize; self.nrows + 1];
+        for &i in &self.rowids {
+            colptr[i + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            colptr[i + 1] += colptr[i];
+        }
+        let mut rowids = vec![0usize; self.nnz()];
+        let mut values: Vec<T> = Vec::with_capacity(self.nnz());
+        // SAFETY-free approach: fill with placeholder copies of first value.
+        if let Some(&first) = self.values.first() {
+            values.resize(self.nnz(), first);
+        }
+        let mut cursor = colptr.clone();
+        for j in 0..self.ncols {
+            let (rows, vals) = self.column(j);
+            for (&i, &v) in rows.iter().zip(vals.iter()) {
+                let dst = cursor[i];
+                rowids[dst] = j;
+                values[dst] = v;
+                cursor[i] += 1;
+            }
+        }
+        CscMatrix { nrows: self.ncols, ncols: self.nrows, colptr, rowids, values }
+    }
+
+    /// Splits the matrix row-wise into `pieces` stacked submatrices of
+    /// (roughly) equal row counts, as the CombBLAS / GraphMat baselines do
+    /// ahead of time. Piece `p` covers rows `[offsets[p], offsets[p+1])` of
+    /// the original matrix; returned row ids are re-based to the piece.
+    pub fn row_split(&self, pieces: usize) -> Vec<CscMatrix<T>> {
+        assert!(pieces > 0, "cannot split into zero pieces");
+        let bounds: Vec<usize> = (0..=pieces)
+            .map(|p| p * self.nrows / pieces)
+            .collect();
+        let mut out = Vec::with_capacity(pieces);
+        for p in 0..pieces {
+            let (lo, hi) = (bounds[p], bounds[p + 1]);
+            let mut colptr = vec![0usize; self.ncols + 1];
+            let mut rowids = Vec::new();
+            let mut values = Vec::new();
+            for j in 0..self.ncols {
+                let (rows, vals) = self.column(j);
+                let start = rows.partition_point(|&r| r < lo);
+                let end = rows.partition_point(|&r| r < hi);
+                for k in start..end {
+                    rowids.push(rows[k] - lo);
+                    values.push(vals[k]);
+                }
+                colptr[j + 1] = rowids.len();
+            }
+            out.push(CscMatrix { nrows: hi - lo, ncols: self.ncols, colptr, rowids, values });
+        }
+        out
+    }
+
+    /// Row offsets produced by [`CscMatrix::row_split`] for `pieces` pieces.
+    pub fn row_split_offsets(&self, pieces: usize) -> Vec<usize> {
+        (0..=pieces).map(|p| p * self.nrows / pieces).collect()
+    }
+
+    /// Checks every structural invariant, returning a description of the
+    /// first violation found.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.colptr.len() != self.ncols + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "colptr has {} entries, expected ncols + 1 = {}",
+                self.colptr.len(),
+                self.ncols + 1
+            )));
+        }
+        if self.rowids.len() != self.values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "rowids ({}) and values ({}) differ in length",
+                self.rowids.len(),
+                self.values.len()
+            )));
+        }
+        if *self.colptr.first().unwrap_or(&0) != 0 {
+            return Err(SparseError::InvalidStructure("colptr[0] must be 0".into()));
+        }
+        if *self.colptr.last().unwrap_or(&0) != self.rowids.len() {
+            return Err(SparseError::InvalidStructure(
+                "colptr[ncols] must equal nnz".into(),
+            ));
+        }
+        for j in 0..self.ncols {
+            if self.colptr[j] > self.colptr[j + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "colptr decreases at column {j}"
+                )));
+            }
+            let col = &self.rowids[self.colptr[j]..self.colptr[j + 1]];
+            for w in col.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row ids in column {j} are not strictly increasing"
+                    )));
+                }
+            }
+            if let Some(&last) = col.last() {
+                if last >= self.nrows {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row id {last} in column {j} exceeds nrows {}",
+                        self.nrows
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_matrix;
+
+    #[test]
+    fn from_coo_builds_valid_csc() {
+        let a = figure1_matrix();
+        assert_eq!(a.nrows(), 8);
+        assert_eq!(a.ncols(), 8);
+        assert_eq!(a.nnz(), 19);
+        a.validate().expect("figure-1 matrix is structurally valid");
+    }
+
+    #[test]
+    fn column_access_returns_sorted_rows() {
+        let a = figure1_matrix();
+        let (rows, _vals) = a.column(2);
+        assert_eq!(rows, &[0, 2, 3, 4]);
+        assert_eq!(a.column_nnz(2), 4);
+        assert_eq!(a.column_nnz(7), 1);
+    }
+
+    #[test]
+    fn get_finds_stored_and_missing_entries() {
+        let a = figure1_matrix();
+        assert_eq!(a.get(2, 2).copied(), Some(16.0)); // 'p' is the 16th letter
+        assert_eq!(a.get(5, 5), None);
+    }
+
+    #[test]
+    fn duplicates_are_summed_during_construction() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 1, 3.0);
+        let a = CscMatrix::from_coo(coo, |x, y| x + y);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1).copied(), Some(5.0));
+    }
+
+    #[test]
+    fn identity_and_empty_constructors() {
+        let i = CscMatrix::identity(4, 1.0);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2).copied(), Some(1.0));
+        assert_eq!(i.get(2, 3), None);
+        let e: CscMatrix<f64> = CscMatrix::empty(3, 5);
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.nonempty_cols(), 0);
+        e.validate().unwrap();
+    }
+
+    #[test]
+    fn nonempty_cols_counts_nzc() {
+        let a = figure1_matrix();
+        assert_eq!(a.nonempty_cols(), 8);
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 2, 1.0);
+        let b = CscMatrix::from_coo(coo, |x, _| x);
+        assert_eq!(b.nonempty_cols(), 2);
+    }
+
+    #[test]
+    fn transpose_is_involutive_and_swaps_entries() {
+        let a = figure1_matrix();
+        let t = a.transpose();
+        assert_eq!(t.nrows(), a.ncols());
+        assert_eq!(t.get(2, 0).copied(), a.get(0, 2).copied());
+        assert_eq!(t.get(1, 0).copied(), a.get(0, 1).copied());
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn row_split_partitions_all_entries() {
+        let a = figure1_matrix();
+        for pieces in [1, 2, 3, 4, 8] {
+            let parts = a.row_split(pieces);
+            assert_eq!(parts.len(), pieces);
+            let total: usize = parts.iter().map(|p| p.nnz()).sum();
+            assert_eq!(total, a.nnz(), "pieces must cover every entry");
+            let offsets = a.row_split_offsets(pieces);
+            // Every entry must appear in the right piece at the re-based row.
+            for (p, part) in parts.iter().enumerate() {
+                part.validate().unwrap();
+                assert_eq!(part.nrows(), offsets[p + 1] - offsets[p]);
+                for (i, j, v) in part.iter() {
+                    assert_eq!(a.get(i + offsets[p], j).copied(), Some(*v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_broken_structures() {
+        // colptr wrong length
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        // decreasing colptr
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
+        // row id out of bounds
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
+        // unsorted rows in a column
+        assert!(
+            CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err()
+        );
+        // valid
+        assert!(
+            CscMatrix::from_parts(3, 1, vec![0, 2], vec![1, 2], vec![1.0, 2.0]).is_ok()
+        );
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let a = figure1_matrix();
+        assert!((a.avg_column_degree() - 19.0 / 8.0).abs() < 1e-12);
+        assert_eq!(a.max_column_degree(), 4);
+    }
+
+    #[test]
+    fn to_coo_roundtrip() {
+        let a = figure1_matrix();
+        let back = CscMatrix::from_coo(a.to_coo(), |x, _| x);
+        assert_eq!(back, a);
+    }
+}

@@ -1,0 +1,184 @@
+//! Compressed Sparse Rows — used for reference SpMV and for row-oriented
+//! sanity checks of the column-oriented kernels.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::dense::DenseVec;
+use crate::error::SparseError;
+use crate::semiring::Semiring;
+use crate::Scalar;
+
+/// A sparse matrix in Compressed Sparse Rows format.
+///
+/// Invariants mirror [`CscMatrix`] with the roles of rows and columns
+/// swapped: `rowptr.len() == nrows + 1`, column ids sorted and unique inside
+/// each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colids: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds a CSR matrix from triples, collapsing duplicates with `add`.
+    pub fn from_coo(mut coo: CooMatrix<T>, add: impl Fn(T, T) -> T) -> Self {
+        coo.sum_duplicates(add);
+        coo.sort_row_major();
+        let nrows = coo.nrows();
+        let ncols = coo.ncols();
+        let nnz = coo.nnz();
+        let (rows, cols, vals) = coo.into_parts();
+        let mut rowptr = vec![0usize; nrows + 1];
+        for &r in &rows {
+            rowptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            rowptr[i + 1] += rowptr[i];
+        }
+        let mut colids = vec![0usize; nnz];
+        colids.copy_from_slice(&cols);
+        CsrMatrix { nrows, ncols, rowptr, colids, values: vals }
+    }
+
+    /// Converts a CSC matrix to CSR (transposition of the storage only; the
+    /// logical matrix is unchanged).
+    pub fn from_csc(csc: &CscMatrix<T>) -> Self {
+        let t = csc.transpose();
+        // The transpose's columns are the original's rows, already sorted.
+        CsrMatrix {
+            nrows: csc.nrows(),
+            ncols: csc.ncols(),
+            rowptr: t.colptr().to_vec(),
+            colids: t.rowids().to_vec(),
+            values: t.values().to_vec(),
+        }
+    }
+
+    /// Builds from raw parts with validation.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colids: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Reuse the CSC validator by viewing the arrays as a transposed CSC.
+        let as_csc = CscMatrix::from_parts(ncols, nrows, rowptr, colids, values)?;
+        let (nrows_chk, ncols_chk) = (as_csc.ncols(), as_csc.nrows());
+        debug_assert_eq!((nrows_chk, ncols_chk), (nrows, ncols));
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            rowptr: as_csc.colptr().to_vec(),
+            colids: as_csc.rowids().to_vec(),
+            values: as_csc.values().to_vec(),
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column ids and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[T]) {
+        let lo = self.rowptr[i];
+        let hi = self.rowptr[i + 1];
+        (&self.colids[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)` if stored.
+    pub fn get(&self, i: usize, j: usize) -> Option<&T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|k| &vals[k])
+    }
+
+    /// Row-oriented sparse matrix–dense vector product under a semiring:
+    /// the classical SpMV used as ground truth for dense comparisons.
+    pub fn spmv_dense<X: Scalar, S: Semiring<T, X>>(
+        &self,
+        x: &DenseVec<X>,
+        semiring: &S,
+    ) -> DenseVec<S::Output> {
+        assert_eq!(x.len(), self.ncols, "dimension mismatch in SpMV");
+        let mut y = Vec::with_capacity(self.nrows);
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            let mut acc = semiring.zero();
+            for (&j, a) in cols.iter().zip(vals.iter()) {
+                acc = semiring.add(acc, semiring.multiply(a, &x[j]));
+            }
+            y.push(acc);
+        }
+        DenseVec::from_vec(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_matrix, tridiagonal};
+    use crate::semiring::PlusTimes;
+
+    #[test]
+    fn from_csc_preserves_entries() {
+        let a = figure1_matrix();
+        let r = CsrMatrix::from_csc(&a);
+        assert_eq!(r.nnz(), a.nnz());
+        for (i, j, v) in a.iter() {
+            assert_eq!(r.get(i, j), Some(v));
+        }
+    }
+
+    #[test]
+    fn from_coo_matches_from_csc() {
+        let a = figure1_matrix();
+        let via_coo = CsrMatrix::from_coo(a.to_coo(), |x, y| x + y);
+        let via_csc = CsrMatrix::from_csc(&a);
+        assert_eq!(via_coo, via_csc);
+    }
+
+    #[test]
+    fn spmv_dense_on_tridiagonal() {
+        let a = tridiagonal(5);
+        let r = CsrMatrix::from_csc(&a);
+        let x = DenseVec::from_vec(vec![1.0; 5]);
+        let y = r.spmv_dense(&x, &PlusTimes);
+        // interior rows: -1 + 2 - 1 = 0; boundary rows: 2 - 1 = 1
+        assert_eq!(y.as_slice(), &[1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn row_access_is_sorted() {
+        let r = CsrMatrix::from_csc(&figure1_matrix());
+        for i in 0..r.nrows() {
+            let (cols, _) = r.row(i);
+            assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(
+            CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![1.0, 2.0]).is_ok()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Error type shared by the construction and I/O paths of the substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing sparse objects or reading them from
+/// disk.
+#[derive(Debug)]
+pub enum SparseError {
+    /// An `(row, col)` entry was outside the declared matrix dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Number of rows of the target matrix.
+        nrows: usize,
+        /// Number of columns of the target matrix.
+        ncols: usize,
+    },
+    /// A vector entry index was outside the declared dimension.
+    VectorIndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Vector dimension.
+        len: usize,
+    },
+    /// The dimensions of two operands do not agree.
+    DimensionMismatch {
+        /// Human-readable description of the two shapes.
+        context: String,
+    },
+    /// Structural arrays are inconsistent (e.g. `colptr` not monotone).
+    InvalidStructure(String),
+    /// A Matrix Market (or other) file could not be parsed.
+    Parse {
+        /// 1-based line at which parsing failed (0 when unknown).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
+                f,
+                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
+            ),
+            SparseError::VectorIndexOutOfBounds { index, len } => {
+                write!(f, "index {index} is outside the length-{len} vector")
+            }
+            SparseError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            SparseError::InvalidStructure(msg) => write!(f, "invalid structure: {msg}"),
+            SparseError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            SparseError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, nrows: 3, ncols: 4 };
+        assert_eq!(e.to_string(), "entry (5, 7) is outside the 3x4 matrix");
+    }
+
+    #[test]
+    fn display_parse_with_and_without_line() {
+        let with = SparseError::Parse { line: 12, message: "bad token".into() };
+        assert!(with.to_string().contains("line 12"));
+        let without = SparseError::Parse { line: 0, message: "empty file".into() };
+        assert_eq!(without.to_string(), "parse error: empty file");
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = SparseError::from(io);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

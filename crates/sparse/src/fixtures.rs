@@ -1,0 +1,95 @@
+//! Small deterministic fixture matrices used throughout the workspace's
+//! tests, examples and documentation.
+//!
+//! The centerpiece is [`figure1_matrix`], the 8×8 example from Figure 1 of
+//! the paper, which every SpMSpV implementation is tested against.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::spvec::SparseVec;
+
+/// The 8×8 matrix of Figure 1 in the paper.
+///
+/// The lettered entries `a..t` of the figure are mapped to the numeric values
+/// `1..20` (`a = 1`, `b = 2`, …). Columns 1, 4 and 6 (0-based) are the
+/// columns selected by [`figure1_vector`], mirroring the figure where the
+/// input vector has nonzeros at positions 2, 5 and 7 (1-based).
+pub fn figure1_matrix() -> CscMatrix<f64> {
+    let mut coo = CooMatrix::new(8, 8);
+    let entries = [
+        (0usize, 1usize, 'd'),
+        (0, 2, 'e'),
+        (0, 5, 's'),
+        (1, 0, 'a'),
+        (1, 3, 'l'),
+        (1, 6, 'r'),
+        (2, 2, 'p'),
+        (3, 0, 'b'),
+        (3, 2, 'f'),
+        (3, 4, 'm'),
+        (4, 2, 'q'),
+        (4, 7, 't'),
+        (5, 3, 'g'),
+        (6, 1, 'h'),
+        (6, 4, 'j'),
+        (6, 5, 'n'),
+        (7, 0, 'c'),
+        (7, 3, 'k'),
+        (7, 6, 'o'),
+    ];
+    for (r, c, ch) in entries {
+        coo.push(r, c, (ch as u8 - b'a' + 1) as f64);
+    }
+    CscMatrix::from_coo(coo, |a, b| a + b)
+}
+
+/// A sparse input vector selecting columns 2, 5 and 7 (0-based) of
+/// [`figure1_matrix`], with values 1.0 so the expected output is simply the
+/// sum of the selected columns.
+pub fn figure1_vector() -> SparseVec<f64> {
+    SparseVec::from_pairs(8, vec![(2, 1.0), (5, 1.0), (7, 1.0)]).expect("valid fixture")
+}
+
+/// A tiny pentadiagonal-ish matrix handy for quick doctests: `n × n`, with
+/// `A(i,i) = 2`, `A(i,i±1) = -1`.
+pub fn tridiagonal(n: usize) -> CscMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.0);
+        if i > 0 {
+            coo.push(i, i - 1, -1.0);
+        }
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+        }
+    }
+    CscMatrix::from_coo(coo, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matrix_shape_and_nnz() {
+        let a = figure1_matrix();
+        assert_eq!((a.nrows(), a.ncols(), a.nnz()), (8, 8, 19));
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn figure1_vector_selects_three_columns() {
+        let x = figure1_vector();
+        assert_eq!(x.nnz(), 3);
+        assert_eq!(x.indices(), &[2, 5, 7]);
+    }
+
+    #[test]
+    fn tridiagonal_has_3n_minus_2_entries() {
+        let a = tridiagonal(10);
+        assert_eq!(a.nnz(), 28);
+        assert_eq!(a.get(0, 0).copied(), Some(2.0));
+        assert_eq!(a.get(0, 1).copied(), Some(-1.0));
+        assert_eq!(a.get(0, 2), None);
+    }
+}

@@ -1,0 +1,71 @@
+//! Erdős–Rényi G(n, d/n) generator — the model used in the paper's
+//! complexity analysis (§II-A and §III-B).
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates the adjacency matrix of an Erdős–Rényi graph with `n` vertices
+/// and an expected `d` nonzeros per column.
+///
+/// Instead of flipping `n²` coins, the generator draws `n·d` entries with
+/// uniformly random coordinates (the standard sparse-sampling shortcut, which
+/// matches G(n, d/n) in expectation and keeps generation `O(n·d)`).
+/// Duplicate coordinates are summed; self-loops are allowed as the model
+/// permits them. Values are uniform in `(0, 1]`.
+pub fn erdos_renyi(n: usize, d: f64, seed: u64) -> CscMatrix<f64> {
+    assert!(n > 0, "matrix dimension must be positive");
+    assert!(d >= 0.0, "expected degree must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz_target = (n as f64 * d).round() as usize;
+    let idx = Uniform::from(0..n);
+    let val = Uniform::from(0.0f64..1.0);
+    let mut coo = CooMatrix::with_capacity(n, n, nnz_target);
+    for _ in 0..nnz_target {
+        let i = idx.sample(&mut rng);
+        let j = idx.sample(&mut rng);
+        coo.push(i, j, 1.0 - val.sample(&mut rng));
+    }
+    CscMatrix::from_coo(coo, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_degree_is_close_to_requested() {
+        let n = 2000;
+        let d = 8.0;
+        let a = erdos_renyi(n, d, 1);
+        let avg = a.avg_column_degree();
+        // duplicates shave off a little; stay within 15 % of the target
+        assert!(avg > d * 0.85 && avg <= d, "avg degree {avg} too far from {d}");
+        assert_eq!(a.nrows(), n);
+        assert_eq!(a.ncols(), n);
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = erdos_renyi(500, 4.0, 42);
+        let b = erdos_renyi(500, 4.0, 42);
+        let c = erdos_renyi(500, 4.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_degree_yields_empty_matrix() {
+        let a = erdos_renyi(100, 0.0, 7);
+        assert_eq!(a.nnz(), 0);
+    }
+
+    #[test]
+    fn values_are_positive() {
+        let a = erdos_renyi(300, 3.0, 5);
+        assert!(a.values().iter().all(|&v| v > 0.0));
+    }
+}

@@ -1,0 +1,35 @@
+//! Synthetic matrix and vector generators.
+//!
+//! The paper evaluates on eleven matrices from the University of Florida
+//! collection (Table IV), split into *low-diameter scale-free* graphs and
+//! *high-diameter* graphs. Those files are not redistributable here, so the
+//! benchmark harness substitutes deterministic synthetic generators that
+//! reproduce the properties the algorithms are sensitive to:
+//!
+//! * average column degree `d` (drives the `O(d·f)` work term),
+//! * degree skew (scale-free vs. near-regular),
+//! * diameter (drives how sparse BFS frontiers stay, which is what separates
+//!   vector-driven from matrix-driven algorithms in Figures 3–5).
+//!
+//! | paper dataset | generator used here |
+//! |---|---|
+//! | amazon0312, web-Google, wikipedia, ljournal-2008, wb-edu | [`rmat`] (scale-free, low diameter) |
+//! | dielFilterV3real, G3_circuit | [`grid::grid2d`] / [`grid::grid3d`] (near-regular, medium-high diameter) |
+//! | hugetric/hugetrace, delaunay_n24 | [`grid::triangular_mesh`] (planar, high diameter) |
+//! | rgg_n_2_24_s0 | [`rgg::random_geometric`] (geometric, high diameter) |
+//! | analysis model | [`erdos_renyi`] |
+//!
+//! All generators take an explicit RNG seed and are deterministic for a given
+//! seed, so experiments are reproducible run to run.
+
+pub mod erdos_renyi;
+pub mod grid;
+pub mod rgg;
+pub mod rmat;
+pub mod vectors;
+
+pub use erdos_renyi::erdos_renyi;
+pub use grid::{grid2d, grid3d, triangular_mesh};
+pub use rgg::random_geometric;
+pub use rmat::{rmat, RmatParams};
+pub use vectors::{random_sparse_vec, random_sparse_vec_with};

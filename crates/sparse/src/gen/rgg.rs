@@ -1,0 +1,94 @@
+//! Random geometric graph generator, standing in for `rgg_n_2_24_s0`.
+//!
+//! Vertices are points in the unit square; two vertices are adjacent when
+//! their Euclidean distance is below a connection radius. With the radius at
+//! the connectivity threshold `r ≈ sqrt(ln n / (π n))` scaled by
+//! `radius_factor`, the graph is connected with high probability but has a
+//! very large diameter (`Θ(1/r)` hops), the property that matters for the
+//! BFS experiments.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random geometric graph on `n` points in the unit square with
+/// connection radius `radius_factor · sqrt(ln n / (π n))`.
+///
+/// Uses a uniform grid of cells of side `r` so expected generation time is
+/// `O(n)` rather than `O(n²)`.
+pub fn random_geometric(n: usize, radius_factor: f64, seed: u64) -> CscMatrix<f64> {
+    assert!(n > 1, "need at least two points");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = radius_factor * ((n as f64).ln() / (std::f64::consts::PI * n as f64)).sqrt();
+    let r = r.min(1.0);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Bucket points into an ncell × ncell grid with cell side >= r.
+    let ncell = ((1.0 / r).floor() as usize).clamp(1, 4096);
+    let cell_of = |x: f64| ((x * ncell as f64) as usize).min(ncell - 1);
+    let mut cells: Vec<Vec<usize>> = vec![Vec::new(); ncell * ncell];
+    for (idx, &(x, y)) in points.iter().enumerate() {
+        cells[cell_of(x) * ncell + cell_of(y)].push(idx);
+    }
+
+    let mut coo = CooMatrix::new(n, n);
+    let r2 = r * r;
+    for (idx, &(x, y)) in points.iter().enumerate() {
+        let (cx, cy) = (cell_of(x), cell_of(y));
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= ncell as i64 || ny >= ncell as i64 {
+                    continue;
+                }
+                for &other in &cells[nx as usize * ncell + ny as usize] {
+                    if other <= idx {
+                        continue; // each unordered pair once
+                    }
+                    let (ox, oy) = points[other];
+                    let d2 = (x - ox) * (x - ox) + (y - oy) * (y - oy);
+                    if d2 <= r2 {
+                        coo.push(idx, other, 1.0);
+                    }
+                }
+            }
+        }
+    }
+    coo.symmetrize();
+    CscMatrix::from_coo(coo, |a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_determinism_and_symmetry() {
+        let a = random_geometric(2000, 1.5, 17);
+        assert_eq!(a.nrows(), 2000);
+        assert!(a.nnz() > 0);
+        a.validate().unwrap();
+        assert_eq!(a, random_geometric(2000, 1.5, 17));
+        for (i, j, _) in a.iter().take(500) {
+            assert_ne!(i, j);
+            assert!(a.get(j, i).is_some());
+        }
+    }
+
+    #[test]
+    fn larger_radius_gives_more_edges() {
+        let small = random_geometric(1500, 1.0, 3);
+        let large = random_geometric(1500, 2.0, 3);
+        assert!(large.nnz() > small.nnz());
+    }
+
+    #[test]
+    fn degrees_are_modest_compared_to_scale_free() {
+        let a = random_geometric(3000, 1.5, 9);
+        let avg = a.avg_column_degree();
+        let max = a.max_column_degree() as f64;
+        assert!(max < 10.0 * (avg + 1.0), "geometric graphs should not have huge hubs");
+    }
+}

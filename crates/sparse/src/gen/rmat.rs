@@ -1,0 +1,127 @@
+//! R-MAT / Kronecker generator for scale-free, low-diameter graphs.
+//!
+//! Stands in for the paper's social-network and web-crawl matrices
+//! (ljournal-2008, web-Google, wikipedia, wb-edu, amazon0312): heavy-tailed
+//! degree distribution, small pseudo-diameter, so BFS reaches dense frontiers
+//! within a few levels.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Quadrant probabilities of the recursive R-MAT subdivision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Probability of recursing into the top-left quadrant.
+    pub a: f64,
+    /// Probability of recursing into the top-right quadrant.
+    pub b: f64,
+    /// Probability of recursing into the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// The Graph500 parameters (a=0.57, b=c=0.19, d=0.05), producing strongly
+    /// skewed, scale-free graphs.
+    pub fn graph500() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    /// Milder skew, closer to web-crawl graphs.
+    pub fn web_like() -> Self {
+        RmatParams { a: 0.45, b: 0.22, c: 0.22 }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+}
+
+/// Generates an R-MAT graph with `2^scale` vertices and roughly
+/// `edge_factor · 2^scale` edges, symmetrized (undirected) and with unit
+/// values — the shape the BFS experiments use.
+pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams, seed: u64) -> CscMatrix<f64> {
+    assert!(scale < 32, "scale {scale} too large for this generator");
+    assert!(params.d() > -1e-12, "quadrant probabilities must sum to at most 1");
+    let n = 1usize << scale;
+    let nedges = n * edge_factor;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * nedges);
+    for _ in 0..nedges {
+        let (mut r0, mut r1, mut c0, mut c1) = (0usize, n, 0usize, n);
+        while r1 - r0 > 1 {
+            let p: f64 = rng.gen();
+            // Add a little per-level noise so the quadrant boundaries do not
+            // produce artificial striping (standard R-MAT practice).
+            let noise = 0.1 * (rng.gen::<f64>() - 0.5);
+            let a = (params.a + noise).clamp(0.0, 1.0);
+            let b = params.b;
+            let c = params.c;
+            let rm = (r0 + r1) / 2;
+            let cm = (c0 + c1) / 2;
+            if p < a {
+                r1 = rm;
+                c1 = cm;
+            } else if p < a + b {
+                r1 = rm;
+                c0 = cm;
+            } else if p < a + b + c {
+                r0 = rm;
+                c1 = cm;
+            } else {
+                r0 = rm;
+                c0 = cm;
+            }
+        }
+        coo.push(r0, c0, 1.0);
+    }
+    coo.drop_diagonal();
+    coo.symmetrize();
+    // Duplicate edges collapse to a single unit entry, like an unweighted
+    // adjacency matrix.
+    CscMatrix::from_coo(coo, |a, _b| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = rmat(10, 8, RmatParams::graph500(), 3);
+        assert_eq!(a.nrows(), 1024);
+        assert_eq!(a.ncols(), 1024);
+        assert!(a.nnz() > 1024, "graph should have a healthy number of edges");
+        a.validate().unwrap();
+        let b = rmat(10, 8, RmatParams::graph500(), 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn is_symmetric_and_loop_free() {
+        let a = rmat(8, 6, RmatParams::graph500(), 11);
+        for (i, j, _v) in a.iter() {
+            assert_ne!(i, j, "self-loops must have been dropped");
+            assert!(a.get(j, i).is_some(), "entry ({j},{i}) missing: not symmetric");
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let a = rmat(12, 8, RmatParams::graph500(), 5);
+        let avg = a.avg_column_degree();
+        let max = a.max_column_degree();
+        // Scale-free: the hub degree dwarfs the average degree.
+        assert!(
+            (max as f64) > 4.0 * avg,
+            "max degree {max} not much larger than average {avg}"
+        );
+    }
+
+    #[test]
+    fn unit_values() {
+        let a = rmat(7, 4, RmatParams::web_like(), 9);
+        assert!(a.values().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Random sparse-vector generators used for the fixed-`nnz(x)` experiments
+//! (Figures 2 and 6 sweep `nnz(x)` ∈ {200, 10K, 2.5M}).
+
+use crate::spvec::SparseVec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a sparse vector of dimension `n` with exactly
+/// `min(nnz, n)` distinct nonzero positions and values uniform in `(0, 1]`.
+/// The returned vector is **unsorted** (positions in random order); call
+/// [`SparseVec::sort_by_index`] for the sorted variant.
+pub fn random_sparse_vec(n: usize, nnz: usize, seed: u64) -> SparseVec<f64> {
+    random_sparse_vec_with(n, nnz, seed, |rng| 1.0 - rng.gen::<f64>())
+}
+
+/// Like [`random_sparse_vec`] but with a caller-supplied value generator, so
+/// tests can create boolean or integer-valued vectors.
+pub fn random_sparse_vec_with<T: crate::Scalar>(
+    n: usize,
+    nnz: usize,
+    seed: u64,
+    mut value: impl FnMut(&mut StdRng) -> T,
+) -> SparseVec<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nnz = nnz.min(n);
+    let indices: Vec<usize> = if nnz * 4 >= n {
+        // Dense-ish request: shuffle the whole index range.
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(&mut rng);
+        all.truncate(nnz);
+        all
+    } else {
+        // Sparse request: rejection-sample distinct indices.
+        let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+        let mut out = Vec::with_capacity(nnz);
+        while out.len() < nnz {
+            let i = rng.gen_range(0..n);
+            if seen.insert(i) {
+                out.push(i);
+            }
+        }
+        out
+    };
+    let mut v = SparseVec::new(n);
+    for i in indices {
+        v.push(i, value(&mut rng));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz_and_distinct_indices() {
+        for &(n, f) in &[(1000usize, 10usize), (1000, 500), (1000, 1000), (50, 200)] {
+            let v = random_sparse_vec(n, f, 7);
+            assert_eq!(v.nnz(), f.min(n));
+            let mut idx = v.indices().to_vec();
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), v.nnz(), "indices must be distinct");
+            assert!(idx.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_sparse_vec(500, 50, 1), random_sparse_vec(500, 50, 1));
+        assert_ne!(random_sparse_vec(500, 50, 1), random_sparse_vec(500, 50, 2));
+    }
+
+    #[test]
+    fn custom_value_generator() {
+        let v = random_sparse_vec_with(100, 20, 3, |_| true);
+        assert_eq!(v.nnz(), 20);
+        assert!(v.values().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn values_nonzero() {
+        let v = random_sparse_vec(200, 100, 11);
+        assert!(v.values().iter().all(|&x| x > 0.0));
+    }
+}

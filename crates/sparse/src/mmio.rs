@@ -1,0 +1,265 @@
+//! Matrix Market I/O.
+//!
+//! The paper's datasets come from the University of Florida (SuiteSparse)
+//! collection, distributed as Matrix Market `.mtx` files. This module reads
+//! and writes the coordinate subset of the format (`matrix coordinate
+//! real|integer|pattern general|symmetric`), which covers every matrix in
+//! Table IV, so users with the original files can reproduce the experiments
+//! on the real inputs.
+
+use crate::coo::CooMatrix;
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Value field declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry declared in the Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+}
+
+/// Reads a Matrix Market file from an arbitrary reader into a [`CooMatrix`].
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    // Header line.
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+            None => {
+                return Err(SparseError::Parse { line: 0, message: "empty file".into() })
+            }
+        }
+    };
+    let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if tokens.len() < 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("not a MatrixMarket matrix header: {header}"),
+        });
+    }
+    if tokens[2] != "coordinate" {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: "only coordinate (sparse) matrices are supported".into(),
+        });
+    }
+    let field = match tokens[3].as_str() {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("unsupported field type '{other}'"),
+            })
+        }
+    };
+    let symmetry = match tokens[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("unsupported symmetry '{other}'"),
+            })
+        }
+    };
+
+    // Size line (skipping comments).
+    let size_line = loop {
+        match lines.next() {
+            Some(line) => {
+                lineno += 1;
+                let line = line?;
+                let trimmed = line.trim().to_string();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break trimmed;
+            }
+            None => {
+                return Err(SparseError::Parse { line: lineno, message: "missing size line".into() })
+            }
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>().map_err(|_| SparseError::Parse {
+                line: lineno,
+                message: format!("invalid size token '{t}'"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: "size line must contain nrows ncols nnz".into(),
+        });
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = CooMatrix::with_capacity(
+        nrows,
+        ncols,
+        if symmetry == Symmetry::Symmetric { 2 * nnz } else { nnz },
+    );
+    let mut read_entries = 0usize;
+    for line in lines {
+        lineno += 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_idx = |tok: Option<&str>| -> Result<usize, SparseError> {
+            tok.ok_or_else(|| SparseError::Parse {
+                line: lineno,
+                message: "missing index".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|_| SparseError::Parse { line: lineno, message: "invalid index".into() })
+        };
+        let i = parse_idx(it.next())?;
+        let j = parse_idx(it.next())?;
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(SparseError::Parse {
+                line: lineno,
+                message: format!("entry ({i}, {j}) outside 1..{nrows} x 1..{ncols}"),
+            });
+        }
+        let v = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| SparseError::Parse {
+                    line: lineno,
+                    message: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|_| SparseError::Parse {
+                    line: lineno,
+                    message: "invalid value".into(),
+                })?,
+        };
+        coo.push(i - 1, j - 1, v);
+        if symmetry == Symmetry::Symmetric && i != j {
+            coo.push(j - 1, i - 1, v);
+        }
+        read_entries += 1;
+    }
+    if read_entries != nnz {
+        return Err(SparseError::Parse {
+            line: lineno,
+            message: format!("expected {nnz} entries, found {read_entries}"),
+        });
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from disk straight into CSC.
+pub fn read_matrix_market_csc<P: AsRef<Path>>(path: P) -> Result<CscMatrix<f64>, SparseError> {
+    let file = std::fs::File::open(path)?;
+    let coo = read_matrix_market(file)?;
+    Ok(CscMatrix::from_coo(coo, |a, b| a + b))
+}
+
+/// Writes a matrix in Matrix Market `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(mut w: W, a: &CscMatrix<f64>) -> Result<(), SparseError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by sparse-substrate (SpMSpV-bucket reproduction)")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (i, j, v) in a.iter() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_matrix;
+
+    #[test]
+    fn roundtrip_through_matrix_market_text() {
+        let a = figure1_matrix();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let coo = read_matrix_market(&buf[..]).unwrap();
+        let b = CscMatrix::from_coo(coo, |x, y| x + y);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_pattern_and_symmetric_files() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % a comment\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        let a = CscMatrix::from_coo(coo, |x, y| x + y);
+        assert_eq!(a.nnz(), 3); // (1,0), (0,1) mirrored, (2,2) diagonal kept once
+        assert_eq!(a.get(1, 0).copied(), Some(1.0));
+        assert_eq!(a.get(0, 1).copied(), Some(1.0));
+        assert_eq!(a.get(2, 2).copied(), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed_headers_and_entries() {
+        assert!(read_matrix_market("".as_bytes()).is_err());
+        assert!(read_matrix_market("%%MatrixMarket tensor coordinate real general\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        // out-of-range entry
+        let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n";
+        assert!(read_matrix_market(bad.as_bytes()).is_err());
+        // wrong entry count
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 5.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn integer_field_parses_as_f64() {
+        let text = "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 -4\n";
+        let coo = read_matrix_market(text.as_bytes()).unwrap();
+        let a = CscMatrix::from_coo(coo, |x, y| x + y);
+        assert_eq!(a.get(0, 0).copied(), Some(3.0));
+        assert_eq!(a.get(1, 1).copied(), Some(-4.0));
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let a = crate::fixtures::tridiagonal(20);
+        let dir = std::env::temp_dir().join("spmspv_mmio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tri.mtx");
+        let mut file = std::fs::File::create(&path).unwrap();
+        write_matrix_market(&mut file, &a).unwrap();
+        drop(file);
+        let b = read_matrix_market_csc(&path).unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(&path);
+    }
+}

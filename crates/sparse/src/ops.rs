@@ -1,0 +1,162 @@
+//! Reference (sequential, obviously-correct) kernels.
+//!
+//! Every parallel SpMSpV implementation in the `spmspv` crate is tested
+//! against [`spmspv_reference`], a direct transcription of the mathematical
+//! definition of `y ← A ⊕.⊗ x` with no regard for performance.
+
+use crate::csc::CscMatrix;
+use crate::dense::DenseVec;
+use crate::semiring::Semiring;
+use crate::spvec::SparseVec;
+use crate::Scalar;
+
+/// Sequential, definition-level SpMSpV: gathers the selected columns into a
+/// dense accumulator of size `m` and compacts the result. `O(m + d·f)` time
+/// and `O(m)` extra space — deliberately naive; use the `spmspv` crate for
+/// the real algorithms.
+///
+/// The output is sorted by index.
+pub fn spmspv_reference<A, X, S>(
+    a: &CscMatrix<A>,
+    x: &SparseVec<X>,
+    semiring: &S,
+) -> SparseVec<S::Output>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    assert_eq!(
+        a.ncols(),
+        x.len(),
+        "matrix has {} columns but vector has dimension {}",
+        a.ncols(),
+        x.len()
+    );
+    let m = a.nrows();
+    let mut acc: Vec<Option<S::Output>> = vec![None; m];
+    for (j, xv) in x.iter() {
+        let (rows, vals) = a.column(j);
+        for (&i, av) in rows.iter().zip(vals.iter()) {
+            let prod = semiring.multiply(av, xv);
+            acc[i] = Some(match acc[i] {
+                Some(existing) => semiring.add(existing, prod),
+                None => prod,
+            });
+        }
+    }
+    let mut y = SparseVec::new(m);
+    for (i, slot) in acc.into_iter().enumerate() {
+        if let Some(v) = slot {
+            y.push(i, v);
+        }
+    }
+    y
+}
+
+/// Column-oriented sparse matrix–dense vector product, used to cross-check
+/// SpMSpV against SpMV when the input vector happens to be fully dense.
+pub fn spmv_dense_reference<A, X, S>(
+    a: &CscMatrix<A>,
+    x: &DenseVec<X>,
+    semiring: &S,
+) -> DenseVec<S::Output>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    assert_eq!(a.ncols(), x.len(), "dimension mismatch in SpMV");
+    let mut y = vec![semiring.zero(); a.nrows()];
+    for j in 0..a.ncols() {
+        let (rows, vals) = a.column(j);
+        for (&i, av) in rows.iter().zip(vals.iter()) {
+            y[i] = semiring.add(y[i], semiring.multiply(av, &x[j]));
+        }
+    }
+    DenseVec::from_vec(y)
+}
+
+/// Number of scalar multiplications SpMSpV must perform for this operand
+/// pair: `Σ_{j : x(j) ≠ 0} nnz(A(:, j))`. This is the paper's lower-bound
+/// quantity `d·f` computed exactly, used by the work-efficiency experiments.
+pub fn required_multiplications<A: Scalar, X: Scalar>(
+    a: &CscMatrix<A>,
+    x: &SparseVec<X>,
+) -> usize {
+    x.iter().map(|(j, _)| a.column_nnz(j)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_matrix, figure1_vector, tridiagonal};
+    use crate::semiring::{PlusTimes, Select2ndMin};
+
+    #[test]
+    fn figure1_example_matches_the_paper() {
+        // Figure 1: y = A(:,2) + A(:,5) + A(:,7) with unit x values.
+        let a = figure1_matrix();
+        let x = figure1_vector();
+        let y = spmspv_reference(&a, &x, &PlusTimes);
+        // Selected columns 2, 5, 7 contribute:
+        //   col 2: rows {0:e=5, 2:p=16, 3:f=6, 4:q=17}
+        //   col 5: rows {0:s=19, 6:n=14}
+        //   col 7: rows {4:t=20}
+        let expect: Vec<(usize, f64)> = vec![
+            (0, 5.0 + 19.0),
+            (2, 16.0),
+            (3, 6.0),
+            (4, 17.0 + 20.0),
+            (6, 14.0),
+        ];
+        let got: Vec<(usize, f64)> = y.iter().map(|(i, &v)| (i, v)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_vector_gives_empty_result() {
+        let a = figure1_matrix();
+        let x = SparseVec::new(8);
+        let y = spmspv_reference(&a, &x, &PlusTimes);
+        assert!(y.is_empty());
+        assert_eq!(y.len(), 8);
+    }
+
+    #[test]
+    fn dense_vector_matches_spmv() {
+        let a = tridiagonal(30);
+        let xd = DenseVec::from_vec((0..30).map(|i| i as f64 + 1.0).collect());
+        let xs = xd.to_sparse(|_| true);
+        let via_spmspv = spmspv_reference(&a, &xs, &PlusTimes).to_dense(0.0);
+        let via_spmv = spmv_dense_reference(&a, &xd, &PlusTimes);
+        for i in 0..30 {
+            assert!((via_spmspv[i] - via_spmv[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn select2nd_semiring_propagates_parents() {
+        let a = figure1_matrix();
+        let x = SparseVec::from_pairs(8, vec![(2, 2usize), (5, 5usize)]).unwrap();
+        let y = spmspv_reference(&a, &x, &Select2ndMin);
+        // Row 0 is reachable from both columns 2 and 5; min parent = 2.
+        assert_eq!(y.get(0).copied(), Some(2));
+    }
+
+    #[test]
+    fn required_multiplications_counts_selected_columns() {
+        let a = figure1_matrix();
+        let x = figure1_vector();
+        // columns 2, 5, 7 have 4, 2, 1 entries
+        assert_eq!(required_multiplications(&a, &x), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix has")]
+    fn dimension_mismatch_panics() {
+        let a = figure1_matrix();
+        let x = SparseVec::<f64>::new(9);
+        let _ = spmspv_reference(&a, &x, &PlusTimes);
+    }
+}

@@ -1,0 +1,316 @@
+//! Sparse vectors in list format — the vector format of vector-driven
+//! SpMSpV algorithms.
+//!
+//! The "list" format of §II-C: a compact array of `(index, value)` pairs plus
+//! the logical dimension. The list may be kept sorted by index or left
+//! unsorted; both variants of SpMSpV-bucket are evaluated in the paper
+//! (Figure 2), and the algorithm must return its output in the same
+//! convention it received its input.
+
+use crate::dense::DenseVec;
+use crate::error::SparseError;
+use crate::Scalar;
+
+/// A sparse vector stored as parallel `indices`/`values` arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec<T> {
+    len: usize,
+    indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> SparseVec<T> {
+    /// An empty sparse vector of logical dimension `len`.
+    pub fn new(len: usize) -> Self {
+        SparseVec { len, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds a vector from `(index, value)` pairs, rejecting out-of-bounds
+    /// or duplicate indices.
+    pub fn from_pairs(len: usize, pairs: Vec<(usize, T)>) -> Result<Self, SparseError> {
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if i >= len {
+                return Err(SparseError::VectorIndexOutOfBounds { index: i, len });
+            }
+            indices.push(i);
+            values.push(v);
+        }
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(SparseError::InvalidStructure(
+                "duplicate index in sparse vector".into(),
+            ));
+        }
+        Ok(SparseVec { len, indices, values })
+    }
+
+    /// Builds a vector from raw parallel arrays without checking for
+    /// duplicates (bounds are still validated). Used on hot paths where the
+    /// caller constructs the arrays itself (e.g. the output step of SpMSpV).
+    pub fn from_parts(len: usize, indices: Vec<usize>, values: Vec<T>) -> Result<Self, SparseError> {
+        if indices.len() != values.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indices ({}) and values ({}) differ in length",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(SparseError::VectorIndexOutOfBounds { index: bad, len });
+        }
+        Ok(SparseVec { len, indices, values })
+    }
+
+    /// Builds a sparse vector from a dense slice, storing entries for which
+    /// `keep` returns `true`.
+    pub fn from_dense_filtered(dense: &[T], keep: impl Fn(&T) -> bool) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, v) in dense.iter().enumerate() {
+            if keep(v) {
+                indices.push(i);
+                values.push(*v);
+            }
+        }
+        SparseVec { len: dense.len(), indices, values }
+    }
+
+    /// Logical dimension `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector stores no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Number of stored entries (`nnz(x)`, the paper's `f`).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Borrow of the index array.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Borrow of the value array.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterates over `(index, &value)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter())
+    }
+
+    /// Appends an entry without checking for duplicates.
+    pub fn push(&mut self, index: usize, value: T) {
+        debug_assert!(index < self.len, "index {index} out of bounds for length {}", self.len);
+        self.indices.push(index);
+        self.values.push(value);
+    }
+
+    /// Whether the stored indices are sorted strictly ascending.
+    pub fn is_sorted(&self) -> bool {
+        self.indices.windows(2).all(|w| w[0] < w[1])
+    }
+
+    /// Sorts the entries by index (stable with respect to values).
+    pub fn sort_by_index(&mut self) {
+        if self.is_sorted() {
+            return;
+        }
+        let mut perm: Vec<usize> = (0..self.nnz()).collect();
+        perm.sort_unstable_by_key(|&k| self.indices[k]);
+        self.indices = perm.iter().map(|&k| self.indices[k]).collect();
+        self.values = perm.iter().map(|&k| self.values[k]).collect();
+    }
+
+    /// Returns a sorted copy, leaving `self` untouched.
+    pub fn sorted(&self) -> Self {
+        let mut c = self.clone();
+        c.sort_by_index();
+        c
+    }
+
+    /// Value at logical position `i`, if stored. O(log nnz) when sorted,
+    /// O(nnz) otherwise.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if self.is_sorted() {
+            self.indices.binary_search(&i).ok().map(|k| &self.values[k])
+        } else {
+            self.indices.iter().position(|&idx| idx == i).map(|k| &self.values[k])
+        }
+    }
+
+    /// Scatters into a dense vector of length `len`, filling holes with
+    /// `fill`.
+    pub fn to_dense(&self, fill: T) -> DenseVec<T> {
+        let mut data = vec![fill; self.len];
+        for (i, v) in self.iter() {
+            data[i] = *v;
+        }
+        DenseVec::from_vec(data)
+    }
+
+    /// Removes all entries but keeps the allocation, mirroring the paper's
+    /// advice to reuse workspace across iterative algorithms such as BFS.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.values.clear();
+    }
+
+    /// Keeps only the entries for which the predicate returns `true`.
+    pub fn retain(&mut self, mut pred: impl FnMut(usize, &T) -> bool) {
+        let mut write = 0usize;
+        for read in 0..self.nnz() {
+            if pred(self.indices[read], &self.values[read]) {
+                self.indices[write] = self.indices[read];
+                self.values[write] = self.values[read];
+                write += 1;
+            }
+        }
+        self.indices.truncate(write);
+        self.values.truncate(write);
+    }
+
+    /// Consumes the vector, returning `(len, indices, values)`.
+    pub fn into_parts(self) -> (usize, Vec<usize>, Vec<T>) {
+        (self.len, self.indices, self.values)
+    }
+}
+
+impl<T: Scalar + PartialOrd> SparseVec<T> {
+    /// Equality check that ignores storage order: both vectors are compared
+    /// after sorting by index. Intended for tests comparing sorted and
+    /// unsorted algorithm variants.
+    pub fn same_entries(&self, other: &Self) -> bool {
+        if self.len != other.len || self.nnz() != other.nnz() {
+            return false;
+        }
+        let a = self.sorted();
+        let b = other.sorted();
+        a.indices == b.indices && a.values == b.values
+    }
+}
+
+impl SparseVec<f64> {
+    /// Like [`SparseVec::same_entries`] but comparing floating-point values
+    /// with a relative tolerance.
+    ///
+    /// Parallel SpMSpV algorithms add the products that collide on one output
+    /// row in a nondeterministic (or at least different) order, so two
+    /// correct implementations agree only up to floating-point rounding; this
+    /// is the comparison every cross-algorithm test uses.
+    pub fn approx_same_entries(&self, other: &Self, rel_tol: f64) -> bool {
+        if self.len != other.len || self.nnz() != other.nnz() {
+            return false;
+        }
+        let a = self.sorted();
+        let b = other.sorted();
+        if a.indices != b.indices {
+            return false;
+        }
+        a.values.iter().zip(b.values.iter()).all(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= rel_tol * scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_same_entries_tolerates_rounding() {
+        let a = SparseVec::from_pairs(4, vec![(1, 0.1 + 0.2), (3, 1.0)]).unwrap();
+        let b = SparseVec::from_pairs(4, vec![(3, 1.0), (1, 0.3)]).unwrap();
+        assert!(a.approx_same_entries(&b, 1e-12));
+        let c = SparseVec::from_pairs(4, vec![(3, 1.0), (1, 0.31)]).unwrap();
+        assert!(!a.approx_same_entries(&c, 1e-12));
+        let d = SparseVec::from_pairs(4, vec![(2, 0.3), (3, 1.0)]).unwrap();
+        assert!(!a.approx_same_entries(&d, 1e-12));
+    }
+
+    #[test]
+    fn from_pairs_validates_bounds_and_duplicates() {
+        assert!(SparseVec::from_pairs(4, vec![(0, 1.0), (5, 2.0)]).is_err());
+        assert!(SparseVec::from_pairs(4, vec![(1, 1.0), (1, 2.0)]).is_err());
+        let v = SparseVec::from_pairs(4, vec![(3, 1.0), (1, 2.0)]).unwrap();
+        assert_eq!(v.nnz(), 2);
+        assert!(!v.is_sorted());
+    }
+
+    #[test]
+    fn sort_and_get() {
+        let mut v = SparseVec::from_pairs(10, vec![(7, 7.0), (2, 2.0), (5, 5.0)]).unwrap();
+        assert_eq!(v.get(5).copied(), Some(5.0));
+        v.sort_by_index();
+        assert!(v.is_sorted());
+        assert_eq!(v.indices(), &[2, 5, 7]);
+        assert_eq!(v.values(), &[2.0, 5.0, 7.0]);
+        assert_eq!(v.get(7).copied(), Some(7.0));
+        assert_eq!(v.get(3), None);
+    }
+
+    #[test]
+    fn to_dense_scatters_entries() {
+        let v = SparseVec::from_pairs(5, vec![(0, 1.0), (4, 4.0)]).unwrap();
+        let d = v.to_dense(0.0);
+        assert_eq!(d.as_slice(), &[1.0, 0.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn from_dense_filtered_keeps_matching() {
+        let dense = [0.0, 3.0, 0.0, -1.0];
+        let v = SparseVec::from_dense_filtered(&dense, |&x| x != 0.0);
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.values(), &[3.0, -1.0]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn same_entries_ignores_order() {
+        let a = SparseVec::from_pairs(9, vec![(8, 1.0), (0, 2.0)]).unwrap();
+        let b = SparseVec::from_pairs(9, vec![(0, 2.0), (8, 1.0)]).unwrap();
+        let c = SparseVec::from_pairs(9, vec![(0, 2.0), (7, 1.0)]).unwrap();
+        assert!(a.same_entries(&b));
+        assert!(!a.same_entries(&c));
+    }
+
+    #[test]
+    fn retain_and_clear() {
+        let mut v = SparseVec::from_pairs(10, vec![(1, 1.0), (2, -2.0), (3, 3.0)]).unwrap();
+        v.retain(|_, &val| val > 0.0);
+        assert_eq!(v.indices(), &[1, 3]);
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn from_parts_checks_lengths_and_bounds() {
+        assert!(SparseVec::from_parts(3, vec![0, 1], vec![1.0]).is_err());
+        assert!(SparseVec::from_parts(3, vec![0, 9], vec![1.0, 2.0]).is_err());
+        assert!(SparseVec::from_parts(3, vec![0, 2], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn sorted_returns_copy_without_mutating_original() {
+        let v = SparseVec::from_pairs(6, vec![(5, 5.0), (0, 0.5)]).unwrap();
+        let s = v.sorted();
+        assert!(s.is_sorted());
+        assert_eq!(v.indices(), &[5, 0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: multiply a sparse matrix by a sparse vector with the
+//! work-efficient SpMSpV-bucket algorithm and compare against the
+//! definition-level reference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+use sparse_substrate::ops::spmspv_reference;
+use sparse_substrate::PlusTimes;
+use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+
+fn main() {
+    // An Erdős–Rényi matrix with n = 100k columns and ~8 nonzeros per column,
+    // the model the paper uses for its complexity analysis.
+    let n = 100_000;
+    let a = erdos_renyi(n, 8.0, 42);
+    println!(
+        "matrix: {} x {} with {} nonzeros (avg column degree {:.2})",
+        a.nrows(),
+        a.ncols(),
+        a.nnz(),
+        a.avg_column_degree()
+    );
+
+    // A sparse input vector with 1% density.
+    let x = random_sparse_vec(n, n / 100, 7);
+    println!("input vector: nnz(x) = {}", x.nnz());
+
+    // Prepare the algorithm once (allocates the SPA and buckets), then
+    // multiply. The same instance can be reused for many vectors.
+    let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::default());
+    let start = std::time::Instant::now();
+    let y = alg.multiply(&x, &PlusTimes);
+    let elapsed = start.elapsed();
+    println!(
+        "SpMSpV-bucket: nnz(y) = {} computed in {:.3} ms on {} threads",
+        y.nnz(),
+        elapsed.as_secs_f64() * 1e3,
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+    );
+
+    // Cross-check against the sequential reference implementation.
+    let expected = spmspv_reference(&a, &x, &PlusTimes);
+    assert!(
+        y.approx_same_entries(&expected, 1e-9),
+        "bucket result diverges from the reference"
+    );
+    println!("result verified against the sequential reference");
+
+    // The per-step breakdown the paper analyses in Figure 6.
+    let (_, timings) = alg.multiply_with_timings(&x, &PlusTimes);
+    println!("step breakdown: {timings}");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the SpMSpV-bucket reproduction workspace.
+//!
+//! Re-exports the three library crates under short names so the examples and
+//! integration tests read naturally:
+//!
+//! * [`sparse`] — matrix/vector formats, generators, I/O (`sparse-substrate`)
+//! * [`spmspv`] — the SpMSpV-bucket algorithm and its baselines
+//! * [`graphs`] — BFS, connected components, MIS, PageRank, matching
+
+pub use sparse_substrate as sparse;
+pub use spmspv;
+pub use spmspv_graphs as graphs;
