@@ -1,0 +1,91 @@
+//! Batch-scaling bench: how does per-lane SpMSpV cost change as the batch
+//! width `k` grows?
+//!
+//! Sweeps `k ∈ {1, 4, 16, 64}` on a scale-free R-MAT graph, comparing
+//!
+//! * `SpMSpVBucketBatch` — one fused traversal of the union of active
+//!   columns per call, and
+//! * `Naive-batch` — `k` independent `SpMSpVBucket` calls,
+//!
+//! and prints a per-lane amortization table (total time / k) after the
+//! criterion groups, which is the quantity that shows whether batching
+//! pays: the fused kernel's per-lane time should *fall* with `k` while the
+//! naive baseline's stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
+use sparse_substrate::{PlusTimes, SparseVec, SparseVecBatch};
+use spmspv::batch::{NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch};
+use spmspv::SpMSpVOptions;
+
+const KS: [usize; 4] = [1, 4, 16, 64];
+const FRONTIER_NNZ: usize = 512;
+
+fn make_batch(n: usize, k: usize) -> SparseVecBatch<f64> {
+    let lanes: Vec<SparseVec<f64>> =
+        (0..k).map(|l| random_sparse_vec(n, FRONTIER_NNZ, 1000 + l as u64)).collect();
+    SparseVecBatch::from_lanes(&lanes).expect("lanes share n")
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let a = rmat(13, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("batch_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(2));
+    for &k in &KS {
+        let x = make_batch(n, k);
+        let mut fused = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
+        group.bench_with_input(BenchmarkId::new("SpMSpV-bucket-batch", k), &x, |b, x| {
+            b.iter(|| fused.multiply_batch(x, &PlusTimes))
+        });
+        let mut naive = NaiveBatch::new(&a, SpMSpVOptions::with_threads(threads));
+        group.bench_with_input(BenchmarkId::new("Naive-batch", k), &x, |b, x| {
+            b.iter(|| naive.multiply_batch(x, &PlusTimes))
+        });
+    }
+    group.finish();
+
+    // Per-lane amortization table (the headline number of this bench).
+    eprintln!("\nper-lane time (total / k), frontier nnz = {FRONTIER_NNZ}, {threads} threads:");
+    eprintln!("{:>4}  {:>18}  {:>18}  {:>8}", "k", "bucket-batch/lane", "naive/lane", "speedup");
+    for &k in &KS {
+        let x = make_batch(n, k);
+        let mut fused = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
+        let mut naive = NaiveBatch::new(&a, SpMSpVOptions::with_threads(threads));
+        let fused_lane = time_per_lane(k, || {
+            fused.multiply_batch(&x, &PlusTimes);
+        });
+        let naive_lane = time_per_lane(k, || {
+            naive.multiply_batch(&x, &PlusTimes);
+        });
+        eprintln!(
+            "{:>4}  {:>16.1}us  {:>16.1}us  {:>7.2}x",
+            k,
+            fused_lane.as_secs_f64() * 1e6,
+            naive_lane.as_secs_f64() * 1e6,
+            naive_lane.as_secs_f64() / fused_lane.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+}
+
+/// Median-of-7 wall time of `f`, divided by the lane count.
+fn time_per_lane(k: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..7)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] / k as u32
+}
+
+criterion_group!(benches, bench_batch_scaling);
+criterion_main!(benches);

@@ -3,10 +3,10 @@
 //! §III-A discusses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
 use sparse_substrate::PlusTimes;
 use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+use std::time::Duration;
 
 fn bench_bucket_configurations(c: &mut Criterion) {
     let a = rmat(13, 12, RmatParams::graph500(), 3);
@@ -33,10 +33,8 @@ fn bench_bucket_configurations(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.warm_up_time(Duration::from_millis(500));
     for k in [1usize, 4, 16] {
-        let mut alg = SpMSpVBucket::new(
-            &a,
-            SpMSpVOptions::with_threads(max_threads).buckets_per_thread(k),
-        );
+        let mut alg =
+            SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(max_threads).buckets_per_thread(k));
         group.bench_with_input(BenchmarkId::from_parameter(k), &x, |b, x| {
             b.iter(|| alg.multiply(x, &PlusTimes))
         });

@@ -2,10 +2,10 @@
 //! (BFS on both dataset families, PageRank, connected components).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use sparse_substrate::gen::{rmat, triangular_mesh, RmatParams};
 use spmspv::{AlgorithmKind, SpMSpVOptions};
 use spmspv_graphs::{bfs, connected_components, pagerank_datadriven, PageRankOptions};
+use std::time::Duration;
 
 fn bench_graph_algorithms(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);

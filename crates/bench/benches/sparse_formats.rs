@@ -3,9 +3,9 @@
 //! built from.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
 use sparse_substrate::{BitVec, CscMatrix, DcscMatrix, Spa};
+use std::time::Duration;
 
 fn bench_formats(c: &mut Criterion) {
     let a = erdos_renyi(50_000, 8.0, 1);

@@ -2,11 +2,11 @@
 //! three input-vector densities (the micro-scale companion of Figure 3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
 use sparse_substrate::PlusTimes;
 use spmspv::{AlgorithmKind, SpMSpVOptions};
 use spmspv_graphs::numeric_algorithm;
+use std::time::Duration;
 
 fn bench_algorithms(c: &mut Criterion) {
     let a = rmat(13, 12, RmatParams::graph500(), 7);
@@ -28,11 +28,9 @@ fn bench_algorithms(c: &mut Criterion) {
             AlgorithmKind::Sequential,
         ] {
             let mut alg = numeric_algorithm(&a, kind, SpMSpVOptions::with_threads(threads));
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), f),
-                &x,
-                |b, x| b.iter(|| alg.multiply(x, &PlusTimes)),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), f), &x, |b, x| {
+                b.iter(|| alg.multiply(x, &PlusTimes))
+            });
         }
     }
     group.finish();

@@ -16,10 +16,8 @@ use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
 use spmspv_bench::report::{best_of, thread_sweep};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     let d = ljournal_standin(scale);
     let n = d.matrix.ncols();
     println!(
@@ -45,14 +43,10 @@ fn main() {
     println!("{:>16} {:>18} {:>18}", "nnz(x)", "direct writes", "staged writes (512)");
     for f in [200usize, (n as f64 * 0.002) as usize, (n as f64 * 0.25) as usize] {
         let x = random_sparse_vec(n, f, 9);
-        let mut direct = SpMSpVBucket::new(
-            &d.matrix,
-            SpMSpVOptions::with_threads(threads).staging_buffer(0),
-        );
-        let mut staged = SpMSpVBucket::new(
-            &d.matrix,
-            SpMSpVOptions::with_threads(threads).staging_buffer(512),
-        );
+        let mut direct =
+            SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads).staging_buffer(0));
+        let mut staged =
+            SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads).staging_buffer(512));
         let td = best_of(3, || direct.multiply(&x, &PlusTimes));
         let ts = best_of(3, || staged.multiply(&x, &PlusTimes));
         println!(

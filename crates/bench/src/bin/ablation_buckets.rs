@@ -14,14 +14,15 @@ use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
 use spmspv_bench::report::best_of;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     let d = ljournal_standin(scale);
     let n = d.matrix.ncols();
     let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
-    println!("Ablation: buckets per thread (nb = k*t), {} stand-in, {threads} threads\n", d.paper_name);
+    println!(
+        "Ablation: buckets per thread (nb = k*t), {} stand-in, {threads} threads\n",
+        d.paper_name
+    );
 
     let densities = [200usize, (n as f64 * 0.002) as usize, (n as f64 * 0.25) as usize];
     print!("{:>16}", "buckets/thread");

@@ -11,14 +11,12 @@ use sparse_substrate::gen::random_sparse_vec;
 use sparse_substrate::PlusTimes;
 use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
 use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
-use spmspv_bench::report::{best_of, print_series_table, thread_sweep, Series};
 use spmspv_bench::platform_summary;
+use spmspv_bench::report::{best_of, print_series_table, thread_sweep, Series};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     let d = ljournal_standin(scale);
     let n = d.matrix.ncols();
@@ -43,16 +41,11 @@ fn main() {
         let mut sorted_series = Series::new("with sorting");
         let mut unsorted_series = Series::new("without sorting");
         for threads in thread_sweep() {
-            let mut sorted_alg = SpMSpVBucket::new(
-                &d.matrix,
-                SpMSpVOptions::with_threads(threads).sorted(true),
-            );
-            let mut unsorted_alg = SpMSpVBucket::new(
-                &d.matrix,
-                SpMSpVOptions::with_threads(threads).sorted(false),
-            );
-            sorted_series
-                .push(threads, best_of(3, || sorted_alg.multiply(&x_sorted, &PlusTimes)));
+            let mut sorted_alg =
+                SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads).sorted(true));
+            let mut unsorted_alg =
+                SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads).sorted(false));
+            sorted_series.push(threads, best_of(3, || sorted_alg.multiply(&x_sorted, &PlusTimes)));
             unsorted_series
                 .push(threads, best_of(3, || unsorted_alg.multiply(&x_unsorted, &PlusTimes)));
         }

@@ -10,15 +10,13 @@
 use sparse_substrate::PlusTimes;
 use spmspv::{AlgorithmKind, SpMSpVOptions};
 use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
-use spmspv_bench::report::best_of;
 use spmspv_bench::platform_summary;
+use spmspv_bench::report::best_of;
 use spmspv_graphs::{bfs_frontiers, numeric_algorithm};
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     let d = ljournal_standin(scale);
     println!(

@@ -14,10 +14,8 @@ use spmspv_bench::report::{print_series_table, thread_sweep, Series};
 use spmspv_graphs::bfs;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     println!("Figure 4: SpMSpV time inside BFS, strong scaling over threads\n");
 

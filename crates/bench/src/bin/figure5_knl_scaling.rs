@@ -17,33 +17,20 @@ use spmspv_bench::report::{print_series_table, thread_sweep, Series};
 use spmspv_graphs::bfs;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     println!("Figure 5: BFS SpMSpV time on a manycore sweep (KNL stand-in = this host)\n");
 
     // Figure 5 uses ljournal-2008, web-Google, wikipedia and wb-edu: the
     // scale-free family.
-    let datasets: Vec<_> = paper_suite(scale)
-        .into_iter()
-        .filter(|d| d.class == DatasetClass::LowDiameter)
-        .collect();
-    let kinds = [
-        AlgorithmKind::Bucket,
-        AlgorithmKind::CombBlasSpa,
-        AlgorithmKind::CombBlasHeap,
-    ];
+    let datasets: Vec<_> =
+        paper_suite(scale).into_iter().filter(|d| d.class == DatasetClass::LowDiameter).collect();
+    let kinds = [AlgorithmKind::Bucket, AlgorithmKind::CombBlasSpa, AlgorithmKind::CombBlasHeap];
     let sweep = thread_sweep();
 
     for d in &datasets {
-        println!(
-            "=== {} ({} vertices, {} edges) ===",
-            d.paper_name,
-            d.vertices(),
-            d.edges() / 2
-        );
+        println!("=== {} ({} vertices, {} edges) ===", d.paper_name, d.vertices(), d.edges() / 2);
         let mut series: Vec<Series> = kinds.iter().map(|k| Series::new(k.label())).collect();
         for &threads in &sweep {
             for (k, kind) in kinds.iter().enumerate() {

@@ -12,17 +12,12 @@ use spmspv_bench::platform_summary;
 use spmspv_bench::report::thread_sweep;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     let d = ljournal_standin(scale);
     let n = d.matrix.ncols();
-    println!(
-        "Figure 6: per-step breakdown of SpMSpV-bucket on the {} stand-in\n",
-        d.paper_name
-    );
+    println!("Figure 6: per-step breakdown of SpMSpV-bucket on the {} stand-in\n", d.paper_name);
 
     // Paper: nnz(x) = 200, 10K, 2.5M on a 5.36M-vertex graph; keep the same
     // absolute very-sparse point and scale the other two by density.
@@ -41,8 +36,7 @@ fn main() {
         );
         let mut one_thread: Option<StepTimings> = None;
         for threads in thread_sweep() {
-            let mut alg =
-                SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads));
+            let mut alg = SpMSpVBucket::new(&d.matrix, SpMSpVOptions::with_threads(threads));
             // best-of-3 on the whole multiplication, reporting its breakdown
             let mut best: Option<StepTimings> = None;
             for _ in 0..3 {

@@ -17,15 +17,55 @@ use spmspv_graphs::numeric_algorithm;
 fn main() {
     println!("Table I: classification of SpMSpV algorithms (as implemented here)\n");
     println!(
-        "{:<16} {:<14} {:<8} {:<10} {:<9} {:<22} {}",
-        "algorithm", "class", "matrix", "vector", "merging", "sequential complexity", "parallelization"
+        "{:<16} {:<14} {:<8} {:<10} {:<9} {:<22} parallelization",
+        "algorithm", "class", "matrix", "vector", "merging", "sequential complexity",
     );
     let rows = [
-        (AlgorithmKind::GraphMat, "matrix-driven", "DCSC", "bitvector", "SPA", "O(nzc + df)", "row-split, private SPA"),
-        (AlgorithmKind::CombBlasSpa, "vector-driven", "DCSC", "list", "SPA", "O(df)", "row-split, private SPA"),
-        (AlgorithmKind::CombBlasHeap, "vector-driven", "DCSC", "list", "heap", "O(df lg f)", "row-split, private heap"),
-        (AlgorithmKind::SortBased, "vector-driven", "CSC", "list", "sorting", "O(df lg df)", "concatenate, sort, prune"),
-        (AlgorithmKind::Bucket, "vector-driven", "CSC", "list", "buckets", "O(df)", "2-step merge, private SPA"),
+        (
+            AlgorithmKind::GraphMat,
+            "matrix-driven",
+            "DCSC",
+            "bitvector",
+            "SPA",
+            "O(nzc + df)",
+            "row-split, private SPA",
+        ),
+        (
+            AlgorithmKind::CombBlasSpa,
+            "vector-driven",
+            "DCSC",
+            "list",
+            "SPA",
+            "O(df)",
+            "row-split, private SPA",
+        ),
+        (
+            AlgorithmKind::CombBlasHeap,
+            "vector-driven",
+            "DCSC",
+            "list",
+            "heap",
+            "O(df lg f)",
+            "row-split, private heap",
+        ),
+        (
+            AlgorithmKind::SortBased,
+            "vector-driven",
+            "CSC",
+            "list",
+            "sorting",
+            "O(df lg df)",
+            "concatenate, sort, prune",
+        ),
+        (
+            AlgorithmKind::Bucket,
+            "vector-driven",
+            "CSC",
+            "list",
+            "buckets",
+            "O(df)",
+            "2-step merge, private SPA",
+        ),
     ];
     for (kind, class, matrix, vector, merging, seq, par) in rows {
         println!(
@@ -46,10 +86,7 @@ fn main() {
     let n = d.matrix.ncols();
     println!(
         "{:<16} {:>18} {:>18} {:>8}",
-        "algorithm",
-        "t(nnz(x)=64) ms",
-        "t(nnz(x)=n/4) ms",
-        "ratio"
+        "algorithm", "t(nnz(x)=64) ms", "t(nnz(x)=n/4) ms", "ratio"
     );
     for kind in [
         AlgorithmKind::Bucket,

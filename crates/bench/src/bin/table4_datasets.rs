@@ -11,10 +11,8 @@ use spmspv_bench::platform_summary;
 use spmspv_graphs::pseudo_diameter;
 
 fn main() {
-    let scale = std::env::args()
-        .nth(1)
-        .map(|s| SuiteScale::from_arg(&s))
-        .unwrap_or(SuiteScale::Small);
+    let scale =
+        std::env::args().nth(1).map(|s| SuiteScale::from_arg(&s)).unwrap_or(SuiteScale::Small);
     println!("{}", platform_summary());
     println!("Table IV stand-in: synthetic dataset suite ({scale:?} scale)\n");
     println!(

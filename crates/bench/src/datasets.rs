@@ -153,10 +153,14 @@ pub fn paper_suite(scale: SuiteScale) -> Vec<Dataset> {
             paper_name: "rgg_n_2_24_s0",
             generator: "random geometric graph",
             class: DatasetClass::HighDiameter,
-            matrix: random_geometric(match scale {
-                SuiteScale::Small => 60_000,
-                SuiteScale::Large => 250_000,
-            }, 1.5, 106),
+            matrix: random_geometric(
+                match scale {
+                    SuiteScale::Small => 60_000,
+                    SuiteScale::Large => 250_000,
+                },
+                1.5,
+                106,
+            ),
         },
     ]
 }

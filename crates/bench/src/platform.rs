@@ -18,10 +18,7 @@ pub fn platform_summary() -> String {
         s,
         "  note         : paper used Edison (2x12-core Ivy Bridge) and Cori (64-core KNL);"
     );
-    let _ = writeln!(
-        s,
-        "                 absolute times are not comparable, scaling shapes are."
-    );
+    let _ = writeln!(s, "                 absolute times are not comparable, scaling shapes are.");
     s
 }
 

@@ -45,10 +45,7 @@ pub fn print_series_table(x_label: &str, series: &[Series]) {
     println!();
     let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for r in 0..rows {
-        let x = series
-            .iter()
-            .find_map(|s| s.points.get(r).map(|&(x, _)| x))
-            .unwrap_or(0);
+        let x = series.iter().find_map(|s| s.points.get(r).map(|&(x, _)| x)).unwrap_or(0);
         print!("{x:>12}");
         for s in series {
             match s.points.get(r) {

@@ -149,10 +149,8 @@ mod tests {
 
     #[test]
     fn builder_setters_compose() {
-        let o = SpMSpVOptions::with_threads(2)
-            .sorted(false)
-            .buckets_per_thread(8)
-            .staging_buffer(0);
+        let o =
+            SpMSpVOptions::with_threads(2).sorted(false).buckets_per_thread(8).staging_buffer(0);
         assert_eq!(o.threads, 2);
         assert!(!o.sorted_output);
         assert_eq!(o.buckets_per_thread, 8);

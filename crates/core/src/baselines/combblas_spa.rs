@@ -132,8 +132,7 @@ mod tests {
     #[test]
     fn piece_count_tracks_thread_option() {
         let a = erdos_renyi(120, 4.0, 3);
-        let alg: CombBlasSpa<'_, f64, f64> =
-            CombBlasSpa::new(&a, SpMSpVOptions::with_threads(5));
+        let alg: CombBlasSpa<'_, f64, f64> = CombBlasSpa::new(&a, SpMSpVOptions::with_threads(5));
         assert_eq!(alg.pieces(), 5);
     }
 

@@ -1,0 +1,483 @@
+//! Batched (multi-source) SpMSpV: `Y ← A ⊕.⊗ X` for a bundle of `k` sparse
+//! vectors in one pass over the matrix.
+//!
+//! The motivating applications of SpMSpV — multi-source BFS, batched
+//! personalized PageRank, betweenness-centrality-style sweeps — present `k`
+//! sparse frontiers at once. Calling the single-vector kernel `k` times
+//! traverses the CSC column structure of `A` up to `k` times (once per lane
+//! that activates a column). [`SpMSpVBucketBatch`] instead runs the paper's
+//! estimate/bucket/merge pipeline over the **union** of active columns:
+//!
+//! 1. **Fuse**: build the sorted union of the lanes' active indices, each
+//!    with its `(lane, value)` activations
+//!    ([`sparse_substrate::SparseVecBatch::fuse_columns`]).
+//! 2. **Estimate**: count, per `(thread, bucket)`, how many `(row, lane,
+//!    scaled value)` triples the thread will produce — a column with `L`
+//!    active lanes contributes `L` triples per stored row — and prefix-sum
+//!    into exclusive write windows (Algorithm 2, with lane-weighted counts).
+//! 3. **Bucketing**: scatter the triples lock-free into row-range buckets;
+//!    each matrix column is read **once** and scaled by all of its
+//!    activations while it is hot in cache.
+//! 4. **Merge**: per-bucket merge into a lane-aware SPA
+//!    ([`sparse_substrate::LaneSpa`]) whose per-`(row, lane)` generation
+//!    stamps make the `O(m·k)` accumulator logically resettable in `O(1)`.
+//! 5. **Output**: per-`(bucket, lane)` unique counts, prefix sums, and a
+//!    parallel gather into a [`SparseVecBatch`] output.
+//!
+//! [`NaiveBatch`] — `k` independent [`SpMSpVBucket`] calls — is the
+//! correctness oracle and the baseline the `batch_scaling` bench compares
+//! against. Both implement the [`SpMSpVBatch`] trait.
+//!
+//! ## Determinism
+//!
+//! With `sorted_output` (the default), lane `l`'s entries traverse the
+//! kernel in exactly the order the single-vector kernel would traverse them
+//! (ascending column, then CSC row order), so the batched result is
+//! **bit-identical** to `k` independent sorted [`SpMSpVBucket`] calls — for
+//! any semiring, including floating-point `(+, ×)` where reduction order
+//! matters.
+
+mod naive;
+
+pub use naive::NaiveBatch;
+
+use std::marker::PhantomData;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use sparse_substrate::{CscMatrix, LaneSpa, Scalar, Semiring, SparseVecBatch};
+
+use crate::algorithm::SpMSpVOptions;
+use crate::bucket::{bucket_of, bucket_row_ranges, BucketPlan};
+use crate::disjoint::{split_by_boundaries, DisjointWriter, SliceWriter};
+use crate::executor::{even_ranges, Executor};
+use crate::timing::StepTimings;
+
+/// A prepared batched SpMSpV computation `Y ← A ⊕.⊗ X` over a fixed matrix,
+/// where `X` and `Y` are sparse multi-vectors with matching lane counts.
+///
+/// The batched counterpart of [`crate::SpMSpV`]. Implementations may be
+/// called with varying `k` between calls; workspaces grow amortized.
+pub trait SpMSpVBatch<A: Scalar, X: Scalar, S: Semiring<A, X>>: Send {
+    /// Human-readable algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Number of matrix rows (`m`, the dimension of every output lane).
+    fn nrows(&self) -> usize;
+
+    /// Number of matrix columns (`n`, the dimension of every input lane).
+    fn ncols(&self) -> usize;
+
+    /// Computes `Y ← A ⊕.⊗ X` lane-wise: output lane `l` is
+    /// `A ⊕.⊗ X[l]`. Output lanes follow the implementation's sortedness
+    /// convention (sorted by index under the default options).
+    fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output>;
+}
+
+/// Reusable buffers of one [`SpMSpVBucketBatch`] instance: the lane-aware
+/// SPA (grown to the largest `m × k` seen so far) and the shared triple
+/// buffer (capacity retained across calls).
+struct BatchWorkspace<Y> {
+    spa: LaneSpa<Y>,
+    /// `(row, lane, scaled value)` triples, all buckets back to back.
+    entries: Vec<(usize, u32, Y)>,
+}
+
+/// The batched bucket kernel. See the [module docs](self) for the pipeline.
+pub struct SpMSpVBucketBatch<'a, A, X, S: Semiring<A, X>> {
+    matrix: &'a CscMatrix<A>,
+    options: SpMSpVOptions,
+    executor: Executor,
+    workspace: BatchWorkspace<S::Output>,
+    _marker: PhantomData<fn(X, S)>,
+}
+
+impl<'a, A, X, S> SpMSpVBucketBatch<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    /// Prepares the batched kernel for `matrix`. The `O(m·k)` lane-aware SPA
+    /// is allocated lazily on the first multiplication (when `k` is known)
+    /// and then grown amortized.
+    pub fn new(matrix: &'a CscMatrix<A>, options: SpMSpVOptions) -> Self {
+        let executor = options.build_executor();
+        Self::with_executor(matrix, options, executor)
+    }
+
+    /// Prepares the batched kernel reusing an existing executor.
+    pub fn with_executor(
+        matrix: &'a CscMatrix<A>,
+        options: SpMSpVOptions,
+        executor: Executor,
+    ) -> Self {
+        let workspace = BatchWorkspace { spa: LaneSpa::new(0, 0), entries: Vec::new() };
+        SpMSpVBucketBatch { matrix, options, executor, workspace, _marker: PhantomData }
+    }
+
+    /// The options this instance was built with.
+    pub fn options(&self) -> &SpMSpVOptions {
+        &self.options
+    }
+
+    /// Computes `Y ← A ⊕.⊗ X` and returns the per-step wall-clock breakdown
+    /// (the fuse pass is accounted under `estimate`).
+    pub fn multiply_batch_with_timings(
+        &mut self,
+        x: &SparseVecBatch<X>,
+        semiring: &S,
+    ) -> (SparseVecBatch<S::Output>, StepTimings) {
+        let m = self.matrix.nrows();
+        let n = self.matrix.ncols();
+        let k = x.k();
+        assert_eq!(
+            x.len(),
+            n,
+            "input batch has dimension {} but the matrix has {} columns",
+            x.len(),
+            n
+        );
+        let mut timings = StepTimings::default();
+        if x.is_empty() {
+            return (SparseVecBatch::new(m, k), timings);
+        }
+
+        // Same work-proportional thread cap as the single-vector kernel,
+        // measured in total activations across lanes.
+        const MIN_NNZ_PER_THREAD: usize = 32;
+        let t = self.executor.threads().min(x.total_nnz().div_ceil(MIN_NNZ_PER_THREAD)).max(1);
+        let nb = (self.options.buckets_per_thread * t).max(1);
+
+        // ---------------- Fuse + Estimate ----------------
+        let t0 = Instant::now();
+        let fused = x.fuse_columns();
+        let chunks = even_ranges(fused.num_cols(), t);
+        let matrix = self.matrix;
+        let plan = self.executor.install(|| {
+            let boffset: Vec<Vec<usize>> = chunks
+                .par_iter()
+                .map(|chunk| {
+                    let mut counts = vec![0usize; nb];
+                    for c in chunk.clone() {
+                        let j = fused.cols()[c];
+                        let weight = fused.activations(c).0.len();
+                        let (rows, _) = matrix.column(j);
+                        for &i in rows {
+                            counts[bucket_of(i, m, nb)] += weight;
+                        }
+                    }
+                    counts
+                })
+                .collect();
+            BucketPlan::from_boffset(boffset, nb)
+        });
+        timings.estimate = t0.elapsed();
+
+        // ---------------- Bucketing ----------------
+        let t1 = Instant::now();
+        let total = plan.total_entries();
+        let ws = &mut self.workspace;
+        ws.entries.clear();
+        ws.entries.reserve(total);
+        {
+            let writer = SliceWriter::new(&mut ws.entries.spare_capacity_mut()[..total]);
+            let write_offsets = &plan.write_offsets;
+            let fused = &fused;
+            self.executor.install(|| {
+                chunks.par_iter().zip(write_offsets.par_iter()).for_each(|(chunk, offsets)| {
+                    let mut cursor = offsets.clone();
+                    for c in chunk.clone() {
+                        let j = fused.cols()[c];
+                        let (lanes, xvals) = fused.activations(c);
+                        let (rows, avals) = matrix.column(j);
+                        for (&i, av) in rows.iter().zip(avals.iter()) {
+                            let b = bucket_of(i, m, nb);
+                            for (&lane, xv) in lanes.iter().zip(xvals.iter()) {
+                                let prod = semiring.multiply(av, xv);
+                                // SAFETY: cursor[b] lies inside this
+                                // thread's exclusive window for bucket b
+                                // (estimate counted `lanes.len()` slots
+                                // per stored row) and is bumped after
+                                // every write, so no slot repeats.
+                                unsafe { writer.write(cursor[b], (i, lane, prod)) };
+                                cursor[b] += 1;
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        // SAFETY: the estimate pass counted exactly `total` triples and the
+        // loop above wrote each one at a distinct offset; the parallel scope
+        // has ended, so all writes happened-before this point.
+        unsafe { ws.entries.set_len(total) };
+        timings.bucketing = t1.elapsed();
+
+        // ---------------- Merge (lane-aware SPA) ----------------
+        let t2 = Instant::now();
+        let row_ranges = bucket_row_ranges(m, nb);
+        ws.spa.ensure_shape(m, k);
+        let sorted_output = self.options.sorted_output;
+        // Per (bucket, lane) unique row lists.
+        let uinds: Vec<Vec<Vec<usize>>> = {
+            let windows = ws.spa.split_index_ranges(&row_ranges);
+            let entry_slices = split_by_boundaries(&ws.entries, &plan.bucket_starts);
+            self.executor.install(|| {
+                entry_slices
+                    .into_par_iter()
+                    .zip(windows.into_par_iter())
+                    .map(|(bucket_entries, mut window)| {
+                        let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
+                        for &(i, lane, ref v) in bucket_entries {
+                            if window.accumulate(i, lane as usize, *v, |a, b| semiring.add(a, b)) {
+                                uind[lane as usize].push(i);
+                            }
+                        }
+                        if sorted_output {
+                            for lane_uind in uind.iter_mut() {
+                                lane_uind.sort_unstable();
+                            }
+                        }
+                        uind
+                    })
+                    .collect()
+            })
+        };
+        timings.merge = t2.elapsed();
+
+        // ---------------- Output ----------------
+        let t3 = Instant::now();
+        // lane_ptr[l] = total unique rows of lanes < l; within a lane, the
+        // buckets' contributions land in ascending bucket (= row-range)
+        // order, so sorted buckets concatenate into a sorted lane.
+        let mut lane_sizes = vec![0usize; k];
+        for bucket_uind in &uinds {
+            for (l, lane_uind) in bucket_uind.iter().enumerate() {
+                lane_sizes[l] += lane_uind.len();
+            }
+        }
+        let mut lane_ptr = Vec::with_capacity(k + 1);
+        lane_ptr.push(0usize);
+        for &s in &lane_sizes {
+            lane_ptr.push(lane_ptr.last().unwrap() + s);
+        }
+        let y_nnz = *lane_ptr.last().unwrap();
+
+        // Exclusive write window per (bucket, lane) inside the output pool.
+        let mut window_starts: Vec<Vec<usize>> = Vec::with_capacity(nb);
+        {
+            let mut lane_cursor = lane_ptr[..k].to_vec();
+            for bucket_uind in &uinds {
+                let mut starts = Vec::with_capacity(k);
+                for (l, lane_uind) in bucket_uind.iter().enumerate() {
+                    starts.push(lane_cursor[l]);
+                    lane_cursor[l] += lane_uind.len();
+                }
+                window_starts.push(starts);
+            }
+        }
+
+        let idx_writer = DisjointWriter::new(y_nnz);
+        let val_writer = DisjointWriter::new(y_nnz);
+        {
+            let spa = &ws.spa;
+            self.executor.install(|| {
+                uinds.par_iter().zip(window_starts.par_iter()).for_each(|(bucket_uind, starts)| {
+                    for (l, lane_uind) in bucket_uind.iter().enumerate() {
+                        let base = starts[l];
+                        for (off, &i) in lane_uind.iter().enumerate() {
+                            // SAFETY: the (bucket, lane) windows computed
+                            // above partition 0..y_nnz, so every offset
+                            // is written exactly once.
+                            unsafe {
+                                idx_writer.write(base + off, i);
+                                val_writer.write(base + off, *spa.value_at(i, l));
+                            }
+                        }
+                    }
+                });
+            });
+        }
+        // SAFETY: the windows partition 0..y_nnz and every slot was written
+        // above; the parallel scope has ended (happens-before established).
+        let (out_indices, out_values) =
+            unsafe { (idx_writer.assume_filled(), val_writer.assume_filled()) };
+        let y = SparseVecBatch::from_parts_trusted(m, lane_ptr, out_indices, out_values)
+            .expect("batched bucket output is consistent by construction");
+        timings.output = t3.elapsed();
+
+        (y, timings)
+    }
+}
+
+impl<'a, A, X, S> SpMSpVBatch<A, X, S> for SpMSpVBucketBatch<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    fn name(&self) -> &'static str {
+        "SpMSpV-bucket-batch"
+    }
+
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output> {
+        self.multiply_batch_with_timings(x, semiring).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec, rmat, RmatParams};
+    use sparse_substrate::ops::spmspv_batch_reference;
+    use sparse_substrate::{fixtures, PlusTimes, Select2ndMin, SparseVec};
+
+    fn random_batch(n: usize, k: usize, nnz: usize, seed: u64) -> SparseVecBatch<f64> {
+        let lanes: Vec<SparseVec<f64>> =
+            (0..k).map(|l| random_sparse_vec(n, nnz.min(n), seed + 31 * l as u64)).collect();
+        SparseVecBatch::from_lanes(&lanes).unwrap()
+    }
+
+    #[test]
+    fn single_lane_batch_matches_single_vector_kernel() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let batch_x = SparseVecBatch::from_single(&x);
+        let mut batch = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(2));
+        let mut single = crate::SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
+        let by = batch.multiply_batch(&batch_x, &PlusTimes);
+        let sy = crate::SpMSpV::multiply(&mut single, &x, &PlusTimes);
+        assert_eq!(by.k(), 1);
+        assert_eq!(by.lane_vec(0), sy, "k=1 batch must be bit-identical to the single kernel");
+    }
+
+    #[test]
+    fn matches_reference_across_k_threads_and_density() {
+        let a = erdos_renyi(300, 6.0, 11);
+        for k in [1usize, 3, 8] {
+            for threads in [1usize, 2, 4] {
+                for nnz in [1usize, 20, 150] {
+                    let x = random_batch(300, k, nnz, 7 + k as u64 + nnz as u64);
+                    let expected = spmspv_batch_reference(&a, &x, &PlusTimes);
+                    let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
+                    let y = alg.multiply_batch(&x, &PlusTimes);
+                    assert!(
+                        y.approx_same_entries(&expected, 1e-9),
+                        "mismatch at k={k}, threads={threads}, nnz={nnz}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_k_independent_bucket_calls() {
+        let a = rmat(9, 8, RmatParams::graph500(), 3);
+        let n = a.ncols();
+        let x = random_batch(n, 5, 200, 42);
+        let mut batch = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(4));
+        let y = batch.multiply_batch(&x, &PlusTimes);
+        let mut single = crate::SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(3));
+        for l in 0..x.k() {
+            let lane_y = crate::SpMSpV::multiply(&mut single, &x.lane_vec(l), &PlusTimes);
+            assert_eq!(
+                y.lane_vec(l),
+                lane_y,
+                "lane {l} differs from an independent SpMSpVBucket call"
+            );
+        }
+    }
+
+    #[test]
+    fn select2nd_semiring_runs_batched() {
+        let a = rmat(8, 8, RmatParams::graph500(), 9);
+        let n = a.ncols();
+        let lanes: Vec<SparseVec<usize>> = (0..3)
+            .map(|l| SparseVec::from_pairs(n, vec![(l * 7 + 1, l * 7 + 1)]).unwrap())
+            .collect();
+        let x = SparseVecBatch::from_lanes(&lanes).unwrap();
+        let expected = spmspv_batch_reference(&a, &x, &Select2ndMin);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(4));
+        let y = alg.multiply_batch(&x, &Select2ndMin);
+        assert!(y.same_entries(&expected));
+    }
+
+    #[test]
+    fn empty_and_ragged_lanes() {
+        let a = fixtures::tridiagonal(40);
+        let lanes = vec![
+            SparseVec::new(40),
+            SparseVec::from_pairs(40, vec![(0, 1.0)]).unwrap(),
+            SparseVec::new(40),
+            SparseVec::from_pairs(40, (0..40).map(|i| (i, 1.0)).collect()).unwrap(),
+        ];
+        let x = SparseVecBatch::from_lanes(&lanes).unwrap();
+        let expected = spmspv_batch_reference(&a, &x, &PlusTimes);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(8));
+        let y = alg.multiply_batch(&x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-12));
+        assert!(y.lane_vec(0).is_empty());
+        assert!(y.lane_vec(2).is_empty());
+    }
+
+    #[test]
+    fn fully_empty_batch_short_circuits() {
+        let a = fixtures::figure1_matrix();
+        let x = SparseVecBatch::<f64>::new(8, 6);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::default());
+        let y = alg.multiply_batch(&x, &PlusTimes);
+        assert_eq!(y.k(), 6);
+        assert!(y.is_empty());
+    }
+
+    #[test]
+    fn workspace_survives_varying_k_across_calls() {
+        let a = erdos_renyi(200, 5.0, 5);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(2));
+        for (call, k) in [1usize, 16, 4, 32, 2].into_iter().enumerate() {
+            let x = random_batch(200, k, 30, call as u64);
+            let expected = spmspv_batch_reference(&a, &x, &PlusTimes);
+            let y = alg.multiply_batch(&x, &PlusTimes);
+            assert!(y.approx_same_entries(&expected, 1e-9), "call {call} (k={k}) diverged");
+        }
+    }
+
+    #[test]
+    fn unsorted_option_produces_same_entries() {
+        let a = erdos_renyi(250, 6.0, 23);
+        let x = random_batch(250, 4, 60, 1);
+        let expected = spmspv_batch_reference(&a, &x, &PlusTimes);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(3).sorted(false));
+        let y = alg.multiply_batch(&x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-9));
+    }
+
+    #[test]
+    fn timings_cover_all_steps() {
+        let a = erdos_renyi(1000, 8.0, 77);
+        let x = random_batch(1000, 8, 200, 6);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(2));
+        let (y, t) = alg.multiply_batch_with_timings(&x, &PlusTimes);
+        assert!(!y.is_empty());
+        let f = t.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn dimension_mismatch_panics() {
+        let a = fixtures::figure1_matrix();
+        let x = SparseVecBatch::<f64>::new(9, 2);
+        let mut alg = SpMSpVBucketBatch::new(&a, SpMSpVOptions::default());
+        let _ = alg.multiply_batch(&x, &PlusTimes);
+    }
+}

@@ -1,0 +1,82 @@
+//! The fallback batched algorithm: `k` independent single-vector
+//! [`SpMSpVBucket`] calls.
+//!
+//! This is both the correctness oracle for [`super::SpMSpVBucketBatch`]
+//! (every batched result must match it lane for lane) and the baseline the
+//! `batch_scaling` bench compares against: it traverses the matrix's column
+//! structure once **per lane**, where the fused kernel traverses it once per
+//! *distinct* active column of the whole batch.
+
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec, SparseVecBatch};
+
+use crate::algorithm::{SpMSpV, SpMSpVOptions};
+use crate::bucket::SpMSpVBucket;
+
+use super::SpMSpVBatch;
+
+/// Batched SpMSpV as `k` independent bucket multiplications sharing one
+/// prepared [`SpMSpVBucket`] instance (so the per-lane workspace reuse of
+/// the single-vector kernel still applies).
+pub struct NaiveBatch<'a, A, X, S: Semiring<A, X>> {
+    inner: SpMSpVBucket<'a, A, X, S>,
+}
+
+impl<'a, A, X, S> NaiveBatch<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    /// Prepares the fallback for `matrix` with the given options.
+    pub fn new(matrix: &'a CscMatrix<A>, options: SpMSpVOptions) -> Self {
+        NaiveBatch { inner: SpMSpVBucket::new(matrix, options) }
+    }
+}
+
+impl<'a, A, X, S> SpMSpVBatch<A, X, S> for NaiveBatch<'a, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    fn name(&self) -> &'static str {
+        "Naive-batch"
+    }
+
+    fn nrows(&self) -> usize {
+        self.inner.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.inner.ncols()
+    }
+
+    fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output> {
+        let lanes: Vec<SparseVec<S::Output>> =
+            (0..x.k()).map(|l| self.inner.multiply(&x.lane_vec(l), semiring)).collect();
+        SparseVecBatch::from_lanes(&lanes).expect("every lane shares the matrix's row dimension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+    use sparse_substrate::ops::spmspv_batch_reference;
+    use sparse_substrate::PlusTimes;
+
+    #[test]
+    fn naive_batch_matches_reference() {
+        let a = erdos_renyi(150, 5.0, 4);
+        let lanes: Vec<SparseVec<f64>> =
+            (0..4).map(|l| random_sparse_vec(150, 25, l as u64)).collect();
+        let x = SparseVecBatch::from_lanes(&lanes).unwrap();
+        let expected = spmspv_batch_reference(&a, &x, &PlusTimes);
+        let mut alg = NaiveBatch::new(&a, SpMSpVOptions::with_threads(3));
+        let y = alg.multiply_batch(&x, &PlusTimes);
+        assert!(y.approx_same_entries(&expected, 1e-9));
+        assert_eq!(alg.name(), "Naive-batch");
+        assert_eq!(alg.nrows(), 150);
+        assert_eq!(alg.ncols(), 150);
+    }
+}

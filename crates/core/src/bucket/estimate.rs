@@ -48,6 +48,30 @@ pub struct BucketPlan {
 }
 
 impl BucketPlan {
+    /// Derives the bucket layout and per-thread write windows from a
+    /// per-`(thread, bucket)` count matrix via prefix sums — the second half
+    /// of Algorithm 2, shared by the single-vector and batched kernels
+    /// (which differ only in how they count).
+    pub fn from_boffset(boffset: Vec<Vec<usize>>, nb: usize) -> Self {
+        let t = boffset.len();
+        let mut bucket_starts = vec![0usize; nb + 1];
+        for b in 0..nb {
+            let size: usize = (0..t).map(|k| boffset[k][b]).sum();
+            bucket_starts[b + 1] = bucket_starts[b] + size;
+        }
+
+        let mut write_offsets = vec![vec![0usize; nb]; t];
+        for b in 0..nb {
+            let mut cursor = bucket_starts[b];
+            for k in 0..t {
+                write_offsets[k][b] = cursor;
+                cursor += boffset[k][b];
+            }
+        }
+
+        BucketPlan { boffset, bucket_starts, write_offsets }
+    }
+
     /// Total number of scaled entries that will be produced
     /// (= `Σ_{j: x(j)≠0} nnz(A(:,j))`, the paper's `d·f`).
     pub fn total_entries(&self) -> usize {
@@ -81,7 +105,6 @@ pub fn estimate_buckets<A: Scalar, X: Scalar>(
     nb: usize,
     m: usize,
 ) -> BucketPlan {
-    let t = chunks.len();
     let boffset: Vec<Vec<usize>> = chunks
         .par_iter()
         .map(|chunk| {
@@ -97,22 +120,7 @@ pub fn estimate_buckets<A: Scalar, X: Scalar>(
         })
         .collect();
 
-    let mut bucket_starts = vec![0usize; nb + 1];
-    for b in 0..nb {
-        let size: usize = (0..t).map(|k| boffset[k][b]).sum();
-        bucket_starts[b + 1] = bucket_starts[b] + size;
-    }
-
-    let mut write_offsets = vec![vec![0usize; nb]; t];
-    for b in 0..nb {
-        let mut cursor = bucket_starts[b];
-        for k in 0..t {
-            write_offsets[k][b] = cursor;
-            cursor += boffset[k][b];
-        }
-    }
-
-    BucketPlan { boffset, bucket_starts, write_offsets }
+    BucketPlan::from_boffset(boffset, nb)
 }
 
 #[cfg(test)]

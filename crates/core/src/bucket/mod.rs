@@ -30,7 +30,7 @@ use rayon::prelude::*;
 use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
-use crate::disjoint::{split_ranges, SliceWriter};
+use crate::disjoint::{split_by_boundaries, split_ranges, SliceWriter};
 use crate::executor::{even_ranges, Executor};
 use crate::timing::StepTimings;
 
@@ -108,11 +108,7 @@ where
         // scale well when the vector is very sparse ... due to the scarcity
         // of work for all threads").
         const MIN_NNZ_PER_THREAD: usize = 32;
-        let t = self
-            .executor
-            .threads()
-            .min(x.nnz().div_ceil(MIN_NNZ_PER_THREAD))
-            .max(1);
+        let t = self.executor.threads().min(x.nnz().div_ceil(MIN_NNZ_PER_THREAD)).max(1);
         let nb = (self.options.buckets_per_thread * t).max(1);
 
         // Sorted variant: keep the input sorted for cache-friendly column
@@ -129,9 +125,9 @@ where
 
         // ---------------- Estimate (Algorithm 2) ----------------
         let t0 = Instant::now();
-        let plan = self.executor.install(|| {
-            estimate::estimate_buckets(self.matrix, x_ref, &chunks, nb, m)
-        });
+        let plan = self
+            .executor
+            .install(|| estimate::estimate_buckets(self.matrix, x_ref, &chunks, nb, m));
         timings.estimate = t0.elapsed();
 
         // ---------------- Step 1: bucketing ----------------
@@ -146,14 +142,10 @@ where
             let staging = self.options.staging_buffer;
             let write_offsets = &plan.write_offsets;
             self.executor.install(|| {
-                chunks
-                    .par_iter()
-                    .zip(write_offsets.par_iter())
-                    .enumerate()
-                    .for_each(|(thread_id, (chunk, offsets))| {
+                chunks.par_iter().zip(write_offsets.par_iter()).enumerate().for_each(
+                    |(thread_id, (chunk, offsets))| {
                         let mut cursor = offsets.clone();
-                        let mut stage: Vec<(usize, usize, S::Output)> =
-                            Vec::with_capacity(staging);
+                        let mut stage: Vec<(usize, usize, S::Output)> = Vec::with_capacity(staging);
                         for k in chunk.clone() {
                             let j = x_ref.indices()[k];
                             let xv = &x_ref.values()[k];
@@ -182,10 +174,10 @@ where
                         }
                         // Postcondition: each cursor reached the end of its
                         // exclusive window.
-                        debug_assert!((0..cursor.len()).all(|b| {
-                            cursor[b] == offsets[b] + plan.boffset_for(thread_id, b)
-                        }));
-                    });
+                        debug_assert!((0..cursor.len())
+                            .all(|b| { cursor[b] == offsets[b] + plan.boffset_for(thread_id, b) }));
+                    },
+                );
             });
         }
         // SAFETY: estimate_buckets counted exactly `total` entries and the
@@ -292,12 +284,6 @@ fn flush_stage<Y: Scalar>(
     stage.clear();
 }
 
-/// Splits a shared slice at the given boundary positions
-/// (`boundaries[0] == 0`, last boundary == `slice.len()`).
-fn split_by_boundaries<'s, T>(slice: &'s [T], boundaries: &[usize]) -> Vec<&'s [T]> {
-    boundaries.windows(2).map(|w| &slice[w[0]..w[1]]).collect()
-}
-
 impl<'a, A, X, S> SpMSpV<A, X, S> for SpMSpVBucket<'a, A, X, S>
 where
     A: Scalar,
@@ -356,8 +342,7 @@ mod tests {
             for f in [1usize, 5, 50, 400] {
                 let x = random_sparse_vec(400, f, 1000 + f as u64);
                 let expected = spmspv_reference(&a, &x, &PlusTimes);
-                let mut alg =
-                    SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(threads));
+                let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(threads));
                 let y = alg.multiply(&x, &PlusTimes);
                 assert!(
                     y.approx_same_entries(&expected, 1e-9),
@@ -372,10 +357,7 @@ mod tests {
         let a = rmat(9, 8, RmatParams::graph500(), 21);
         let x = random_sparse_vec(a.ncols(), 300, 9);
         let expected = spmspv_reference(&a, &x, &PlusTimes);
-        let mut unsorted = SpMSpVBucket::new(
-            &a,
-            SpMSpVOptions::with_threads(4).sorted(false),
-        );
+        let mut unsorted = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(4).sorted(false));
         let y = unsorted.multiply(&x, &PlusTimes);
         assert!(y.approx_same_entries(&expected, 1e-9));
     }
@@ -396,14 +378,8 @@ mod tests {
     fn staging_buffer_on_and_off_agree() {
         let a = erdos_renyi(500, 8.0, 13);
         let x = random_sparse_vec(500, 120, 5);
-        let mut direct = SpMSpVBucket::new(
-            &a,
-            SpMSpVOptions::with_threads(4).staging_buffer(0),
-        );
-        let mut staged = SpMSpVBucket::new(
-            &a,
-            SpMSpVOptions::with_threads(4).staging_buffer(8),
-        );
+        let mut direct = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(4).staging_buffer(0));
+        let mut staged = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(4).staging_buffer(8));
         let y1 = direct.multiply(&x, &PlusTimes);
         let y2 = staged.multiply(&x, &PlusTimes);
         assert!(y1.approx_same_entries(&y2, 1e-9));
@@ -415,10 +391,7 @@ mod tests {
         // be handled gracefully.
         let a = fixtures::tridiagonal(50);
         let x = SparseVec::from_pairs(50, vec![(0, 1.0)]).unwrap();
-        let mut alg = SpMSpVBucket::new(
-            &a,
-            SpMSpVOptions::with_threads(8).buckets_per_thread(16),
-        );
+        let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(8).buckets_per_thread(16));
         let y = alg.multiply(&x, &PlusTimes);
         let expected = spmspv_reference(&a, &x, &PlusTimes);
         assert!(y.approx_same_entries(&expected, 1e-9));

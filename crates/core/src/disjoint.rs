@@ -134,6 +134,14 @@ impl<'a, T> SliceWriter<'a, T> {
     }
 }
 
+/// Splits a shared slice at the given boundary positions
+/// (`boundaries[0] == 0`, last boundary == `slice.len()`). This is how both
+/// bucket kernels carve the shared entry buffer into per-bucket views using
+/// the `bucket_starts` prefix sums of their plan.
+pub fn split_by_boundaries<'s, T>(slice: &'s [T], boundaries: &[usize]) -> Vec<&'s [T]> {
+    boundaries.windows(2).map(|w| &slice[w[0]..w[1]]).collect()
+}
+
 /// Splits a mutable slice into the given consecutive, non-overlapping
 /// ranges. The ranges must be sorted, contiguous from 0 and cover the whole
 /// slice (exactly what bucket row-ranges and output windows look like), so

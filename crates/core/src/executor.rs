@@ -48,10 +48,7 @@ impl Executor {
 
     /// Runs a scope inside the pool; used for the "one task per logical
     /// thread" pattern Algorithm 1/2 needs.
-    pub fn scope<'scope, R: Send>(
-        &self,
-        f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send,
-    ) -> R {
+    pub fn scope<'scope, R: Send>(&self, f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send) -> R {
         self.pool.scope(f)
     }
 }
@@ -90,7 +87,7 @@ mod tests {
     #[test]
     fn install_runs_inside_the_pool() {
         let ex = Executor::new(2);
-        let inside = ex.install(|| rayon::current_num_threads());
+        let inside = ex.install(rayon::current_num_threads);
         assert_eq!(inside, 2);
     }
 

@@ -17,6 +17,12 @@
 //! 4. **Output** (Step 3): concatenate the buckets' unique indices into the
 //!    result vector with a prefix sum.
 //!
+//! The [`batch`] module extends the same machinery to sparse
+//! *multi-vectors*: [`SpMSpVBucketBatch`] serves `k` frontiers (multi-source
+//! BFS, batched personalized PageRank) with **one** traversal of the
+//! matrix's column structure, against the [`NaiveBatch`] fallback of `k`
+//! independent single-vector calls.
+//!
 //! The crate also contains faithful re-implementations of the baselines the
 //! paper compares against — [`baselines::CombBlasSpa`],
 //! [`baselines::CombBlasHeap`], [`baselines::GraphMatSpMSpV`],
@@ -42,6 +48,7 @@
 
 pub mod algorithm;
 pub mod baselines;
+pub mod batch;
 pub mod bucket;
 pub mod disjoint;
 pub mod executor;
@@ -50,6 +57,7 @@ pub mod stats;
 pub mod timing;
 
 pub use algorithm::{AlgorithmKind, SpMSpV, SpMSpVOptions};
+pub use batch::{NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch};
 pub use bucket::SpMSpVBucket;
 pub use executor::Executor;
 pub use masked::{MaskMode, MaskedSpMSpV};

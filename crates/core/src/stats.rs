@@ -38,7 +38,9 @@ impl WorkStats {
 
     /// Total work performed (sum of all counted operations).
     pub fn total_work(&self) -> usize {
-        self.multiplications + self.columns_inspected + self.x_entries_read
+        self.multiplications
+            + self.columns_inspected
+            + self.x_entries_read
             + self.spa_slots_initialized
     }
 

@@ -77,7 +77,8 @@ mod tests {
     #[test]
     fn two_components_get_two_labels() {
         let a = two_triangles();
-        let labels = connected_components(&a, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+        let labels =
+            connected_components(&a, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
         assert_eq!(&labels[0..3], &[0, 0, 0]);
         assert_eq!(&labels[3..6], &[3, 3, 3]);
     }

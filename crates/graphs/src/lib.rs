@@ -8,6 +8,11 @@
 //!
 //! All algorithms take an [`spmspv::AlgorithmKind`] so the benchmark harness
 //! can swap the underlying SpMSpV implementation exactly as the paper does.
+//!
+//! The batched workloads — [`multi_bfs`] (k-source BFS with lane retirement)
+//! and [`pagerank_personalized_batch`] (one personalized rank vector per
+//! teleport target) — run on `spmspv::batch::SpMSpVBucketBatch`, amortizing
+//! each iteration's matrix traversal across every still-active lane.
 
 #![warn(missing_docs)]
 
@@ -15,6 +20,7 @@ pub mod bfs;
 pub mod components;
 pub mod matching;
 pub mod mis;
+pub mod multi_bfs;
 pub mod pagerank;
 pub mod pseudo_diameter;
 pub mod semirings;
@@ -23,7 +29,10 @@ pub use bfs::{bfs, bfs_frontiers, BfsResult};
 pub use components::connected_components;
 pub use matching::bipartite_matching;
 pub use mis::maximal_independent_set;
-pub use pagerank::{pagerank_datadriven, PageRankOptions};
+pub use multi_bfs::{multi_bfs, MultiBfsResult};
+pub use pagerank::{
+    pagerank_datadriven, pagerank_personalized_batch, PageRankOptions, PersonalizedPageRankResult,
+};
 pub use pseudo_diameter::pseudo_diameter;
 
 use sparse_substrate::{CscMatrix, Select2ndMin};

@@ -155,8 +155,7 @@ mod tests {
     fn agrees_in_cardinality_with_sequential_on_structured_input() {
         let a = CscMatrix::identity(40, 2.0);
         let par = bipartite_matching(&a, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(4));
-        let seq =
-            bipartite_matching(&a, AlgorithmKind::Sequential, SpMSpVOptions::with_threads(1));
+        let seq = bipartite_matching(&a, AlgorithmKind::Sequential, SpMSpVOptions::with_threads(1));
         assert_eq!(par.cardinality(), seq.cardinality());
     }
 }

@@ -42,8 +42,7 @@ pub fn maximal_independent_set(
     let semiring = Select2ndMax;
 
     loop {
-        let undecided: Vec<usize> =
-            (0..n).filter(|&v| state[v] == State::Undecided).collect();
+        let undecided: Vec<usize> = (0..n).filter(|&v| state[v] == State::Undecided).collect();
         if undecided.is_empty() {
             break;
         }
@@ -119,7 +118,8 @@ mod tests {
     #[test]
     fn grid_mis_is_valid_and_maximal() {
         let a = grid2d(10, 10);
-        let set = maximal_independent_set(&a, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2), 42);
+        let set =
+            maximal_independent_set(&a, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2), 42);
         assert!(!set.is_empty());
         assert!(is_maximal_independent_set(&a, &set));
     }

@@ -1,0 +1,207 @@
+//! Multi-source breadth-first search on the batched SpMSpV primitive.
+//!
+//! `k` BFS traversals (one per source) advance in lock step: every level is
+//! **one** batched SpMSpV over the bundle of current frontiers, so the
+//! matrix's column structure is traversed once per level for the whole
+//! batch instead of once per source. This is the workload batched SpMSpV
+//! exists for — betweenness centrality, all-pairs-ish reachability probes
+//! and landmark selection all run many BFSs from different sources over one
+//! graph.
+//!
+//! Sources finish at different levels; a lane whose frontier empties is
+//! *retired* — dropped from the batch so later levels only pay for the
+//! still-active sources. [`MultiBfsResult::active_lanes_per_level`] records
+//! that shrinkage.
+
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec, SparseVecBatch};
+use spmspv::batch::{SpMSpVBatch, SpMSpVBucketBatch};
+use spmspv::SpMSpVOptions;
+
+/// Result of a multi-source BFS: one parent/level map per source, plus the
+/// batched-execution telemetry.
+#[derive(Debug, Clone)]
+pub struct MultiBfsResult {
+    /// The sources, in the order the per-source results are stored.
+    pub sources: Vec<usize>,
+    /// `parents[s][v]`: BFS parent of `v` in the tree rooted at
+    /// `sources[s]` (`parents[s][sources[s]] == sources[s]`), or `None`.
+    pub parents: Vec<Vec<Option<usize>>>,
+    /// `levels[s][v]`: hop distance of `v` from `sources[s]`, or `None`.
+    pub levels: Vec<Vec<Option<usize>>>,
+    /// Vertices reached per source, including the source itself.
+    pub num_visited: Vec<usize>,
+    /// Number of levels executed (= batched SpMSpV calls).
+    pub iterations: usize,
+    /// Wall-clock time spent inside the batched SpMSpV across all levels.
+    pub spmspv_time: Duration,
+    /// Number of still-active lanes fed to each level's batched SpMSpV —
+    /// demonstrates lane retirement.
+    pub active_lanes_per_level: Vec<usize>,
+}
+
+/// Runs BFS from every vertex in `sources` simultaneously with the batched
+/// bucket kernel.
+///
+/// Equivalent to calling [`crate::bfs`] once per source (the property tests
+/// assert exactly that), but amortizing each level's matrix traversal over
+/// all still-active sources.
+pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) -> MultiBfsResult {
+    let n = a.ncols();
+    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
+    for &s in sources {
+        assert!(s < n, "source vertex {s} out of range for {n} vertices");
+    }
+
+    let k = sources.len();
+    let mut parents: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
+    let mut levels: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
+    let mut num_visited = vec![0usize; k];
+
+    // active[lane] = source index this batch lane serves; retired lanes are
+    // removed so the batch width tracks the number of unfinished sources.
+    let mut active: Vec<usize> = Vec::with_capacity(k);
+    let mut frontiers: Vec<SparseVec<usize>> = Vec::with_capacity(k);
+    for (s, &src) in sources.iter().enumerate() {
+        parents[s][src] = Some(src);
+        levels[s][src] = Some(0);
+        num_visited[s] = 1;
+        active.push(s);
+        frontiers.push(SparseVec::from_pairs(n, vec![(src, src)]).expect("source index in range"));
+    }
+
+    let mut alg = SpMSpVBucketBatch::new(a, options);
+    let semiring = Select2ndMin;
+    let mut iterations = 0usize;
+    let mut spmspv_time = Duration::ZERO;
+    let mut active_lanes_per_level = Vec::new();
+    let mut level = 0usize;
+
+    while !active.is_empty() {
+        active_lanes_per_level.push(active.len());
+        let x =
+            SparseVecBatch::from_lanes(&frontiers).expect("frontiers share the graph's dimension");
+        let t = Instant::now();
+        let reached = alg.multiply_batch(&x, &semiring);
+        spmspv_time += t.elapsed();
+        iterations += 1;
+        level += 1;
+
+        let mut next_active = Vec::with_capacity(active.len());
+        let mut next_frontiers = Vec::with_capacity(active.len());
+        for (lane, &s) in active.iter().enumerate() {
+            let (rows, parents_found) = reached.lane(lane);
+            let mut next = SparseVec::new(n);
+            for (&v, &parent) in rows.iter().zip(parents_found.iter()) {
+                if parents[s][v].is_none() {
+                    parents[s][v] = Some(parent);
+                    levels[s][v] = Some(level);
+                    num_visited[s] += 1;
+                    next.push(v, v);
+                }
+            }
+            if !next.is_empty() {
+                next_active.push(s);
+                next_frontiers.push(next);
+            }
+        }
+        active = next_active;
+        frontiers = next_frontiers;
+    }
+
+    MultiBfsResult {
+        sources: sources.to_vec(),
+        parents,
+        levels,
+        num_visited,
+        iterations,
+        spmspv_time,
+        active_lanes_per_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs;
+    use sparse_substrate::gen::{grid2d, rmat, RmatParams};
+    use sparse_substrate::CooMatrix;
+    use spmspv::AlgorithmKind;
+
+    #[test]
+    fn agrees_with_independent_single_source_bfs() {
+        let a = rmat(8, 8, RmatParams::graph500(), 5);
+        let sources = [0usize, 3, 17, 99];
+        let multi = multi_bfs(&a, &sources, SpMSpVOptions::with_threads(4));
+        for (s, &src) in sources.iter().enumerate() {
+            let single = bfs(&a, src, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+            assert_eq!(multi.levels[s], single.levels, "levels differ for source {src}");
+            assert_eq!(
+                multi.num_visited[s], single.num_visited,
+                "visited count differs for source {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn parents_form_valid_trees_per_source() {
+        let a = grid2d(9, 14);
+        let sources = [0usize, 60, 125];
+        let r = multi_bfs(&a, &sources, SpMSpVOptions::with_threads(3));
+        for (s, &src) in sources.iter().enumerate() {
+            for v in 0..a.ncols() {
+                match (r.parents[s][v], r.levels[s][v]) {
+                    (Some(p), Some(l)) => {
+                        if v == src {
+                            assert_eq!(p, src);
+                            assert_eq!(l, 0);
+                        } else {
+                            assert!(a.get(v, p).is_some() || a.get(p, v).is_some());
+                            assert_eq!(r.levels[s][p], Some(l - 1));
+                        }
+                    }
+                    (None, None) => {}
+                    other => panic!("inconsistent parent/level for {v}: {other:?}"),
+                }
+            }
+            assert_eq!(r.num_visited[s], a.ncols(), "grid is connected");
+        }
+    }
+
+    #[test]
+    fn lanes_retire_as_sources_finish() {
+        // A path graph: BFS from one end takes n-1 levels, from the middle
+        // n/2, so lanes must retire at different times.
+        let n = 24;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n - 1 {
+            coo.push(i, i + 1, 1.0);
+            coo.push(i + 1, i, 1.0);
+        }
+        let a = CscMatrix::from_coo(coo, |v, _| v);
+        let r = multi_bfs(&a, &[0, n / 2], SpMSpVOptions::with_threads(2));
+        assert_eq!(r.active_lanes_per_level.first(), Some(&2));
+        assert_eq!(r.active_lanes_per_level.last(), Some(&1));
+        // from the end: n-1 productive levels + the final empty expansion
+        assert_eq!(r.iterations, n);
+        assert_eq!(r.num_visited, vec![n, n]);
+    }
+
+    #[test]
+    fn duplicate_sources_produce_identical_lanes() {
+        let a = grid2d(6, 6);
+        let r = multi_bfs(&a, &[7, 7], SpMSpVOptions::with_threads(2));
+        assert_eq!(r.levels[0], r.levels[1]);
+        assert_eq!(r.parents[0], r.parents[1]);
+    }
+
+    #[test]
+    fn no_sources_is_a_noop() {
+        let a = grid2d(4, 4);
+        let r = multi_bfs(&a, &[], SpMSpVOptions::default());
+        assert_eq!(r.iterations, 0);
+        assert!(r.parents.is_empty());
+        assert!(r.active_lanes_per_level.is_empty());
+    }
+}

@@ -141,10 +141,7 @@ mod tests {
     fn rank_lookup_matches_iteration_order() {
         let b = sample();
         let via_iter: Vec<_> = b.iter().map(|(i, &v)| (i, v)).collect();
-        assert_eq!(
-            via_iter,
-            vec![(0, 1.0), (63, 2.0), (64, 3.0), (130, 4.0), (199, 5.0)]
-        );
+        assert_eq!(via_iter, vec![(0, 1.0), (63, 2.0), (64, 3.0), (130, 4.0), (199, 5.0)]);
         for (i, v) in &via_iter {
             assert_eq!(b.get(*i).copied(), Some(*v));
         }

@@ -274,10 +274,7 @@ mod tests {
         let mut m = sample();
         m.sort_column_major();
         let triples: Vec<_> = m.iter().map(|(r, c, &v)| (r, c, v)).collect();
-        assert_eq!(
-            triples,
-            vec![(0, 0, 1.0), (1, 1, 3.0), (2, 1, 2.0), (0, 3, 4.0)]
-        );
+        assert_eq!(triples, vec![(0, 0, 1.0), (1, 1, 3.0), (2, 1, 2.0), (0, 3, 4.0)]);
     }
 
     #[test]

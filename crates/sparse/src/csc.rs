@@ -221,9 +221,7 @@ impl<T: Scalar> CscMatrix<T> {
     /// the original matrix; returned row ids are re-based to the piece.
     pub fn row_split(&self, pieces: usize) -> Vec<CscMatrix<T>> {
         assert!(pieces > 0, "cannot split into zero pieces");
-        let bounds: Vec<usize> = (0..=pieces)
-            .map(|p| p * self.nrows / pieces)
-            .collect();
+        let bounds: Vec<usize> = (0..=pieces).map(|p| p * self.nrows / pieces).collect();
         let mut out = Vec::with_capacity(pieces);
         for p in 0..pieces {
             let (lo, hi) = (bounds[p], bounds[p + 1]);
@@ -271,9 +269,7 @@ impl<T: Scalar> CscMatrix<T> {
             return Err(SparseError::InvalidStructure("colptr[0] must be 0".into()));
         }
         if *self.colptr.last().unwrap_or(&0) != self.rowids.len() {
-            return Err(SparseError::InvalidStructure(
-                "colptr[ncols] must equal nnz".into(),
-            ));
+            return Err(SparseError::InvalidStructure("colptr[ncols] must equal nnz".into()));
         }
         for j in 0..self.ncols {
             if self.colptr[j] > self.colptr[j + 1] {
@@ -406,13 +402,9 @@ mod tests {
         // row id out of bounds
         assert!(CscMatrix::from_parts(2, 2, vec![0, 1, 1], vec![5], vec![1.0]).is_err());
         // unsorted rows in a column
-        assert!(
-            CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]).is_err());
         // valid
-        assert!(
-            CscMatrix::from_parts(3, 1, vec![0, 2], vec![1, 2], vec![1.0, 2.0]).is_ok()
-        );
+        assert!(CscMatrix::from_parts(3, 1, vec![0, 2], vec![1, 2], vec![1.0, 2.0]).is_ok());
     }
 
     #[test]

@@ -177,8 +177,6 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         assert!(CsrMatrix::<f64>::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
-        assert!(
-            CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![1.0, 2.0]).is_ok()
-        );
+        assert!(CsrMatrix::from_parts(2, 3, vec![0, 1, 2], vec![2, 0], vec![1.0, 2.0]).is_ok());
     }
 }

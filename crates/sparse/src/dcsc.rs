@@ -52,7 +52,8 @@ impl<T: Scalar> DcscMatrix<T> {
             values.extend_from_slice(vals);
             cp.push(rowids.len());
         }
-        let mut m = DcscMatrix { nrows, ncols, jc, cp, rowids, values, aux: Vec::new(), aux_stride: 1 };
+        let mut m =
+            DcscMatrix { nrows, ncols, jc, cp, rowids, values, aux: Vec::new(), aux_stride: 1 };
         m.rebuild_aux();
         m
     }
@@ -74,18 +75,14 @@ impl<T: Scalar> DcscMatrix<T> {
             )));
         }
         if rowids.len() != values.len() {
-            return Err(SparseError::InvalidStructure(
-                "rowids and values differ in length".into(),
-            ));
+            return Err(SparseError::InvalidStructure("rowids and values differ in length".into()));
         }
         if *cp.last().unwrap_or(&0) != rowids.len() {
             return Err(SparseError::InvalidStructure("cp[nzc] must equal nnz".into()));
         }
         for w in jc.windows(2) {
             if w[0] >= w[1] {
-                return Err(SparseError::InvalidStructure(
-                    "jc must be strictly increasing".into(),
-                ));
+                return Err(SparseError::InvalidStructure("jc must be strictly increasing".into()));
             }
         }
         if let Some(&last) = jc.last() {
@@ -97,9 +94,7 @@ impl<T: Scalar> DcscMatrix<T> {
         }
         for (k, w) in cp.windows(2).enumerate() {
             if w[0] > w[1] {
-                return Err(SparseError::InvalidStructure(format!(
-                    "cp decreases at position {k}"
-                )));
+                return Err(SparseError::InvalidStructure(format!("cp decreases at position {k}")));
             }
             let col = &rowids[w[0]..w[1]];
             for pair in col.windows(2) {
@@ -117,7 +112,8 @@ impl<T: Scalar> DcscMatrix<T> {
                 }
             }
         }
-        let mut m = DcscMatrix { nrows, ncols, jc, cp, rowids, values, aux: Vec::new(), aux_stride: 1 };
+        let mut m =
+            DcscMatrix { nrows, ncols, jc, cp, rowids, values, aux: Vec::new(), aux_stride: 1 };
         m.rebuild_aux();
         Ok(m)
     }
@@ -131,12 +127,12 @@ impl<T: Scalar> DcscMatrix<T> {
         let slots = self.ncols / self.aux_stride + 2;
         let mut aux = vec![self.jc.len(); slots];
         let mut pos = 0usize;
-        for slot in 0..slots {
+        for (slot, aux_entry) in aux.iter_mut().enumerate() {
             let col_lo = slot * self.aux_stride;
             while pos < self.jc.len() && self.jc[pos] < col_lo {
                 pos += 1;
             }
-            aux[slot] = pos;
+            *aux_entry = pos;
         }
         self.aux = aux;
     }
@@ -212,9 +208,8 @@ impl<T: Scalar> DcscMatrix<T> {
 
     /// Iterates all entries as `(row, col, &value)` in column-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &T)> + '_ {
-        self.iter_columns().flat_map(|(j, rows, vals)| {
-            rows.iter().zip(vals.iter()).map(move |(&i, v)| (i, j, v))
-        })
+        self.iter_columns()
+            .flat_map(|(j, rows, vals)| rows.iter().zip(vals.iter()).map(move |(&i, v)| (i, j, v)))
     }
 
     /// Converts back to CSC (mainly for tests and round-trips).
@@ -307,7 +302,8 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         // cp too short
-        assert!(DcscMatrix::<f64>::from_parts(2, 4, vec![1, 2], vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(DcscMatrix::<f64>::from_parts(2, 4, vec![1, 2], vec![0, 1], vec![0], vec![1.0])
+            .is_err());
         // jc not increasing
         assert!(DcscMatrix::from_parts(
             2,

@@ -45,10 +45,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => write!(
-                f,
-                "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, nrows, ncols } => {
+                write!(f, "entry ({row}, {col}) is outside the {nrows}x{ncols} matrix")
+            }
             SparseError::VectorIndexOutOfBounds { index, len } => {
                 write!(f, "index {index} is outside the length-{len} vector")
             }

@@ -113,10 +113,7 @@ mod tests {
         let avg = a.avg_column_degree();
         let max = a.max_column_degree();
         // Scale-free: the hub degree dwarfs the average degree.
-        assert!(
-            (max as f64) > 4.0 * avg,
-            "max degree {max} not much larger than average {avg}"
-        );
+        assert!((max as f64) > 4.0 * avg, "max degree {max} not much larger than average {avg}");
     }
 
     #[test]

@@ -14,9 +14,12 @@
 //!   column index (what the CombBLAS and GraphMat baselines consume);
 //! * [`CsrMatrix`] — Compressed Sparse Rows (used for reference SpMV);
 //! * [`SparseVec`] — `(index, value)` list format, sorted or unsorted;
+//! * [`SparseVecBatch`] — `k` sparse vectors (lanes) over a shared index
+//!   pool, the substrate of batched multi-source SpMSpV;
 //! * [`BitVec`] — bitmap + rank structure, GraphMat's vector format;
 //! * [`Spa`] — the sparse accumulator with generation-based partial
-//!   initialization (Gilbert, Moler & Schreiber);
+//!   initialization (Gilbert, Moler & Schreiber) — and [`LaneSpa`], its
+//!   lane-aware variant with one slot per `(index, lane)` pair;
 //! * [`semiring`] — GraphBLAS-style `(add, multiply)` abstractions so the
 //!   same SpMSpV kernels drive numerical multiplication, BFS, and other
 //!   graph algorithms;
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod batch;
 pub mod bitvec;
 pub mod coo;
 pub mod csc;
@@ -48,6 +52,7 @@ pub mod semiring;
 pub mod spa;
 pub mod spvec;
 
+pub use batch::{FusedColumns, SparseVecBatch};
 pub use bitvec::BitVec;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
@@ -56,7 +61,7 @@ pub use dcsc::DcscMatrix;
 pub use dense::DenseVec;
 pub use error::SparseError;
 pub use semiring::{BoolOrAnd, MinPlus, PlusTimes, Select2ndMin, Semiring};
-pub use spa::Spa;
+pub use spa::{LaneSpa, Spa};
 pub use spvec::SparseVec;
 
 /// Trait bound shared by every value stored in a sparse object.
@@ -69,7 +74,4 @@ pub use spvec::SparseVec;
 /// or booleans in the same containers that store floats.
 pub trait Scalar: Copy + Send + Sync + PartialEq + Default + std::fmt::Debug + 'static {}
 
-impl<T> Scalar for T where
-    T: Copy + Send + Sync + PartialEq + Default + std::fmt::Debug + 'static
-{
-}
+impl<T> Scalar for T where T: Copy + Send + Sync + PartialEq + Default + std::fmt::Debug + 'static {}

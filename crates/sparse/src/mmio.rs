@@ -43,9 +43,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseEr
                     break line;
                 }
             }
-            None => {
-                return Err(SparseError::Parse { line: 0, message: "empty file".into() })
-            }
+            None => return Err(SparseError::Parse { line: 0, message: "empty file".into() }),
         }
     };
     let tokens: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
@@ -96,7 +94,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseEr
                 break trimmed;
             }
             None => {
-                return Err(SparseError::Parse { line: lineno, message: "missing size line".into() })
+                return Err(SparseError::Parse {
+                    line: lineno,
+                    message: "missing size line".into(),
+                })
             }
         }
     };
@@ -132,12 +133,9 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<CooMatrix<f64>, SparseEr
         }
         let mut it = trimmed.split_whitespace();
         let parse_idx = |tok: Option<&str>| -> Result<usize, SparseError> {
-            tok.ok_or_else(|| SparseError::Parse {
-                line: lineno,
-                message: "missing index".into(),
-            })?
-            .parse::<usize>()
-            .map_err(|_| SparseError::Parse { line: lineno, message: "invalid index".into() })
+            tok.ok_or_else(|| SparseError::Parse { line: lineno, message: "missing index".into() })?
+                .parse::<usize>()
+                .map_err(|_| SparseError::Parse { line: lineno, message: "invalid index".into() })
         };
         let i = parse_idx(it.next())?;
         let j = parse_idx(it.next())?;
@@ -227,11 +225,12 @@ mod tests {
     #[test]
     fn rejects_malformed_headers_and_entries() {
         assert!(read_matrix_market("".as_bytes()).is_err());
-        assert!(read_matrix_market("%%MatrixMarket tensor coordinate real general\n1 1 0\n".as_bytes()).is_err());
         assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+            "%%MatrixMarket tensor coordinate real general\n1 1 0\n".as_bytes()
         )
         .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+            .is_err());
         // out-of-range entry
         let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 5.0\n";
         assert!(read_matrix_market(bad.as_bytes()).is_err());

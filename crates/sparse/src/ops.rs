@@ -77,13 +77,28 @@ where
     DenseVec::from_vec(y)
 }
 
+/// Reference batched SpMSpV: `k` independent [`spmspv_reference`] calls,
+/// one per lane. Every batched kernel is tested against this.
+pub fn spmspv_batch_reference<A, X, S>(
+    a: &CscMatrix<A>,
+    x: &crate::batch::SparseVecBatch<X>,
+    semiring: &S,
+) -> crate::batch::SparseVecBatch<S::Output>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+{
+    let lanes: Vec<SparseVec<S::Output>> =
+        x.to_lanes().iter().map(|lane| spmspv_reference(a, lane, semiring)).collect();
+    crate::batch::SparseVecBatch::from_lanes(&lanes)
+        .expect("reference lanes share the matrix's row dimension")
+}
+
 /// Number of scalar multiplications SpMSpV must perform for this operand
 /// pair: `Σ_{j : x(j) ≠ 0} nnz(A(:, j))`. This is the paper's lower-bound
 /// quantity `d·f` computed exactly, used by the work-efficiency experiments.
-pub fn required_multiplications<A: Scalar, X: Scalar>(
-    a: &CscMatrix<A>,
-    x: &SparseVec<X>,
-) -> usize {
+pub fn required_multiplications<A: Scalar, X: Scalar>(a: &CscMatrix<A>, x: &SparseVec<X>) -> usize {
     x.iter().map(|(j, _)| a.column_nnz(j)).sum()
 }
 
@@ -103,13 +118,8 @@ mod tests {
         //   col 2: rows {0:e=5, 2:p=16, 3:f=6, 4:q=17}
         //   col 5: rows {0:s=19, 6:n=14}
         //   col 7: rows {4:t=20}
-        let expect: Vec<(usize, f64)> = vec![
-            (0, 5.0 + 19.0),
-            (2, 16.0),
-            (3, 6.0),
-            (4, 17.0 + 20.0),
-            (6, 14.0),
-        ];
+        let expect: Vec<(usize, f64)> =
+            vec![(0, 5.0 + 19.0), (2, 16.0), (3, 6.0), (4, 17.0 + 20.0), (6, 14.0)];
         let got: Vec<(usize, f64)> = y.iter().map(|(i, &v)| (i, v)).collect();
         assert_eq!(got, expect);
     }

@@ -28,12 +28,7 @@ impl<T: Scalar> Spa<T> {
     /// Allocates a SPA for index space `0..m`. This is the only `O(m)` cost;
     /// subsequent resets are `O(1)` plus the entries previously occupied.
     pub fn new(m: usize) -> Self {
-        Spa {
-            values: vec![None; m],
-            stamp: vec![0; m],
-            generation: 1,
-            occupied: Vec::new(),
-        }
+        Spa { values: vec![None; m], stamp: vec![0; m], generation: 1, occupied: Vec::new() }
     }
 
     /// Size of the underlying dense index space.
@@ -108,6 +103,195 @@ impl<T: Scalar> Spa<T> {
     }
 }
 
+/// A lane-aware sparse accumulator: one SPA slot per `(index, lane)` pair,
+/// for merging `k` sparse vectors at once.
+///
+/// Layout is row-major (`slot = index * k + lane`), so the slots of a
+/// contiguous *index* range form a contiguous memory range — exactly what a
+/// bucketed merge needs to hand each bucket a disjoint mutable window via
+/// [`LaneSpa::split_index_ranges`]. Like [`Spa`], initialization is partial:
+/// a per-slot generation stamp makes the `O(m·k)` dense arrays logically
+/// empty again with a single counter bump ([`LaneSpa::reset`]), so the big
+/// allocation is paid once and reused across every batched multiplication.
+#[derive(Debug, Clone)]
+pub struct LaneSpa<T> {
+    values: Vec<T>,
+    stamp: Vec<u64>,
+    generation: u64,
+    m: usize,
+    k: usize,
+}
+
+impl<T: Scalar> LaneSpa<T> {
+    /// Allocates the accumulator for index space `0..m` with `k` lanes.
+    pub fn new(m: usize, k: usize) -> Self {
+        LaneSpa {
+            values: vec![T::default(); m * k],
+            stamp: vec![0; m * k],
+            // Stamps start at 0, so generation 1 makes every slot logically
+            // empty from the first use.
+            generation: 1,
+            m,
+            k,
+        }
+    }
+
+    /// Index-space size `m`.
+    #[inline]
+    pub fn index_len(&self) -> usize {
+        self.m
+    }
+
+    /// Lane count `k`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Grows (never shrinks) the accumulator to cover at least `m` indices
+    /// and `k` lanes, then resets. Reallocates only when the shape actually
+    /// grows, so a batch kernel can serve varying `k` while keeping the
+    /// amortized-allocation property.
+    pub fn ensure_shape(&mut self, m: usize, k: usize) {
+        if m > self.m || k > self.k {
+            let new_m = m.max(self.m);
+            let new_k = k.max(self.k);
+            self.values = vec![T::default(); new_m * new_k];
+            self.stamp = vec![0; new_m * new_k];
+            self.generation = 0;
+            self.m = new_m;
+            self.k = new_k;
+        }
+        self.reset();
+    }
+
+    /// Logically empties every slot in `O(1)`.
+    pub fn reset(&mut self) {
+        self.generation += 1;
+    }
+
+    /// The flat slot of `(index, lane)`.
+    #[inline]
+    pub fn slot(&self, index: usize, lane: usize) -> usize {
+        debug_assert!(index < self.m && lane < self.k);
+        index * self.k + lane
+    }
+
+    /// Current value at `(index, lane)`, if occupied this generation.
+    #[inline]
+    pub fn get(&self, index: usize, lane: usize) -> Option<&T> {
+        let s = self.slot(index, lane);
+        if self.stamp[s] == self.generation {
+            Some(&self.values[s])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts or combines at `(index, lane)`; returns `true` when the slot
+    /// was freshly occupied this generation.
+    #[inline]
+    pub fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        let s = self.slot(index, lane);
+        if self.stamp[s] == self.generation {
+            self.values[s] = add(self.values[s], value);
+            false
+        } else {
+            self.stamp[s] = self.generation;
+            self.values[s] = value;
+            true
+        }
+    }
+
+    /// Splits the accumulator into disjoint mutable windows, one per index
+    /// range (ranges must be contiguous from 0 and cover `0..m`, like bucket
+    /// row ranges). Each window can be merged into concurrently.
+    pub fn split_index_ranges<'a>(
+        &'a mut self,
+        ranges: &[std::ops::Range<usize>],
+    ) -> Vec<LaneSpaWindow<'a, T>> {
+        let k = self.k;
+        let generation = self.generation;
+        let mut out = Vec::with_capacity(ranges.len());
+        let mut values: &'a mut [T] = &mut self.values;
+        let mut stamps: &'a mut [u64] = &mut self.stamp;
+        let mut consumed = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, consumed, "ranges must be contiguous from 0");
+            let take = (r.end - r.start) * k;
+            let (v_head, v_tail) = values.split_at_mut(take);
+            let (s_head, s_tail) = stamps.split_at_mut(take);
+            out.push(LaneSpaWindow {
+                values: v_head,
+                stamps: s_head,
+                base_index: r.start,
+                k,
+                generation,
+            });
+            values = v_tail;
+            stamps = s_tail;
+            consumed = r.end;
+        }
+        assert_eq!(consumed, self.m, "ranges must cover the whole index space");
+        out
+    }
+
+    /// Read-only access to the value at a flat slot (for the gather step
+    /// that runs after all windows are merged and dropped).
+    #[inline]
+    pub fn value_at(&self, index: usize, lane: usize) -> &T {
+        &self.values[index * self.k + lane]
+    }
+}
+
+/// A disjoint mutable window of a [`LaneSpa`] covering one contiguous index
+/// range across all lanes. Handed to one merge task; windows of different
+/// ranges can be used from different threads simultaneously.
+#[derive(Debug)]
+pub struct LaneSpaWindow<'a, T> {
+    values: &'a mut [T],
+    stamps: &'a mut [u64],
+    base_index: usize,
+    k: usize,
+    generation: u64,
+}
+
+impl<T: Scalar> LaneSpaWindow<'_, T> {
+    /// First index this window covers.
+    #[inline]
+    pub fn base_index(&self) -> usize {
+        self.base_index
+    }
+
+    /// Inserts or combines at `(index, lane)` (index is global; must fall in
+    /// this window's range). Returns `true` when the slot was freshly
+    /// occupied this generation.
+    #[inline]
+    pub fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        let s = (index - self.base_index) * self.k + lane;
+        if self.stamps[s] == self.generation {
+            self.values[s] = add(self.values[s], value);
+            false
+        } else {
+            self.stamps[s] = self.generation;
+            self.values[s] = value;
+            true
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,5 +351,76 @@ mod tests {
         spa.accumulate(0, 4usize, |a, b| a.min(b));
         spa.accumulate(0, 7usize, |a, b| a.min(b));
         assert_eq!(spa.get(0).copied(), Some(4));
+    }
+
+    #[test]
+    fn lane_spa_keeps_lanes_independent() {
+        let mut spa = LaneSpa::new(5, 3);
+        assert!(spa.accumulate(2, 0, 1.0, |a, b| a + b));
+        assert!(spa.accumulate(2, 1, 10.0, |a, b| a + b));
+        assert!(!spa.accumulate(2, 0, 2.0, |a, b| a + b));
+        assert_eq!(spa.get(2, 0).copied(), Some(3.0));
+        assert_eq!(spa.get(2, 1).copied(), Some(10.0));
+        assert_eq!(spa.get(2, 2), None);
+        assert_eq!(spa.get(3, 0), None);
+    }
+
+    #[test]
+    fn lane_spa_reset_is_logical() {
+        let mut spa = LaneSpa::new(4, 2);
+        spa.accumulate(1, 1, 7.0, |a, b| a + b);
+        spa.reset();
+        assert_eq!(spa.get(1, 1), None);
+        assert!(spa.accumulate(1, 1, 2.0, |a, b| a + b));
+        assert_eq!(spa.get(1, 1).copied(), Some(2.0));
+    }
+
+    #[test]
+    fn lane_spa_fresh_allocation_is_empty() {
+        let spa: LaneSpa<f64> = LaneSpa::new(3, 2);
+        for i in 0..3 {
+            for l in 0..2 {
+                assert_eq!(spa.get(i, l), None);
+            }
+        }
+    }
+
+    #[test]
+    fn lane_spa_ensure_shape_grows_and_resets() {
+        let mut spa: LaneSpa<usize> = LaneSpa::new(4, 1);
+        spa.accumulate(0, 0, 9, |a, b| a + b);
+        spa.ensure_shape(4, 1); // no growth, just reset
+        assert_eq!(spa.get(0, 0), None);
+        spa.ensure_shape(6, 3);
+        assert_eq!(spa.index_len(), 6);
+        assert_eq!(spa.lanes(), 3);
+        assert!(spa.accumulate(5, 2, 1, |a, b| a + b));
+        spa.ensure_shape(2, 2); // never shrinks
+        assert_eq!(spa.index_len(), 6);
+        assert_eq!(spa.lanes(), 3);
+    }
+
+    #[test]
+    fn lane_spa_windows_merge_disjoint_ranges_in_parallel() {
+        let mut spa = LaneSpa::new(10, 2);
+        spa.reset();
+        let ranges = [0..4, 4..10];
+        let mut windows = spa.split_index_ranges(&ranges);
+        assert_eq!(windows.len(), 2);
+        std::thread::scope(|s| {
+            let mut it = windows.drain(..);
+            let mut w0 = it.next().unwrap();
+            let mut w1 = it.next().unwrap();
+            s.spawn(move || {
+                assert!(w0.accumulate(1, 0, 5.0, |a, b| a + b));
+                assert!(!w0.accumulate(1, 0, 2.0, |a, b| a + b));
+            });
+            s.spawn(move || {
+                assert!(w1.accumulate(9, 1, 3.0, |a, b| a + b));
+            });
+        });
+        assert_eq!(spa.get(1, 0).copied(), Some(7.0));
+        assert_eq!(spa.get(9, 1).copied(), Some(3.0));
+        assert_eq!(spa.get(1, 1), None);
     }
 }

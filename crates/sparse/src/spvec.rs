@@ -40,9 +40,7 @@ impl<T: Scalar> SparseVec<T> {
         let mut sorted = indices.clone();
         sorted.sort_unstable();
         if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err(SparseError::InvalidStructure(
-                "duplicate index in sparse vector".into(),
-            ));
+            return Err(SparseError::InvalidStructure("duplicate index in sparse vector".into()));
         }
         Ok(SparseVec { len, indices, values })
     }
@@ -50,7 +48,11 @@ impl<T: Scalar> SparseVec<T> {
     /// Builds a vector from raw parallel arrays without checking for
     /// duplicates (bounds are still validated). Used on hot paths where the
     /// caller constructs the arrays itself (e.g. the output step of SpMSpV).
-    pub fn from_parts(len: usize, indices: Vec<usize>, values: Vec<T>) -> Result<Self, SparseError> {
+    pub fn from_parts(
+        len: usize,
+        indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, SparseError> {
         if indices.len() != values.len() {
             return Err(SparseError::InvalidStructure(format!(
                 "indices ({}) and values ({}) differ in length",

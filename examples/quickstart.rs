@@ -41,10 +41,7 @@ fn main() {
 
     // Cross-check against the sequential reference implementation.
     let expected = spmspv_reference(&a, &x, &PlusTimes);
-    assert!(
-        y.approx_same_entries(&expected, 1e-9),
-        "bucket result diverges from the reference"
-    );
+    assert!(y.approx_same_entries(&expected, 1e-9), "bucket result diverges from the reference");
     println!("result verified against the sequential reference");
 
     // The per-step breakdown the paper analyses in Figure 6.

@@ -61,14 +61,8 @@ fn main() {
         }
     }
 
-    println!(
-        "{iterations} working-set products ({} nonzero features per sample):",
-        sample_nnz
-    );
+    println!("{iterations} working-set products ({} nonzero features per sample):", sample_nnz);
     println!("  SpMSpV-bucket (parallel): {:>9.3} ms total", bucket_time.as_secs_f64() * 1e3);
     println!("  Sequential SPA baseline : {:>9.3} ms total", seq_time.as_secs_f64() * 1e3);
-    println!(
-        "  speedup: {:.2}x",
-        seq_time.as_secs_f64() / bucket_time.as_secs_f64().max(1e-12)
-    );
+    println!("  speedup: {:.2}x", seq_time.as_secs_f64() / bucket_time.as_secs_f64().max(1e-12));
 }

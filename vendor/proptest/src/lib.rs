@@ -1,0 +1,415 @@
+//! Minimal, API-compatible stand-in for the subset of [proptest] this
+//! workspace's tests use, so they run without registry access.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed sequence (seeded by case index), and failing cases are
+//! **not shrunk** — the panic message reports the case number so a failure
+//! is reproducible by re-running the test. Swap this path dependency for the
+//! real `proptest` crate when a registry is reachable.
+//!
+//! [proptest]: https://docs.rs/proptest
+
+use rand::rngs::StdRng;
+
+/// Re-exported so the `proptest!` macro expansion can seed generators.
+pub use rand::SeedableRng;
+
+#[doc(hidden)]
+pub use rand as rand_shim;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Error carried out of a failing property body by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// The real crate separates strategies from value trees to support
+/// shrinking; this shim only generates.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { base: self, f }
+    }
+
+    /// Feeds generated values into `f` to obtain a dependent strategy.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// Strategy yielding clones of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(usize, u32, u64, i32, i64, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Uniform choice between boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    alternatives: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from boxed strategies (at least one).
+    pub fn new(alternatives: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let pick = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[pick].generate(rng)
+    }
+}
+
+/// Boxes a strategy for use inside [`Union`].
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`, `btree_map`).
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeMap` with size (after key deduplication) at most
+    /// the drawn target.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            let mut map = BTreeMap::new();
+            // Colliding keys shrink the map below `target`, matching the
+            // real crate's "up to `size`" semantics closely enough.
+            for _ in 0..target {
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// A `BTreeMap` built from `keys`/`values` with size in `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: std::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { keys, values, size }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = <$crate::rand_shim::rngs::StdRng as $crate::SeedableRng>::seed_from_u64(
+                        0xC0FF_EE00u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("proptest case {case} failed: {e}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*
+        }
+    };
+}
+
+/// Asserts inside a property body, failing the case (not aborting the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = (2usize..10, 1i32..16).generate(&mut rng);
+            assert!((2..10).contains(&v.0) && (1..16).contains(&v.1));
+            let vs = crate::collection::vec(0usize..5, 0..7).generate(&mut rng);
+            assert!(vs.len() < 7);
+            assert!(vs.iter().all(|&x| x < 5));
+            let m = crate::collection::btree_map(0usize..10, 1i32..4, 0..6).generate(&mut rng);
+            assert!(m.len() < 6);
+            let picked = prop_oneof![Just(1usize), Just(4usize)].generate(&mut rng);
+            assert!(picked == 1 || picked == 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_wires_patterns_and_assertions(
+            (a, b) in (0usize..10, 0usize..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a, "commutativity with flag {}", flag);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Minimal, API-compatible stand-in for the subset of the [rand] crate this
+//! workspace uses, so the workspace builds without registry access.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — deterministic for a given seed (which is all the synthetic
+//! matrix/vector generators require; they never ask for cryptographic or
+//! cross-version-stable streams). Swap this path dependency for the real
+//! `rand` crate when a registry is reachable.
+//!
+//! [rand]: https://docs.rs/rand
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences, mirroring the `rand::Rng` extension trait.
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of type `T` (see [`Standard`] impls:
+    /// `f64` in `[0, 1)`, `f32` in `[0, 1)`, `bool`, and the integer types).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// A uniform value in `range` (half-open).
+    fn gen_range<T: UniformSample>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(&range, self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    //! Named generator types.
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Note: the stream differs from the real `StdRng` (ChaCha12); the
+    /// workspace only relies on per-seed determinism, not on a specific
+    /// stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state, the
+            // initialization recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// The standard distribution marker (`rng.gen::<T>()` sampling).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Standard;
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {
+        $(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait UniformSample: Sized {
+    /// Draws a value in `[range.start, range.end)`.
+    fn sample_range<R: RngCore>(range: &std::ops::Range<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {
+        $(
+            impl UniformSample for $t {
+                fn sample_range<R: RngCore>(range: &std::ops::Range<Self>, rng: &mut R) -> Self {
+                    assert!(range.start < range.end, "empty gen_range");
+                    let span = (range.end - range.start) as u64;
+                    // Multiply-shift rejection-free mapping (Lemire); the tiny
+                    // modulo bias is irrelevant for test-data generation.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    range.start + hi as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_uniform_uint!(u32, u64, usize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {
+        $(
+            impl UniformSample for $t {
+                fn sample_range<R: RngCore>(range: &std::ops::Range<Self>, rng: &mut R) -> Self {
+                    assert!(range.start < range.end, "empty gen_range");
+                    let unit: f64 = Standard.sample(rng);
+                    range.start + (range.end - range.start) * unit as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_uniform_float!(f64);
+
+impl UniformSample for i64 {
+    fn sample_range<R: RngCore>(range: &std::ops::Range<Self>, rng: &mut R) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        let span = (range.end as i128 - range.start as i128) as u128;
+        let hi = (rng.next_u64() as u128 * span) >> 64;
+        (range.start as i128 + hi as i128) as i64
+    }
+}
+
+impl UniformSample for i32 {
+    fn sample_range<R: RngCore>(range: &std::ops::Range<Self>, rng: &mut R) -> Self {
+        let wide = i64::sample_range(&((range.start as i64)..(range.end as i64)), rng);
+        wide as i32
+    }
+}
+
+pub mod distributions {
+    //! Distribution types (`Uniform`, `Standard`).
+
+    pub use crate::{Distribution, Standard};
+
+    /// Uniform distribution over a half-open range, mirroring
+    /// `rand::distributions::Uniform`.
+    #[derive(Debug, Clone)]
+    pub struct Uniform<T> {
+        range: std::ops::Range<T>,
+    }
+
+    impl<T: crate::UniformSample + Clone> Uniform<T> {
+        /// Builds the distribution from a half-open range.
+        pub fn new(low: T, high: T) -> Self {
+            Uniform { range: low..high }
+        }
+
+        /// `Uniform::from(a..b)` construction used by the generators.
+        pub fn from(range: std::ops::Range<T>) -> Self {
+            Uniform { range }
+        }
+    }
+
+    impl<T: crate::UniformSample + Clone> Distribution<T> for Uniform<T> {
+        fn sample<R: crate::RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            struct Shim<'a, R: ?Sized>(&'a mut R);
+            impl<R: crate::RngCore + ?Sized> crate::RngCore for Shim<'_, R> {
+                fn next_u64(&mut self) -> u64 {
+                    self.0.next_u64()
+                }
+            }
+            T::sample_range(&self.range, &mut Shim(rng))
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice utilities (`shuffle`, `choose`).
+
+    use crate::{Rng, UniformSample};
+
+    /// Extension trait mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, or `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(&(0..i + 1), rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[usize::sample_range(&(0..self.len()), rng)])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let v = rng.gen_range(1i32..16);
+            assert!((1..16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_in_range() {
+        use super::distributions::{Distribution, Uniform};
+        let mut rng = StdRng::seed_from_u64(11);
+        let idx = Uniform::from(0usize..50);
+        let val = Uniform::from(0.0f64..1.0);
+        for _ in 0..1000 {
+            assert!(idx.sample(&mut rng) < 50);
+            let v = val.sample(&mut rng);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

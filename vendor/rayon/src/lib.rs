@@ -1,0 +1,536 @@
+//! Minimal, API-compatible stand-in for the subset of [rayon] this workspace
+//! uses, written against `std` only so the workspace builds without network
+//! access to a registry.
+//!
+//! It is **not** a work-stealing runtime: parallel iterators eagerly
+//! materialize their items, split them into `current_num_threads()` contiguous
+//! chunks and run each chunk on a scoped OS thread (`std::thread::scope`).
+//! Order-sensitive guarantees the algorithms rely on are preserved:
+//!
+//! * `map(..).collect::<Vec<_>>()` keeps item order;
+//! * `zip` pairs items positionally, truncating to the shorter side;
+//! * `enumerate` numbers items from 0 in order;
+//! * a `ThreadPool` built for `t` threads makes closures run under
+//!   [`ThreadPool::install`] observe `current_num_threads() == t`, and
+//!   parallel iterators launched there use at most `t` worker threads.
+//!
+//! Swap this path dependency for the real `rayon` crate when a registry is
+//! reachable; no workspace source code needs to change.
+//!
+//! [rayon]: https://docs.rs/rayon
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParIter, IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        MapParIter, ParIter,
+    };
+    pub use crate::slice::ParallelSliceMut;
+}
+
+pub mod slice {
+    //! Parallel slice operations (`par_sort_unstable_by_key`).
+
+    use crate::iter::IntoParallelIterator;
+
+    /// Subset of `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Exposes the underlying mutable slice.
+        fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+        /// Unstable sort by key: chunks are sorted on worker threads, then
+        /// k-way merged through an auxiliary buffer. Equivalent ordering to
+        /// `sort_unstable_by_key` except for the relative order of equal
+        /// keys (unstable either way).
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            T: Copy,
+            K: Ord + Copy,
+            F: Fn(&T) -> K + Sync,
+        {
+            let slice = self.as_parallel_slice_mut();
+            let threads = crate::current_num_threads().max(1);
+            if threads == 1 || slice.len() < 2048 {
+                slice.sort_unstable_by_key(key);
+                return;
+            }
+            let chunk = slice.len().div_ceil(threads);
+            let chunks: Vec<&mut [T]> = slice.chunks_mut(chunk).collect();
+            chunks.into_par_iter().map(|c| c.sort_unstable_by_key(&key)).collect::<Vec<()>>();
+            // k-way merge of the sorted runs into an auxiliary buffer.
+            let mut cursors: Vec<(usize, usize)> = Vec::new();
+            let mut start = 0;
+            while start < slice.len() {
+                let end = (start + chunk).min(slice.len());
+                cursors.push((start, end));
+                start = end;
+            }
+            let mut aux: Vec<T> = Vec::with_capacity(slice.len());
+            while !cursors.is_empty() {
+                let mut best = 0;
+                for r in 1..cursors.len() {
+                    if key(&slice[cursors[r].0]) < key(&slice[cursors[best].0]) {
+                        best = r;
+                    }
+                }
+                let (pos, end) = &mut cursors[best];
+                aux.push(slice[*pos]);
+                *pos += 1;
+                if *pos == *end {
+                    cursors.swap_remove(best);
+                }
+            }
+            slice.copy_from_slice(&aux);
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads of the pool whose [`ThreadPool::install`] (or
+/// [`ThreadPool::scope`]) scope the calling thread is executing under, or the
+/// machine's logical CPU count outside any pool.
+pub fn current_num_threads() -> usize {
+    let set = CURRENT_THREADS.with(|c| c.get());
+    if set == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        set
+    }
+}
+
+pub(crate) fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    CURRENT_THREADS.with(|c| {
+        let prev = c.get();
+        c.set(threads);
+        let guard = RestoreOnDrop { cell: c, prev };
+        let out = f();
+        drop(guard);
+        out
+    })
+}
+
+struct RestoreOnDrop<'a> {
+    cell: &'a Cell<usize>,
+    prev: usize,
+}
+
+impl Drop for RestoreOnDrop<'_> {
+    fn drop(&mut self) {
+        self.cell.set(self.prev);
+    }
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; this shim cannot fail
+/// to build a pool, the type exists for signature compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (all logical CPUs) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Pins the pool size; `0` means all logical CPUs.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for compatibility; the shim spawns unnamed scoped threads.
+    pub fn thread_name<F: FnMut(usize) -> String>(self, _f: F) -> Self {
+        self
+    }
+
+    /// Materializes the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A logical pool: it owns no threads, but records the parallelism degree
+/// that parallel iterators and scopes launched under it should use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count as the ambient parallelism.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        with_thread_count(self.threads, op)
+    }
+
+    /// Runs a scope in which [`Scope::spawn`]ed tasks execute on up to
+    /// `self.threads` worker threads after `op` returns (tasks may spawn
+    /// further tasks; all complete before `scope` returns).
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        let scope = Scope { tasks: Mutex::new(VecDeque::new()) };
+        let result = with_thread_count(self.threads, || op(&scope));
+        loop {
+            let batch: Vec<Task<'scope>> = {
+                let mut q = scope.tasks.lock().unwrap();
+                q.drain(..).collect()
+            };
+            if batch.is_empty() {
+                break;
+            }
+            let workers = self.threads.min(batch.len()).max(1);
+            if workers == 1 {
+                for task in batch {
+                    task(&scope);
+                }
+            } else {
+                let queue = Mutex::new(batch);
+                std::thread::scope(|ts| {
+                    for _ in 0..workers {
+                        let queue = &queue;
+                        let scope = &scope;
+                        let threads = self.threads;
+                        ts.spawn(move || {
+                            with_thread_count(threads, || loop {
+                                let task = queue.lock().unwrap().pop();
+                                match task {
+                                    Some(t) => t(scope),
+                                    None => break,
+                                }
+                            })
+                        });
+                    }
+                });
+            }
+        }
+        result
+    }
+}
+
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// Scope handle passed to [`ThreadPool::scope`] closures.
+pub struct Scope<'scope> {
+    tasks: Mutex<VecDeque<Task<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues a task; it runs (possibly on another thread) before the
+    /// enclosing [`ThreadPool::scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks.lock().unwrap().push_back(Box::new(f));
+    }
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: eager item lists with deferred,
+    //! chunk-parallel terminal operations.
+
+    /// Runs `f` over `items` on up to `current_num_threads()` scoped
+    /// threads, preserving item order in the result.
+    fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let threads = super::current_num_threads().max(1);
+        let n = items.len();
+        if threads == 1 || n <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let f = &f;
+        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        // Workers inherit the caller's ambient thread count so
+                        // nested parallel calls still honor the pinned pool
+                        // size instead of falling back to the CPU count.
+                        super::with_thread_count(threads, || {
+                            chunk.into_iter().map(f).collect::<Vec<R>>()
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for mut part in per_chunk {
+            out.append(&mut part);
+        }
+        out
+    }
+
+    /// An eager list of items awaiting a parallel terminal operation.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Pairs items positionally with another parallel iterator,
+        /// truncating to the shorter of the two.
+        pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+            ParIter { items: self.items.into_iter().zip(other.items).collect() }
+        }
+
+        /// Attaches each item's position.
+        pub fn enumerate(self) -> ParIter<(usize, T)> {
+            ParIter { items: self.items.into_iter().enumerate().collect() }
+        }
+
+        /// Defers `f` to the terminal operation (`collect`/`for_each`), which
+        /// runs it in parallel.
+        pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> MapParIter<T, F> {
+            MapParIter { items: self.items, f }
+        }
+
+        /// Runs `f` on every item in parallel.
+        pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+            run_parallel(self.items, f);
+        }
+
+        /// Number of items.
+        pub fn len(&self) -> usize {
+            self.items.len()
+        }
+
+        /// `true` when there are no items.
+        pub fn is_empty(&self) -> bool {
+            self.items.is_empty()
+        }
+    }
+
+    /// A [`ParIter`] with a pending `map` closure.
+    pub struct MapParIter<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T: Send, F> MapParIter<T, F> {
+        /// Runs the pending map in parallel and collects the results in item
+        /// order.
+        pub fn collect<C>(self) -> C
+        where
+            F: Fn(T) -> C::Item + Sync,
+            C: FromParIter,
+            C::Item: Send,
+        {
+            C::from_vec(run_parallel(self.items, self.f))
+        }
+    }
+
+    /// Collection types a parallel `collect` can target.
+    pub trait FromParIter {
+        /// Element type collected.
+        type Item;
+        /// Builds the collection from an ordered `Vec` of results.
+        fn from_vec(v: Vec<Self::Item>) -> Self;
+    }
+
+    impl<T> FromParIter for Vec<T> {
+        type Item = T;
+        fn from_vec(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    /// `into_par_iter()` — by-value parallel iteration.
+    pub trait IntoParallelIterator {
+        /// Item yielded to the parallel closures.
+        type Item: Send;
+        /// Converts into the eager parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for ParIter<T> {
+        type Item = T;
+        fn into_par_iter(self) -> ParIter<T> {
+            self
+        }
+    }
+
+    /// `par_iter()` — by-shared-reference parallel iteration.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item yielded (`&'a T`).
+        type Item: Send;
+        /// Borrows into the eager parallel iterator.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = &'a T;
+        fn par_iter(&'a self) -> ParIter<&'a T> {
+            ParIter { items: self.iter().collect() }
+        }
+    }
+
+    /// `par_iter_mut()` — by-mutable-reference parallel iteration.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Item yielded (`&'a mut T`).
+        type Item: Send;
+        /// Mutably borrows into the eager parallel iterator.
+        fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter { items: self.iter_mut().collect() }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = &'a mut T;
+        fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+            ParIter { items: self.iter_mut().collect() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_enumerate_for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let a: Vec<usize> = (0..100).collect();
+        let b: Vec<usize> = (100..200).collect();
+        let sum = AtomicUsize::new(0);
+        a.par_iter().zip(b.par_iter()).enumerate().for_each(|(i, (&x, &y))| {
+            assert_eq!(y - x, 100);
+            assert_eq!(x, i);
+            sum.fetch_add(x + y, Ordering::Relaxed);
+        });
+        let expected: usize = (0..100).map(|x| x + x + 100).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expected);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<usize> = vec![1; 64];
+        v.par_iter_mut().enumerate().for_each(|(i, slot)| *slot = i);
+        assert_eq!(v, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_inherit_the_pool_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let counts: Vec<usize> = pool.install(|| {
+            let items: Vec<usize> = (0..8).collect();
+            items.par_iter().map(|_| current_num_threads()).collect()
+        });
+        assert!(counts.iter().all(|&c| c == 2), "nested calls saw {counts:?}");
+    }
+
+    #[test]
+    fn install_sets_ambient_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // restored afterwards
+        assert_ne!(CURRENT_THREADS.with(|c| c.get()), 3);
+    }
+
+    #[test]
+    fn scope_runs_spawned_and_nested_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let count = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|inner| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    inner.spawn(|_| {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 16);
+    }
+}
