@@ -3,22 +3,39 @@
 //!
 //! Sweeps `k ∈ {1, 4, 16, 64}` on a scale-free R-MAT graph, comparing
 //!
-//! * `SpMSpVBucketBatch` — one fused traversal of the union of active
+//! * `SpMSpV-bucket-batch` — one fused traversal of the union of active
 //!   columns per call, and
 //! * `Naive-batch` — `k` independent `SpMSpVBucket` calls,
 //!
-//! and prints a per-lane amortization table (total time / k) after the
-//! criterion groups, which is the quantity that shows whether batching
-//! pays: the fused kernel's per-lane time should *fall* with `k` while the
-//! naive baseline's stays flat.
+//! both driven through the unified [`Mxv`] descriptor, and prints a per-lane
+//! amortization table (total time / k) after the criterion groups, which is
+//! the quantity that shows whether batching pays: the fused kernel's
+//! per-lane time should *fall* with `k` while the naive baseline's stays
+//! flat.
+//!
+//! A second sweep benchmarks the **masked** batch — the BFS shape
+//! `frontier ∧ ¬visited`, with half the vertices already visited — in the
+//! two ways the workspace can compute it:
+//!
+//! * in-kernel: the descriptor's mask is consulted during the SPA merge,
+//! * post-filter: an unmasked product followed by a filtering pass
+//!   (`mask_filter_batch`, the pre-`Mxv` strategy).
+//!
+//! The printed step timings of the in-kernel run show the mask's entire
+//! cost sitting inside the `merge` phase — estimate + bucketing + merge +
+//! output account for the whole call, i.e. no extra full-vector post-filter
+//! pass runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
-use sparse_substrate::{PlusTimes, SparseVec, SparseVecBatch};
-use spmspv::batch::{NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch};
-use spmspv::SpMSpVOptions;
+use sparse_substrate::{MaskBits, PlusTimes, SparseVec, SparseVecBatch};
+use spmspv::batch::mask_filter_batch;
+use spmspv::ops::Mxv;
+use spmspv::{
+    BatchAlgorithmKind, BatchMaskView, MaskMode, MaskView, SpMSpVBucketBatch, SpMSpVOptions,
+};
 
 const KS: [usize; 4] = [1, 4, 16, 64];
 const FRONTIER_NNZ: usize = 512;
@@ -27,6 +44,12 @@ fn make_batch(n: usize, k: usize) -> SparseVecBatch<f64> {
     let lanes: Vec<SparseVec<f64>> =
         (0..k).map(|l| random_sparse_vec(n, FRONTIER_NNZ, 1000 + l as u64)).collect();
     SparseVecBatch::from_lanes(&lanes).expect("lanes share n")
+}
+
+/// A "visited" set covering roughly half the vertices (multiplicative-hash
+/// spread, so it is not correlated with vertex ids).
+fn make_visited(n: usize) -> MaskBits {
+    MaskBits::from_indices(n, (0..n).filter(|v| (v.wrapping_mul(2654435761) >> 4) % 2 == 0))
 }
 
 fn bench_batch_scaling(c: &mut Criterion) {
@@ -39,29 +62,63 @@ fn bench_batch_scaling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for &k in &KS {
         let x = make_batch(n, k);
-        let mut fused = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
-        group.bench_with_input(BenchmarkId::new("SpMSpV-bucket-batch", k), &x, |b, x| {
-            b.iter(|| fused.multiply_batch(x, &PlusTimes))
-        });
-        let mut naive = NaiveBatch::new(&a, SpMSpVOptions::with_threads(threads));
-        group.bench_with_input(BenchmarkId::new("Naive-batch", k), &x, |b, x| {
-            b.iter(|| naive.multiply_batch(x, &PlusTimes))
-        });
+        for kind in [BatchAlgorithmKind::Bucket, BatchAlgorithmKind::Naive] {
+            let mut op = Mxv::over(&a)
+                .semiring(&PlusTimes)
+                .batch_algorithm(kind)
+                .options(SpMSpVOptions::with_threads(threads))
+                .prepare::<f64>();
+            group.bench_with_input(BenchmarkId::new(kind.label(), k), &x, |b, x| {
+                b.iter(|| op.run_batch(x))
+            });
+        }
     }
     group.finish();
+
+    let visited = make_visited(n);
+    let mut masked_group = c.benchmark_group("batch_scaling_masked");
+    masked_group.sample_size(10);
+    masked_group.measurement_time(Duration::from_secs(2));
+    for &k in &KS {
+        let x = make_batch(n, k);
+        let mut op = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .mask(&visited, MaskMode::Complement)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
+        masked_group.bench_with_input(BenchmarkId::new("in-kernel-mask", k), &x, |b, x| {
+            b.iter(|| op.run_batch(x))
+        });
+        let mut unmasked = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
+        let view = BatchMaskView::Shared(MaskView::new(&visited, MaskMode::Complement));
+        masked_group.bench_with_input(BenchmarkId::new("post-filter", k), &x, |b, x| {
+            b.iter(|| mask_filter_batch(&unmasked.run_batch(x), &view))
+        });
+    }
+    masked_group.finish();
 
     // Per-lane amortization table (the headline number of this bench).
     eprintln!("\nper-lane time (total / k), frontier nnz = {FRONTIER_NNZ}, {threads} threads:");
     eprintln!("{:>4}  {:>18}  {:>18}  {:>8}", "k", "bucket-batch/lane", "naive/lane", "speedup");
     for &k in &KS {
         let x = make_batch(n, k);
-        let mut fused = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
-        let mut naive = NaiveBatch::new(&a, SpMSpVOptions::with_threads(threads));
+        let mut fused = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
+        let mut naive = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .batch_algorithm(BatchAlgorithmKind::Naive)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
         let fused_lane = time_per_lane(k, || {
-            fused.multiply_batch(&x, &PlusTimes);
+            fused.run_batch(&x);
         });
         let naive_lane = time_per_lane(k, || {
-            naive.multiply_batch(&x, &PlusTimes);
+            naive.run_batch(&x);
         });
         eprintln!(
             "{:>4}  {:>16.1}us  {:>16.1}us  {:>7.2}x",
@@ -71,6 +128,51 @@ fn bench_batch_scaling(c: &mut Criterion) {
             naive_lane.as_secs_f64() / fused_lane.as_secs_f64().max(f64::EPSILON),
         );
     }
+
+    // Masked per-lane table: the BFS shape frontier ∧ ¬visited, in-kernel
+    // mask vs the pre-`Mxv` post-filter strategy.
+    let view = BatchMaskView::Shared(MaskView::new(&visited, MaskMode::Complement));
+    eprintln!("\nmasked per-lane time (¬visited over {} of {} vertices):", visited.count(), n);
+    eprintln!("{:>4}  {:>18}  {:>18}  {:>8}", "k", "in-kernel/lane", "post-filter/lane", "saved");
+    for &k in &KS {
+        let x = make_batch(n, k);
+        let mut masked = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .mask(&visited, MaskMode::Complement)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
+        let mut unmasked = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .options(SpMSpVOptions::with_threads(threads))
+            .prepare::<f64>();
+        let in_kernel_lane = time_per_lane(k, || {
+            masked.run_batch(&x);
+        });
+        let post_filter_lane = time_per_lane(k, || {
+            mask_filter_batch(&unmasked.run_batch(&x), &view);
+        });
+        eprintln!(
+            "{:>4}  {:>16.1}us  {:>16.1}us  {:>7.2}x",
+            k,
+            in_kernel_lane.as_secs_f64() * 1e6,
+            post_filter_lane.as_secs_f64() * 1e6,
+            post_filter_lane.as_secs_f64() / in_kernel_lane.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+
+    // Step-timing evidence that the in-kernel mask adds no extra pass: the
+    // four phases of the bucket pipeline account for the whole masked call
+    // (the mask probe is part of `merge`).
+    let k = *KS.last().expect("KS non-empty");
+    let x = make_batch(n, k);
+    let mut kernel = SpMSpVBucketBatch::new(&a, SpMSpVOptions::with_threads(threads));
+    let (_, timings) = kernel.multiply_batch_masked_with_timings(&x, &PlusTimes, Some(&view));
+    eprintln!("\nmasked step breakdown at k = {k} (mask cost lives inside `merge`):");
+    eprintln!("  {timings}");
+    eprintln!(
+        "  phases sum to {:.3} ms — there is no post-filter step to account for.",
+        timings.total().as_secs_f64() * 1e3
+    );
 }
 
 /// Median-of-7 wall time of `f`, divided by the lane count.

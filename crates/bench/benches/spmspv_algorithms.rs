@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
 use sparse_substrate::PlusTimes;
+use spmspv::ops::Mxv;
 use spmspv::{AlgorithmKind, SpMSpVOptions};
-use spmspv_graphs::numeric_algorithm;
 use std::time::Duration;
 
 fn bench_algorithms(c: &mut Criterion) {
@@ -27,9 +27,13 @@ fn bench_algorithms(c: &mut Criterion) {
             AlgorithmKind::SortBased,
             AlgorithmKind::Sequential,
         ] {
-            let mut alg = numeric_algorithm(&a, kind, SpMSpVOptions::with_threads(threads));
+            let mut op = Mxv::over(&a)
+                .semiring(&PlusTimes)
+                .algorithm(kind)
+                .options(SpMSpVOptions::with_threads(threads))
+                .prepare::<f64>();
             group.bench_with_input(BenchmarkId::new(kind.label(), f), &x, |b, x| {
-                b.iter(|| alg.multiply(x, &PlusTimes))
+                b.iter(|| op.run(x))
             });
         }
     }

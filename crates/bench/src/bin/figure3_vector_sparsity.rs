@@ -8,11 +8,12 @@
 //! Usage: `cargo run --release -p spmspv-bench --bin figure3_vector_sparsity [small|large]`
 
 use sparse_substrate::PlusTimes;
+use spmspv::ops::Mxv;
 use spmspv::{AlgorithmKind, SpMSpVOptions};
 use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
 use spmspv_bench::platform_summary;
 use spmspv_bench::report::best_of;
-use spmspv_graphs::{bfs_frontiers, numeric_algorithm};
+use spmspv_graphs::bfs_frontiers;
 
 fn main() {
     let scale =
@@ -48,9 +49,12 @@ fn main() {
             }
             print!("{:>12}", frontier.nnz());
             for kind in kinds {
-                let mut alg =
-                    numeric_algorithm(&d.matrix, kind, SpMSpVOptions::with_threads(threads));
-                let t = best_of(3, || alg.multiply(frontier, &PlusTimes));
+                let mut op = Mxv::over(&d.matrix)
+                    .semiring(&PlusTimes)
+                    .algorithm(kind)
+                    .options(SpMSpVOptions::with_threads(threads))
+                    .prepare::<f64>();
+                let t = best_of(3, || op.run(frontier));
                 print!("  {:>13.3} ms", t.as_secs_f64() * 1e3);
             }
             println!();

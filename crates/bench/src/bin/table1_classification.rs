@@ -8,11 +8,11 @@
 
 use sparse_substrate::gen::random_sparse_vec;
 use sparse_substrate::PlusTimes;
+use spmspv::ops::Mxv;
 use spmspv::AlgorithmKind;
 use spmspv::SpMSpVOptions;
 use spmspv_bench::datasets::{ljournal_standin, SuiteScale};
 use spmspv_bench::report::best_of;
-use spmspv_graphs::numeric_algorithm;
 
 fn main() {
     println!("Table I: classification of SpMSpV algorithms (as implemented here)\n");
@@ -97,9 +97,13 @@ fn main() {
     ] {
         let sparse_x = random_sparse_vec(n, 64, 1);
         let dense_x = random_sparse_vec(n, n / 4, 2);
-        let mut alg = numeric_algorithm(&d.matrix, kind, SpMSpVOptions::with_threads(1));
-        let t_sparse = best_of(3, || alg.multiply(&sparse_x, &PlusTimes));
-        let t_dense = best_of(3, || alg.multiply(&dense_x, &PlusTimes));
+        let mut op = Mxv::over(&d.matrix)
+            .semiring(&PlusTimes)
+            .algorithm(kind)
+            .options(SpMSpVOptions::with_threads(1))
+            .prepare::<f64>();
+        let t_sparse = best_of(3, || op.run(&sparse_x));
+        let t_dense = best_of(3, || op.run(&dense_x));
         println!(
             "{:<16} {:>18.3} {:>18.3} {:>8.1}",
             kind.label(),

@@ -1,8 +1,9 @@
 //! The common interface every SpMSpV implementation exposes.
 
-use sparse_substrate::{Scalar, Semiring, SparseVec};
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
 
 use crate::executor::Executor;
+use crate::masked::MaskView;
 
 /// Tuning knobs shared by the parallel algorithms.
 #[derive(Debug, Clone)]
@@ -86,6 +87,52 @@ pub trait SpMSpV<A: Scalar, X: Scalar, S: Semiring<A, X>>: Send {
     /// options: sorted by index when `sorted_output` is set (the default),
     /// otherwise in unspecified order. Entries are unique either way.
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output>;
+
+    /// Computes `y ← ⟨mask⟩ (A ⊕.⊗ x)`: like [`SpMSpV::multiply`], but only
+    /// output rows the mask keeps may appear in `y`.
+    ///
+    /// The default implementation post-filters an unmasked product, which is
+    /// correct for any implementation; every algorithm in this crate
+    /// overrides it to consult the mask **during its merge step**, so masked
+    /// rows are never accumulated and no output-sized filter pass runs.
+    /// Result entries (rows, values, and order) are identical either way.
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
+        let mut y = self.multiply(x, semiring);
+        if let Some(mask) = mask {
+            y.retain(|i, _| mask.keeps(i));
+        }
+        y
+    }
+}
+
+/// Builds a boxed [`SpMSpV`] instance of the requested algorithm family,
+/// generic over the semiring — the single dispatch point the [`crate::ops`]
+/// descriptor (and the per-semiring helpers in `spmspv-graphs`) build on.
+pub fn build_algorithm<'a, A, X, S>(
+    matrix: &'a CscMatrix<A>,
+    kind: AlgorithmKind,
+    options: SpMSpVOptions,
+) -> Box<dyn SpMSpV<A, X, S> + 'a>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + 'a,
+{
+    use crate::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
+    use crate::bucket::SpMSpVBucket;
+    match kind {
+        AlgorithmKind::Bucket => Box::new(SpMSpVBucket::new(matrix, options)),
+        AlgorithmKind::CombBlasSpa => Box::new(CombBlasSpa::new(matrix, options)),
+        AlgorithmKind::CombBlasHeap => Box::new(CombBlasHeap::new(matrix, options)),
+        AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(matrix, options)),
+        AlgorithmKind::SortBased => Box::new(SortBased::new(matrix, options)),
+        AlgorithmKind::Sequential => Box::new(SequentialSpa::new(matrix, options)),
+    }
 }
 
 /// Identifier for each algorithm family, used by the benchmark harness to

@@ -15,6 +15,7 @@ use sparse_substrate::{CscMatrix, DcscMatrix, Scalar, Semiring, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::executor::Executor;
+use crate::masked::MaskView;
 
 /// Row-split CombBLAS-style SpMSpV with per-thread heap merging.
 pub struct CombBlasHeap<'a, A> {
@@ -54,6 +55,15 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_masked(x, semiring, None)
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
         assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
         let offsets = &self.offsets;
         let pieces = &self.pieces;
@@ -85,12 +95,17 @@ where
                     while let Some(Reverse((row, c))) = heap.pop() {
                         let (rows, vals, xv) = columns[c];
                         let k = cursors[c];
-                        let prod = semiring.multiply(&vals[k], xv);
-                        match out.last_mut() {
-                            Some(last) if last.0 == row + base => {
-                                last.1 = semiring.add(last.1, prod);
+                        // In-kernel mask: the cursor still advances past a
+                        // dropped row, but no product is formed or merged.
+                        let keeps = mask.map(|m| m.keeps(row + base)).unwrap_or(true);
+                        if keeps {
+                            let prod = semiring.multiply(&vals[k], xv);
+                            match out.last_mut() {
+                                Some(last) if last.0 == row + base => {
+                                    last.1 = semiring.add(last.1, prod);
+                                }
+                                _ => out.push((row + base, prod)),
                             }
-                            _ => out.push((row + base, prod)),
                         }
                         cursors[c] += 1;
                         if cursors[c] < rows.len() {

@@ -16,6 +16,7 @@ use sparse_substrate::{CscMatrix, DcscMatrix, Scalar, Semiring, Spa, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::executor::Executor;
+use crate::masked::MaskView;
 
 /// Row-split CombBLAS-style SpMSpV with one private SPA per thread.
 pub struct CombBlasSpa<'a, A, Y> {
@@ -72,6 +73,15 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_masked(x, semiring, None)
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
         assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
         let sorted = self.sorted_output;
         let offsets = &self.offsets;
@@ -83,10 +93,17 @@ where
                 .enumerate()
                 .map(|(p, (piece, spa))| {
                     // Work inefficiency on purpose: the whole of x is scanned
-                    // by every piece.
+                    // by every piece. The mask is checked against the global
+                    // row id (piece rows are piece-local) before the SPA.
+                    let piece_base = offsets[p];
                     for (j, xv) in x.iter() {
                         if let Some((rows, vals)) = piece.column(j) {
                             for (&i, av) in rows.iter().zip(vals.iter()) {
+                                if let Some(mask) = mask {
+                                    if !mask.keeps(i + piece_base) {
+                                        continue;
+                                    }
+                                }
                                 let prod = semiring.multiply(av, xv);
                                 spa.accumulate(i, prod, |a, b| semiring.add(a, b));
                             }

@@ -14,6 +14,7 @@ use sparse_substrate::{CscMatrix, DcscMatrix, Scalar, Semiring, Spa, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::executor::Executor;
+use crate::masked::MaskView;
 
 /// Matrix-driven SpMSpV with row-split DCSC pieces and a bitvector input.
 pub struct GraphMatSpMSpV<'a, A, X, Y> {
@@ -70,6 +71,15 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_masked(x, semiring, None)
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
         assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
 
         // Load the input into the (pre-allocated) bitvector: O(f).
@@ -90,13 +100,20 @@ where
                 .enumerate()
                 .map(|(p, (piece, spa))| {
                     // Matrix-driven scan: every stored (non-empty) column of
-                    // the piece is visited, regardless of nnz(x).
+                    // the piece is visited, regardless of nnz(x). The mask is
+                    // checked against the global row id before the SPA.
+                    let piece_base = offsets[p];
                     for (j, rows, vals) in piece.iter_columns() {
                         if (bitmap[j / 64] >> (j % 64)) & 1 == 0 {
                             continue;
                         }
                         let xv = &xvals[j];
                         for (&i, av) in rows.iter().zip(vals.iter()) {
+                            if let Some(mask) = mask {
+                                if !mask.keeps(i + piece_base) {
+                                    continue;
+                                }
+                            }
                             let prod = semiring.multiply(av, xv);
                             spa.accumulate(i, prod, |a, b| semiring.add(a, b));
                         }

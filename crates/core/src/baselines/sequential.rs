@@ -9,6 +9,7 @@
 use sparse_substrate::{CscMatrix, Scalar, Semiring, Spa, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
+use crate::masked::MaskView;
 
 /// Sequential SPA-based SpMSpV over a CSC matrix.
 pub struct SequentialSpa<'a, A, Y> {
@@ -47,10 +48,25 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_masked(x, semiring, None)
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
         assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
         for (j, xv) in x.iter() {
             let (rows, vals) = self.matrix.column(j);
             for (&i, av) in rows.iter().zip(vals.iter()) {
+                // In-kernel mask: a dropped row never touches the SPA.
+                if let Some(mask) = mask {
+                    if !mask.keeps(i) {
+                        continue;
+                    }
+                }
                 let prod = semiring.multiply(av, xv);
                 self.spa.accumulate(i, prod, |a, b| semiring.add(a, b));
             }

@@ -12,6 +12,7 @@ use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::executor::{even_ranges, Executor};
+use crate::masked::MaskView;
 
 /// Sort-based vector-driven SpMSpV over a CSC matrix.
 pub struct SortBased<'a, A> {
@@ -45,6 +46,15 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
+        self.multiply_masked(x, semiring, None)
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
         assert_eq!(x.len(), self.matrix.ncols(), "dimension mismatch");
         let matrix = self.matrix;
         if x.is_empty() {
@@ -54,6 +64,8 @@ where
         let chunks = even_ranges(x.nnz(), t);
 
         // Gather: each chunk of x produces its own (row, product) list.
+        // The mask is applied here, before the sort — dropped rows are never
+        // gathered, so they do not even inflate the sort.
         let mut gathered: Vec<(usize, S::Output)> = self.executor.install(|| {
             let mut parts: Vec<Vec<(usize, S::Output)>> = chunks
                 .par_iter()
@@ -64,6 +76,11 @@ where
                         let xv = &x.values()[k];
                         let (rows, vals) = matrix.column(j);
                         for (&i, av) in rows.iter().zip(vals.iter()) {
+                            if let Some(mask) = mask {
+                                if !mask.keeps(i) {
+                                    continue;
+                                }
+                            }
                             out.push((i, semiring.multiply(av, xv)));
                         }
                     }

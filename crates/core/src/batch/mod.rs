@@ -24,7 +24,7 @@
 //! 5. **Output**: per-`(bucket, lane)` unique counts, prefix sums, and a
 //!    parallel gather into a [`SparseVecBatch`] output.
 //!
-//! [`NaiveBatch`] — `k` independent [`SpMSpVBucket`] calls — is the
+//! [`NaiveBatch`] — `k` independent [`SpMSpVBucket`](crate::SpMSpVBucket) calls — is the
 //! correctness oracle and the baseline the `batch_scaling` bench compares
 //! against. Both implement the [`SpMSpVBatch`] trait.
 //!
@@ -33,7 +33,7 @@
 //! With `sorted_output` (the default), lane `l`'s entries traverse the
 //! kernel in exactly the order the single-vector kernel would traverse them
 //! (ascending column, then CSC row order), so the batched result is
-//! **bit-identical** to `k` independent sorted [`SpMSpVBucket`] calls — for
+//! **bit-identical** to `k` independent sorted [`SpMSpVBucket`](crate::SpMSpVBucket) calls — for
 //! any semiring, including floating-point `(+, ×)` where reduction order
 //! matters.
 
@@ -51,6 +51,7 @@ use crate::algorithm::SpMSpVOptions;
 use crate::bucket::{bucket_of, bucket_row_ranges, BucketPlan};
 use crate::disjoint::{split_by_boundaries, DisjointWriter, SliceWriter};
 use crate::executor::{even_ranges, Executor};
+use crate::masked::BatchMaskView;
 use crate::timing::StepTimings;
 
 /// A prepared batched SpMSpV computation `Y ← A ⊕.⊗ X` over a fixed matrix,
@@ -72,6 +73,101 @@ pub trait SpMSpVBatch<A: Scalar, X: Scalar, S: Semiring<A, X>>: Send {
     /// `A ⊕.⊗ X[l]`. Output lanes follow the implementation's sortedness
     /// convention (sorted by index under the default options).
     fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output>;
+
+    /// Computes `Y ← ⟨mask⟩ (A ⊕.⊗ X)`: like
+    /// [`SpMSpVBatch::multiply_batch`], but only output rows the mask keeps
+    /// (per lane, for a [`BatchMaskView::PerLane`] mask) may appear.
+    ///
+    /// The default implementation post-filters an unmasked product; the
+    /// implementations in this crate override it to consult the mask during
+    /// their merge step so masked rows are never accumulated. Result entries
+    /// are identical either way.
+    fn multiply_batch_masked(
+        &mut self,
+        x: &SparseVecBatch<X>,
+        semiring: &S,
+        mask: Option<&BatchMaskView<'_>>,
+    ) -> SparseVecBatch<S::Output> {
+        let y = self.multiply_batch(x, semiring);
+        match mask {
+            None => y,
+            Some(mask) => mask_filter_batch(&y, mask),
+        }
+    }
+}
+
+/// Post-filters a batched product through a mask — the fallback path the
+/// default [`SpMSpVBatch::multiply_batch_masked`] uses (and the oracle the
+/// in-kernel implementations are property-tested against).
+pub fn mask_filter_batch<T: Scalar>(
+    y: &SparseVecBatch<T>,
+    mask: &BatchMaskView<'_>,
+) -> SparseVecBatch<T> {
+    let k = y.k();
+    mask.check_lanes(k);
+    let mut lane_ptr = Vec::with_capacity(k + 1);
+    let mut indices = Vec::with_capacity(y.total_nnz());
+    let mut values = Vec::with_capacity(y.total_nnz());
+    lane_ptr.push(0usize);
+    for l in 0..k {
+        let (idx, val) = y.lane(l);
+        for (&i, &v) in idx.iter().zip(val.iter()) {
+            if mask.keeps(i, l) {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        lane_ptr.push(indices.len());
+    }
+    SparseVecBatch::from_parts_trusted(y.len(), lane_ptr, indices, values)
+        .expect("filtering preserves batch invariants")
+}
+
+/// Identifier for each batched algorithm family — the batch counterpart of
+/// [`crate::AlgorithmKind`], so callers can swap batched implementations the
+/// same way the benchmark harness swaps single-vector ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchAlgorithmKind {
+    /// The fused bucket kernel ([`SpMSpVBucketBatch`]): one traversal of the
+    /// union of active columns serves every lane.
+    Bucket,
+    /// `k` independent single-vector bucket calls ([`NaiveBatch`]) — the
+    /// correctness oracle and amortization baseline.
+    Naive,
+}
+
+impl BatchAlgorithmKind {
+    /// Display name matching the `batch_scaling` bench legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchAlgorithmKind::Bucket => "SpMSpV-bucket-batch",
+            BatchAlgorithmKind::Naive => "Naive-batch",
+        }
+    }
+}
+
+impl std::fmt::Display for BatchAlgorithmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Builds a boxed [`SpMSpVBatch`] instance of the requested batched family,
+/// generic over the semiring — mirrors [`crate::algorithm::build_algorithm`].
+pub fn build_batch_algorithm<'a, A, X, S>(
+    matrix: &'a CscMatrix<A>,
+    kind: BatchAlgorithmKind,
+    options: SpMSpVOptions,
+) -> Box<dyn SpMSpVBatch<A, X, S> + 'a>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + 'a,
+{
+    match kind {
+        BatchAlgorithmKind::Bucket => Box::new(SpMSpVBucketBatch::new(matrix, options)),
+        BatchAlgorithmKind::Naive => Box::new(NaiveBatch::new(matrix, options)),
+    }
 }
 
 /// Reusable buffers of one [`SpMSpVBucketBatch`] instance: the lane-aware
@@ -128,6 +224,25 @@ where
         x: &SparseVecBatch<X>,
         semiring: &S,
     ) -> (SparseVecBatch<S::Output>, StepTimings) {
+        self.multiply_batch_masked_with_timings(x, semiring, None)
+    }
+
+    /// Computes `Y ← ⟨mask⟩ (A ⊕.⊗ X)` with the per-step breakdown.
+    ///
+    /// The mask is consulted **inside the merge step**: a masked-out
+    /// `(row, lane)` triple is skipped before it touches the lane-aware SPA,
+    /// so it never enters the unique lists, the output gather, or a
+    /// post-filter pass. The mask's entire cost is one bitmap probe per
+    /// bucket triple, accounted under `merge` in the returned timings.
+    pub fn multiply_batch_masked_with_timings(
+        &mut self,
+        x: &SparseVecBatch<X>,
+        semiring: &S,
+        mask: Option<&BatchMaskView<'_>>,
+    ) -> (SparseVecBatch<S::Output>, StepTimings) {
+        if let Some(mask) = mask {
+            mask.check_lanes(x.k());
+        }
         let m = self.matrix.nrows();
         let n = self.matrix.ncols();
         let k = x.k();
@@ -230,6 +345,11 @@ where
                     .map(|(bucket_entries, mut window)| {
                         let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
                         for &(i, lane, ref v) in bucket_entries {
+                            if let Some(mask) = mask {
+                                if !mask.keeps(i, lane as usize) {
+                                    continue;
+                                }
+                            }
                             if window.accumulate(i, lane as usize, *v, |a, b| semiring.add(a, b)) {
                                 uind[lane as usize].push(i);
                             }
@@ -331,6 +451,15 @@ where
 
     fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output> {
         self.multiply_batch_with_timings(x, semiring).0
+    }
+
+    fn multiply_batch_masked(
+        &mut self,
+        x: &SparseVecBatch<X>,
+        semiring: &S,
+        mask: Option<&BatchMaskView<'_>>,
+    ) -> SparseVecBatch<S::Output> {
+        self.multiply_batch_masked_with_timings(x, semiring, mask).0
     }
 }
 

@@ -11,6 +11,7 @@ use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec, SparseVecBatch};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::bucket::SpMSpVBucket;
+use crate::masked::BatchMaskView;
 
 use super::SpMSpVBatch;
 
@@ -54,6 +55,23 @@ where
     fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output> {
         let lanes: Vec<SparseVec<S::Output>> =
             (0..x.k()).map(|l| self.inner.multiply(&x.lane_vec(l), semiring)).collect();
+        SparseVecBatch::from_lanes(&lanes).expect("every lane shares the matrix's row dimension")
+    }
+
+    fn multiply_batch_masked(
+        &mut self,
+        x: &SparseVecBatch<X>,
+        semiring: &S,
+        mask: Option<&BatchMaskView<'_>>,
+    ) -> SparseVecBatch<S::Output> {
+        if let Some(mask) = mask {
+            mask.check_lanes(x.k());
+        }
+        let lanes: Vec<SparseVec<S::Output>> = (0..x.k())
+            .map(|l| {
+                self.inner.multiply_masked(&x.lane_vec(l), semiring, mask.map(|m| m.lane_view(l)))
+            })
+            .collect();
         SparseVecBatch::from_lanes(&lanes).expect("every lane shares the matrix's row dimension")
     }
 }

@@ -32,6 +32,7 @@ use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::disjoint::{split_by_boundaries, split_ranges, SliceWriter};
 use crate::executor::{even_ranges, Executor};
+use crate::masked::MaskView;
 use crate::timing::StepTimings;
 
 /// The paper's work-efficient, synchronization-avoiding SpMSpV algorithm,
@@ -82,6 +83,22 @@ where
         &mut self,
         x: &SparseVec<X>,
         semiring: &S,
+    ) -> (SparseVec<S::Output>, StepTimings) {
+        self.multiply_masked_with_timings(x, semiring, None)
+    }
+
+    /// Computes `y ← ⟨mask⟩ (A ⊕.⊗ x)` with the per-step breakdown.
+    ///
+    /// The mask is consulted **inside Step 2** (the per-bucket SPA merge):
+    /// masked-out rows are skipped before they touch the SPA, so they never
+    /// enter the unique-index lists, the output gather, or a post-filter
+    /// pass — the mask's entire cost is one bitmap probe per bucket entry,
+    /// accounted under `merge` in the returned timings.
+    pub fn multiply_masked_with_timings(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
     ) -> (SparseVec<S::Output>, StepTimings) {
         let m = self.matrix.nrows();
         let n = self.matrix.ncols();
@@ -208,6 +225,11 @@ where
                         // avoid repeated growth inside the hot loop.
                         let mut uind = Vec::with_capacity(bucket_entries.len());
                         for &(i, ref v) in bucket_entries {
+                            if let Some(mask) = mask {
+                                if !mask.keeps(i) {
+                                    continue;
+                                }
+                            }
                             let local = i - lo;
                             if spa_stamps[local] != generation {
                                 spa_stamps[local] = generation;
@@ -304,6 +326,15 @@ where
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
         self.multiply_with_timings(x, semiring).0
+    }
+
+    fn multiply_masked(
+        &mut self,
+        x: &SparseVec<X>,
+        semiring: &S,
+        mask: Option<MaskView<'_>>,
+    ) -> SparseVec<S::Output> {
+        self.multiply_masked_with_timings(x, semiring, mask).0
     }
 }
 

@@ -4,7 +4,34 @@
 //! library, reproducing *"A Work-Efficient Parallel Sparse Matrix-Sparse
 //! Vector Multiplication Algorithm"* (Azad & Buluç, IPDPS 2017).
 //!
-//! The centerpiece is [`SpMSpVBucket`], the paper's three-step bucket
+//! ## The `Mxv` operation API
+//!
+//! The front door of the crate is the [`ops::Mxv`] descriptor — **one**
+//! GraphBLAS-style operation description that serves single vectors,
+//! batches, and masks through the same object:
+//!
+//! ```
+//! use sparse_substrate::{fixtures, PlusTimes, SparseVecBatch};
+//! use spmspv::ops::Mxv;
+//! use spmspv::{AlgorithmKind, MaskMode, SpMSpVOptions};
+//!
+//! let a = fixtures::figure1_matrix();
+//! let x = fixtures::figure1_vector();
+//!
+//! let mut op = Mxv::over(&a)
+//!     .semiring(&PlusTimes)                   // ⊕.⊗
+//!     .algorithm(AlgorithmKind::Bucket)       // pluggable kernel family
+//!     .masked(MaskMode::Complement)           // in-kernel output mask
+//!     .options(SpMSpVOptions::default())
+//!     .prepare();                             // workspaces allocated once
+//!
+//! let y = op.run(&x);                         // one frontier …
+//! let ys = op.run_batch(&SparseVecBatch::from_single(&x)); // … or k at once
+//! op.mask_mut().insert(3);                    // grow the visited set
+//! # let _ = (y, ys);
+//! ```
+//!
+//! Underneath, the descriptor drives the paper's three-step bucket
 //! algorithm:
 //!
 //! 1. **Estimate** (Algorithm 2): count, per `(thread, bucket)` pair, how
@@ -13,35 +40,48 @@
 //! 2. **Bucketing** (Step 1): scatter `(row, A(i,j) ⊗ x(j))` pairs from the
 //!    selected matrix columns into row-range buckets.
 //! 3. **SPA merge** (Step 2): merge each bucket independently with a
-//!    partially-initialized sparse accumulator.
+//!    partially-initialized sparse accumulator — and, when the descriptor is
+//!    masked, drop masked-out rows *here*, before they cost anything more.
 //! 4. **Output** (Step 3): concatenate the buckets' unique indices into the
 //!    result vector with a prefix sum.
 //!
-//! The [`batch`] module extends the same machinery to sparse
-//! *multi-vectors*: [`SpMSpVBucketBatch`] serves `k` frontiers (multi-source
-//! BFS, batched personalized PageRank) with **one** traversal of the
-//! matrix's column structure, against the [`NaiveBatch`] fallback of `k`
-//! independent single-vector calls.
+//! The same descriptor executes batches through [`SpMSpVBucketBatch`]
+//! (`k` frontiers in **one** traversal of the matrix's column structure) or
+//! the [`NaiveBatch`] fallback, selected by [`batch::BatchAlgorithmKind`];
+//! per-lane masks serve multi-source BFS, where every source keeps its own
+//! visited set.
 //!
-//! The crate also contains faithful re-implementations of the baselines the
-//! paper compares against — [`baselines::CombBlasSpa`],
-//! [`baselines::CombBlasHeap`], [`baselines::GraphMatSpMSpV`],
-//! [`baselines::SortBased`], and the sequential reference
-//! [`baselines::SequentialSpa`] — all behind the common [`SpMSpV`] trait so
-//! graph algorithms and benchmarks can swap them freely.
+//! ## Kernel layer
 //!
-//! ## Quick example
+//! The descriptor compiles down to two traits the benchmark harness and
+//! power users can still drive directly:
 //!
-//! ```
-//! use sparse_substrate::{fixtures, PlusTimes};
-//! use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+//! * [`SpMSpV`] — single-vector kernels: the paper's [`SpMSpVBucket`]
+//!   plus faithful re-implementations of the baselines it compares against
+//!   ([`baselines::CombBlasSpa`], [`baselines::CombBlasHeap`],
+//!   [`baselines::GraphMatSpMSpV`], [`baselines::SortBased`],
+//!   [`baselines::SequentialSpa`]);
+//! * [`SpMSpVBatch`] — batched kernels ([`SpMSpVBucketBatch`],
+//!   [`NaiveBatch`]).
 //!
-//! let a = fixtures::figure1_matrix();
-//! let x = fixtures::figure1_vector();
-//! let mut alg = SpMSpVBucket::new(&a, SpMSpVOptions::default());
-//! let y = alg.multiply(&x, &PlusTimes);
-//! assert_eq!(y.nnz(), 5);
-//! ```
+//! Both traits carry masked entry points (`multiply_masked`,
+//! `multiply_batch_masked`) whose mask check lives **inside** each kernel's
+//! merge loop; a default post-filtering implementation keeps third-party
+//! implementations source-compatible.
+//!
+//! ## Migrating from the pre-`Mxv` entry points
+//!
+//! | old (still works) | new |
+//! |---|---|
+//! | `SpMSpVBucket::new(&a, opts).multiply(&x, &s)` | `Mxv::over(&a).semiring(&s).options(opts).prepare().run(&x)` |
+//! | `SpMSpVBucketBatch::new(&a, opts).multiply_batch(&xs, &s)` | `Mxv::over(&a).semiring(&s).options(opts).prepare().run_batch(&xs)` |
+//! | `MaskedSpMSpV::new(alg, n, mode)` + `set`/`clear` | `Mxv::over(&a).semiring(&s).masked(mode)` + `mask_mut()` *(wrapper deprecated)* |
+//! | `graphs::bfs_algorithm(&a, kind, opts)` | `Mxv::over(&a).semiring(&Select2ndMin).algorithm(kind)` |
+//!
+//! [`MaskedSpMSpV`] and the `spmspv-graphs` convenience constructors
+//! (`bfs_algorithm`, `numeric_algorithm`, `bfs_with`) are deprecated and
+//! will be removed after one release; the kernel traits themselves remain
+//! the supported SPI beneath the descriptor.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -53,13 +93,19 @@ pub mod bucket;
 pub mod disjoint;
 pub mod executor;
 pub mod masked;
+pub mod ops;
 pub mod stats;
 pub mod timing;
 
-pub use algorithm::{AlgorithmKind, SpMSpV, SpMSpVOptions};
-pub use batch::{NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch};
+pub use algorithm::{build_algorithm, AlgorithmKind, SpMSpV, SpMSpVOptions};
+pub use batch::{
+    build_batch_algorithm, BatchAlgorithmKind, NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch,
+};
 pub use bucket::SpMSpVBucket;
 pub use executor::Executor;
-pub use masked::{MaskMode, MaskedSpMSpV};
+#[allow(deprecated)]
+pub use masked::MaskedSpMSpV;
+pub use masked::{BatchMaskView, MaskMode, MaskView};
+pub use ops::{Mxv, MxvOp, PreparedMxv};
 pub use stats::WorkStats;
 pub use timing::StepTimings;

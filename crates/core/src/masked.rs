@@ -1,13 +1,20 @@
-//! Masked SpMSpV — the GraphBLAS-style extension the paper lists as future
-//! work (§V: "GraphBLAS effort is in the process of defining masked
+//! Output masks for SpMSpV — the GraphBLAS-style extension the paper lists
+//! as future work (§V: "GraphBLAS effort is in the process of defining masked
 //! operations, including SpMSpV").
 //!
 //! A mask restricts which output rows may appear in `y`. The dominant use is
 //! BFS: the complement of the "already visited" set masks the product so the
-//! next frontier only contains undiscovered vertices, without a separate
-//! filtering pass over `y`.
+//! next frontier only contains undiscovered vertices. Since this PR the mask
+//! is applied **inside** the kernels — [`crate::SpMSpV::multiply_masked`]
+//! and [`crate::SpMSpVBatch::multiply_batch_masked`] consult a [`MaskView`]
+//! during the SPA-merge step, so a masked multiplication never materializes
+//! the masked-out rows, let alone pays a post-filter pass over the output.
+//!
+//! The membership set itself is a [`sparse_substrate::MaskBits`] bitmap owned
+//! by the caller (or by a [`crate::ops::PreparedMxv`] descriptor); the views
+//! here are cheap `Copy` borrows handed to one multiplication.
 
-use sparse_substrate::{Scalar, Semiring, SparseVec};
+use sparse_substrate::{MaskBits, Scalar, Semiring, SparseVec};
 
 use crate::algorithm::SpMSpV;
 
@@ -21,64 +28,157 @@ pub enum MaskMode {
     Complement,
 }
 
-/// Wraps any [`SpMSpV`] implementation with an output mask.
-///
-/// The mask lives in the wrapper as a dense boolean array sized to the
-/// output dimension, so membership tests are O(1) and the mask can be
-/// updated incrementally between multiplications (as BFS does when it marks
-/// newly visited vertices).
-pub struct MaskedSpMSpV<Alg> {
-    inner: Alg,
-    mask: Vec<bool>,
+/// A borrowed output mask for one single-vector multiplication: a bitmap plus
+/// the interpretation mode. `Copy`, one word of state — cheap enough to pass
+/// down into the per-bucket merge loops.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskView<'m> {
+    bits: &'m MaskBits,
     mode: MaskMode,
 }
 
+impl<'m> MaskView<'m> {
+    /// Wraps a bitmap with an interpretation mode.
+    pub fn new(bits: &'m MaskBits, mode: MaskMode) -> Self {
+        MaskView { bits, mode }
+    }
+
+    /// The underlying bitmap.
+    #[inline]
+    pub fn bits(&self) -> &'m MaskBits {
+        self.bits
+    }
+
+    /// The interpretation mode.
+    #[inline]
+    pub fn mode(&self) -> MaskMode {
+        self.mode
+    }
+
+    /// Whether output row `i` survives the mask.
+    #[inline]
+    pub fn keeps(&self, i: usize) -> bool {
+        match self.mode {
+            MaskMode::Keep => self.bits.contains(i),
+            MaskMode::Complement => !self.bits.contains(i),
+        }
+    }
+}
+
+/// A borrowed output mask for one batched multiplication: either one bitmap
+/// shared by every lane, or one bitmap per lane (multi-source BFS, where each
+/// source maintains its own visited set).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchMaskView<'m> {
+    /// Every lane is filtered by the same mask.
+    Shared(MaskView<'m>),
+    /// Lane `l` is filtered by `masks[l]`; the slice length must equal the
+    /// batch width `k`.
+    PerLane {
+        /// One bitmap per lane.
+        masks: &'m [MaskBits],
+        /// Interpretation shared by all lanes.
+        mode: MaskMode,
+    },
+}
+
+impl<'m> BatchMaskView<'m> {
+    /// Whether output row `i` of lane `lane` survives the mask.
+    #[inline]
+    pub fn keeps(&self, i: usize, lane: usize) -> bool {
+        self.lane_view(lane).keeps(i)
+    }
+
+    /// The single-vector view of one lane (used by fallbacks that serve the
+    /// batch lane by lane).
+    #[inline]
+    pub fn lane_view(&self, lane: usize) -> MaskView<'m> {
+        match self {
+            BatchMaskView::Shared(view) => *view,
+            BatchMaskView::PerLane { masks, mode } => MaskView::new(&masks[lane], *mode),
+        }
+    }
+
+    /// Number of lanes the view can serve, if lane-specific.
+    pub fn lane_count(&self) -> Option<usize> {
+        match self {
+            BatchMaskView::Shared(_) => None,
+            BatchMaskView::PerLane { masks, .. } => Some(masks.len()),
+        }
+    }
+
+    /// Asserts that a lane-specific view covers exactly `k` lanes (no-op for
+    /// a shared mask). Every batched entry point calls this, so all batch
+    /// families reject a mismatched per-lane mask with the same message.
+    pub fn check_lanes(&self, k: usize) {
+        if let Some(lanes) = self.lane_count() {
+            assert_eq!(
+                lanes, k,
+                "per-lane mask has {lanes} lanes but the input batch has {k} lanes"
+            );
+        }
+    }
+}
+
+/// Wraps any [`SpMSpV`] implementation with an output mask.
+///
+/// Deprecated shim: masking is now a first-class argument of the kernels
+/// ([`SpMSpV::multiply_masked`]) and of the [`crate::ops::Mxv`] descriptor
+/// (`Mxv::over(&a).semiring(&s).masked(mode)`), which apply it during the
+/// SPA merge instead of post-filtering. This wrapper now forwards to
+/// `multiply_masked`, so it no longer pays the post-filter pass either — but
+/// new code should program against `Mxv`. Kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spmspv::ops::Mxv` (`.masked(mode)` / `.mask(&bits, mode)`) or \
+            `SpMSpV::multiply_masked` directly; this wrapper will be removed"
+)]
+pub struct MaskedSpMSpV<Alg> {
+    inner: Alg,
+    mask: MaskBits,
+    mode: MaskMode,
+}
+
+#[allow(deprecated)]
 impl<Alg> MaskedSpMSpV<Alg> {
-    /// Wraps `inner` with an initially empty mask.
+    /// Wraps `inner` with an initially empty mask over `nrows` output rows.
     pub fn new(inner: Alg, nrows: usize, mode: MaskMode) -> Self {
-        MaskedSpMSpV { inner, mask: vec![false; nrows], mode }
+        MaskedSpMSpV { inner, mask: MaskBits::new(nrows), mode }
     }
 
     /// Adds row `i` to the mask.
     pub fn set(&mut self, i: usize) {
-        self.mask[i] = true;
+        self.mask.insert(i);
     }
 
     /// Adds every listed row to the mask.
     pub fn set_all(&mut self, rows: impl IntoIterator<Item = usize>) {
-        for i in rows {
-            self.mask[i] = true;
-        }
+        self.mask.extend(rows);
     }
 
-    /// Removes every row from the mask.
+    /// Removes every row from the mask, keeping the allocation so the wrapper
+    /// can be reused across runs (e.g. BFS restarts) without reallocating.
     pub fn clear(&mut self) {
-        self.mask.iter_mut().for_each(|b| *b = false);
+        self.mask.clear();
     }
 
     /// Whether row `i` is currently in the mask.
     pub fn contains(&self, i: usize) -> bool {
-        self.mask[i]
+        self.mask.contains(i)
     }
 
-    /// Number of rows currently in the mask.
+    /// Number of rows currently in the mask (O(1), tracked incrementally).
     pub fn mask_len(&self) -> usize {
-        self.mask.iter().filter(|&&b| b).count()
+        self.mask.count()
     }
 
     /// Access to the wrapped algorithm.
     pub fn inner_mut(&mut self) -> &mut Alg {
         &mut self.inner
     }
-
-    fn keeps(&self, i: usize) -> bool {
-        match self.mode {
-            MaskMode::Keep => self.mask[i],
-            MaskMode::Complement => !self.mask[i],
-        }
-    }
 }
 
+#[allow(deprecated)]
 impl<A, X, S, Alg> SpMSpV<A, X, S> for MaskedSpMSpV<Alg>
 where
     A: Scalar,
@@ -99,19 +199,45 @@ where
     }
 
     fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
-        let mut y = self.inner.multiply(x, semiring);
-        y.retain(|i, _| self.keeps(i));
-        y
+        self.inner.multiply_masked(x, semiring, Some(MaskView::new(&self.mask, self.mode)))
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::algorithm::SpMSpVOptions;
     use crate::bucket::SpMSpVBucket;
     use sparse_substrate::ops::spmspv_reference;
     use sparse_substrate::{fixtures, PlusTimes};
+
+    #[test]
+    fn mask_views_interpret_modes() {
+        let bits = MaskBits::from_indices(6, [1, 4]);
+        let keep = MaskView::new(&bits, MaskMode::Keep);
+        let comp = MaskView::new(&bits, MaskMode::Complement);
+        assert!(keep.keeps(1) && !keep.keeps(0));
+        assert!(!comp.keeps(1) && comp.keeps(0));
+        assert_eq!(keep.mode(), MaskMode::Keep);
+        assert_eq!(keep.bits().count(), 2);
+    }
+
+    #[test]
+    fn batch_mask_views_shared_and_per_lane() {
+        let shared_bits = MaskBits::from_indices(5, [2]);
+        let shared = BatchMaskView::Shared(MaskView::new(&shared_bits, MaskMode::Complement));
+        assert!(!shared.keeps(2, 0) && !shared.keeps(2, 7));
+        assert!(shared.keeps(3, 0));
+        assert_eq!(shared.lane_count(), None);
+
+        let lanes = vec![MaskBits::from_indices(5, [0]), MaskBits::from_indices(5, [1])];
+        let per_lane = BatchMaskView::PerLane { masks: &lanes, mode: MaskMode::Keep };
+        assert!(per_lane.keeps(0, 0) && !per_lane.keeps(0, 1));
+        assert!(per_lane.keeps(1, 1) && !per_lane.keeps(1, 0));
+        assert_eq!(per_lane.lane_count(), Some(2));
+        assert!(per_lane.lane_view(1).keeps(1));
+    }
 
     #[test]
     fn complement_mask_drops_visited_rows() {

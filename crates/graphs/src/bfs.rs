@@ -7,14 +7,20 @@
 //! frontier, the id of a frontier vertex that discovered it. Masking out
 //! already-visited vertices turns `y` into the next frontier.
 //!
+//! The search is expressed on the [`Mxv`] descriptor with a
+//! [`MaskMode::Complement`] mask over the visited set, so the kernel drops
+//! already-visited vertices **during its SPA merge** — the next frontier
+//! comes straight out of the multiplication, with no separate filtering
+//! pass over `y`.
+//!
 //! Figures 4 and 5 of the paper time *only* the SpMSpV calls of a BFS run;
 //! [`BfsResult::spmspv_time`] reports exactly that quantity.
 
 use std::time::{Duration, Instant};
 
 use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec};
-use spmspv::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
-use spmspv::{AlgorithmKind, SpMSpV, SpMSpVBucket, SpMSpVOptions};
+use spmspv::ops::{Mxv, PreparedMxv};
+use spmspv::{AlgorithmKind, MaskMode, SpMSpV, SpMSpVOptions};
 
 /// Result of a breadth-first search.
 #[derive(Debug, Clone)]
@@ -46,19 +52,82 @@ pub fn bfs(
     kind: AlgorithmKind,
     options: SpMSpVOptions,
 ) -> BfsResult {
-    match kind {
-        AlgorithmKind::Bucket => bfs_with(&mut SpMSpVBucket::new(a, options), a, source),
-        AlgorithmKind::CombBlasSpa => bfs_with(&mut CombBlasSpa::new(a, options), a, source),
-        AlgorithmKind::CombBlasHeap => bfs_with(&mut CombBlasHeap::new(a, options), a, source),
-        AlgorithmKind::GraphMat => bfs_with(&mut GraphMatSpMSpV::new(a, options), a, source),
-        AlgorithmKind::SortBased => bfs_with(&mut SortBased::new(a, options), a, source),
-        AlgorithmKind::Sequential => bfs_with(&mut SequentialSpa::new(a, options), a, source),
+    let mut op = Mxv::over(a)
+        .semiring(&Select2ndMin)
+        .algorithm(kind)
+        .masked(MaskMode::Complement)
+        .options(options)
+        .prepare();
+    bfs_prepared(&mut op, source)
+}
+
+/// Runs BFS from `source` on a caller-prepared [`Mxv`] descriptor — the
+/// reuse idiom for running many searches over one graph: the descriptor's
+/// workspaces and mask allocation survive across calls.
+///
+/// The descriptor must carry a shared [`MaskMode::Complement`] mask (build
+/// with `.masked(MaskMode::Complement)`); it is cleared on entry and holds
+/// the visited set of this search on return.
+pub fn bfs_prepared(
+    op: &mut PreparedMxv<'_, f64, usize, Select2ndMin>,
+    source: usize,
+) -> BfsResult {
+    let a = op.matrix();
+    let n = a.ncols();
+    assert!(source < n, "source vertex {source} out of range for {n} vertices");
+    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
+    assert!(
+        op.mask_mode() == Some(MaskMode::Complement) && op.lane_mask_count().is_none(),
+        "BFS needs a shared ¬visited mask; build the descriptor with .masked(MaskMode::Complement)"
+    );
+
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    let mut levels: Vec<Option<usize>> = vec![None; n];
+    parents[source] = Some(source);
+    levels[source] = Some(0);
+
+    op.mask_clear();
+    op.mask_mut().insert(source);
+    let mut frontier = SparseVec::from_pairs(n, vec![(source, source)]).expect("valid source");
+    let mut num_visited = 1usize;
+    let mut iterations = 0usize;
+    let mut spmspv_time = Duration::ZERO;
+    let mut frontier_sizes = Vec::new();
+
+    let mut level = 0usize;
+    while !frontier.is_empty() {
+        frontier_sizes.push(frontier.nnz());
+        let t = Instant::now();
+        let reached = op.run(&frontier);
+        spmspv_time += t.elapsed();
+        iterations += 1;
+        level += 1;
+
+        // The ¬visited mask already dropped known vertices inside the
+        // kernel, so everything that comes back is a fresh discovery.
+        let mut next = SparseVec::new(n);
+        for (v, &parent) in reached.iter() {
+            debug_assert!(parents[v].is_none(), "in-kernel mask admits only unvisited vertices");
+            parents[v] = Some(parent);
+            levels[v] = Some(level);
+            num_visited += 1;
+            next.push(v, v);
+            op.mask_mut().insert(v);
+        }
+        frontier = next;
     }
+
+    BfsResult { parents, levels, num_visited, iterations, spmspv_time, frontier_sizes }
 }
 
 /// Runs BFS from `source` with a caller-provided SpMSpV implementation
 /// (any type implementing the [`SpMSpV`] trait for the
 /// `(min, select2nd)` semiring).
+#[deprecated(
+    since = "0.2.0",
+    note = "describe the search with `spmspv::ops::Mxv` and call `bfs_prepared` \
+            (or `bfs` for one-shot searches); this entry point will be removed"
+)]
 pub fn bfs_with<Alg>(alg: &mut Alg, a: &CscMatrix<f64>, source: usize) -> BfsResult
 where
     Alg: SpMSpV<f64, usize, Select2ndMin> + ?Sized,
@@ -174,6 +243,40 @@ mod tests {
             let r = bfs(&a, source, kind, SpMSpVOptions::with_threads(4));
             assert_eq!(r.num_visited, reference.num_visited, "{kind} visited count differs");
             assert_eq!(r.levels, reference.levels, "{kind} levels differ");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn mxv_path_is_bit_identical_to_the_legacy_post_filter_path() {
+        // The acceptance bar of the Mxv migration: the in-kernel-masked
+        // descriptor run reproduces the old multiply-then-filter loop
+        // exactly — same parents, same levels, same telemetry counts.
+        let a = rmat(8, 8, RmatParams::graph500(), 21);
+        for source in [0usize, 9, 77] {
+            let new = bfs(&a, source, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(3));
+            let mut legacy_alg = spmspv::SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(3));
+            let old = bfs_with(&mut legacy_alg, &a, source);
+            assert_eq!(new.parents, old.parents, "parents differ for source {source}");
+            assert_eq!(new.levels, old.levels, "levels differ for source {source}");
+            assert_eq!(new.num_visited, old.num_visited);
+            assert_eq!(new.iterations, old.iterations);
+            assert_eq!(new.frontier_sizes, old.frontier_sizes);
+        }
+    }
+
+    #[test]
+    fn prepared_descriptor_is_reusable_across_sources() {
+        let a = grid2d(7, 9);
+        let mut op = Mxv::over(&a)
+            .semiring(&Select2ndMin)
+            .masked(MaskMode::Complement)
+            .options(SpMSpVOptions::with_threads(2))
+            .prepare();
+        for source in [0usize, 30, 62] {
+            let reused = bfs_prepared(&mut op, source);
+            let fresh = bfs(&a, source, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(2));
+            assert_eq!(reused.levels, fresh.levels, "reused descriptor diverged at {source}");
         }
     }
 

@@ -8,11 +8,16 @@
 //! primitives).
 
 use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec};
-use spmspv::{AlgorithmKind, SpMSpV, SpMSpVBucket, SpMSpVOptions};
+use spmspv::ops::{Mxv, PreparedMxv};
+use spmspv::{AlgorithmKind, SpMSpVOptions};
 
 /// Computes connected-component labels for an undirected graph given by a
 /// symmetric adjacency matrix. Returns `labels[v]` = smallest vertex id in
 /// `v`'s component.
+///
+/// The propagation runs unmasked: unlike BFS's monotone visited set, a
+/// vertex's label can improve several times, so no output row can be
+/// permanently excluded.
 pub fn connected_components(
     a: &CscMatrix<f64>,
     kind: AlgorithmKind,
@@ -22,31 +27,19 @@ pub fn connected_components(
     let n = a.ncols();
     let mut labels: Vec<usize> = (0..n).collect();
 
-    // Dispatch once; label propagation reuses a single algorithm instance so
-    // workspaces are recycled across iterations.
-    match kind {
-        AlgorithmKind::Bucket => {
-            let mut alg = SpMSpVBucket::new(a, options);
-            propagate(&mut alg, n, &mut labels);
-        }
-        _ => {
-            let mut alg = crate::bfs_algorithm(a, kind, options);
-            propagate(alg.as_mut(), n, &mut labels);
-        }
-    }
+    // One descriptor for the whole propagation, so the algorithm instance
+    // and its workspaces are recycled across iterations.
+    let mut op = Mxv::over(a).semiring(&Select2ndMin).algorithm(kind).options(options).prepare();
+    propagate(&mut op, n, &mut labels);
     labels
 }
 
-fn propagate<Alg>(alg: &mut Alg, n: usize, labels: &mut [usize])
-where
-    Alg: SpMSpV<f64, usize, Select2ndMin> + ?Sized,
-{
-    let semiring = Select2ndMin;
+fn propagate(op: &mut PreparedMxv<'_, f64, usize, Select2ndMin>, n: usize, labels: &mut [usize]) {
     // Initially every vertex is active and proposes its own label.
     let mut frontier =
         SparseVec::from_pairs(n, (0..n).map(|v| (v, v)).collect()).expect("valid init");
     while !frontier.is_empty() {
-        let proposals = alg.multiply(&frontier, &semiring);
+        let proposals = op.run(&frontier);
         let mut next = SparseVec::new(n);
         for (v, &label) in proposals.iter() {
             if label < labels[v] {

@@ -6,13 +6,15 @@
 //! bipartite matching. BFS is also the workload of the paper's headline
 //! experiments (Figures 4 and 5 time the SpMSpV calls inside a BFS).
 //!
-//! All algorithms take an [`spmspv::AlgorithmKind`] so the benchmark harness
-//! can swap the underlying SpMSpV implementation exactly as the paper does.
-//!
-//! The batched workloads — [`multi_bfs`] (k-source BFS with lane retirement)
-//! and [`pagerank_personalized_batch`] (one personalized rank vector per
-//! teleport target) — run on `spmspv::batch::SpMSpVBucketBatch`, amortizing
-//! each iteration's matrix traversal across every still-active lane.
+//! The workloads program against the unified [`spmspv::ops::Mxv`] operation
+//! descriptor: [`bfs()`] describes one search as a masked single-vector
+//! operation (¬visited applied inside the kernel), [`multi_bfs()`] the same
+//! with one mask per lane, and [`pagerank_datadriven`] /
+//! [`pagerank_personalized_batch`] numeric operations over the transition
+//! matrix. All take an [`spmspv::AlgorithmKind`] (and the batched workloads
+//! a [`spmspv::BatchAlgorithmKind`], see [`multi_bfs_using`]) so the
+//! benchmark harness can swap the underlying SpMSpV implementation exactly
+//! as the paper does.
 
 #![warn(missing_docs)]
 
@@ -25,51 +27,46 @@ pub mod pagerank;
 pub mod pseudo_diameter;
 pub mod semirings;
 
-pub use bfs::{bfs, bfs_frontiers, BfsResult};
+pub use bfs::{bfs, bfs_frontiers, bfs_prepared, BfsResult};
 pub use components::connected_components;
 pub use matching::bipartite_matching;
 pub use mis::maximal_independent_set;
-pub use multi_bfs::{multi_bfs, MultiBfsResult};
+pub use multi_bfs::{multi_bfs, multi_bfs_using, MultiBfsResult};
 pub use pagerank::{
     pagerank_datadriven, pagerank_personalized_batch, PageRankOptions, PersonalizedPageRankResult,
 };
 pub use pseudo_diameter::pseudo_diameter;
 
 use sparse_substrate::{CscMatrix, Select2ndMin};
-use spmspv::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
-use spmspv::{AlgorithmKind, SpMSpV, SpMSpVBucket, SpMSpVOptions};
+use spmspv::{AlgorithmKind, SpMSpV, SpMSpVOptions};
 
 /// Builds a boxed SpMSpV instance specialized to the `(min, select2nd)`
 /// semiring used by BFS, connected components and bipartite matching, for
 /// the requested algorithm family.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spmspv::build_algorithm` (any semiring) or describe the whole \
+            operation with `spmspv::ops::Mxv`; this shim will be removed"
+)]
 pub fn bfs_algorithm<'a>(
     a: &'a CscMatrix<f64>,
     kind: AlgorithmKind,
     options: SpMSpVOptions,
 ) -> Box<dyn SpMSpV<f64, usize, Select2ndMin> + 'a> {
-    match kind {
-        AlgorithmKind::Bucket => Box::new(SpMSpVBucket::new(a, options)),
-        AlgorithmKind::CombBlasSpa => Box::new(CombBlasSpa::new(a, options)),
-        AlgorithmKind::CombBlasHeap => Box::new(CombBlasHeap::new(a, options)),
-        AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(a, options)),
-        AlgorithmKind::SortBased => Box::new(SortBased::new(a, options)),
-        AlgorithmKind::Sequential => Box::new(SequentialSpa::new(a, options)),
-    }
+    spmspv::build_algorithm(a, kind, options)
 }
 
 /// Builds a boxed SpMSpV instance for the numerical `(+, ×)` semiring over
 /// `f64`, used by data-driven PageRank and the benchmark harness.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `spmspv::build_algorithm` (any semiring) or describe the whole \
+            operation with `spmspv::ops::Mxv`; this shim will be removed"
+)]
 pub fn numeric_algorithm<'a>(
     a: &'a CscMatrix<f64>,
     kind: AlgorithmKind,
     options: SpMSpVOptions,
 ) -> Box<dyn SpMSpV<f64, f64, sparse_substrate::PlusTimes> + 'a> {
-    match kind {
-        AlgorithmKind::Bucket => Box::new(SpMSpVBucket::new(a, options)),
-        AlgorithmKind::CombBlasSpa => Box::new(CombBlasSpa::new(a, options)),
-        AlgorithmKind::CombBlasHeap => Box::new(CombBlasHeap::new(a, options)),
-        AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(a, options)),
-        AlgorithmKind::SortBased => Box::new(SortBased::new(a, options)),
-        AlgorithmKind::Sequential => Box::new(SequentialSpa::new(a, options)),
-    }
+    spmspv::build_algorithm(a, kind, options)
 }

@@ -72,7 +72,7 @@ pub fn bipartite_matching(
 ) -> Matching {
     let m = a.nrows();
     let n = a.ncols();
-    let mut alg = crate::bfs_algorithm(a, kind, options);
+    let mut alg = spmspv::build_algorithm(a, kind, options);
     let semiring = Select2ndMin;
 
     let mut row_match: Vec<Option<usize>> = vec![None; m];

@@ -8,16 +8,22 @@
 //! and landmark selection all run many BFSs from different sources over one
 //! graph.
 //!
+//! The traversal is expressed on one [`Mxv`] descriptor carrying a
+//! [`MaskMode::Complement`] mask **per lane** — each source's visited set —
+//! so the batched kernel drops already-visited `(vertex, lane)` pairs during
+//! its merge step and each lane's output is exactly its next frontier.
+//!
 //! Sources finish at different levels; a lane whose frontier empties is
-//! *retired* — dropped from the batch so later levels only pay for the
+//! *retired* — dropped from the batch (and its mask from the descriptor,
+//! via [`PreparedMxv::retain_lanes`]) so later levels only pay for the
 //! still-active sources. [`MultiBfsResult::active_lanes_per_level`] records
 //! that shrinkage.
 
 use std::time::{Duration, Instant};
 
 use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec, SparseVecBatch};
-use spmspv::batch::{SpMSpVBatch, SpMSpVBucketBatch};
-use spmspv::SpMSpVOptions;
+use spmspv::ops::{Mxv, PreparedMxv};
+use spmspv::{BatchAlgorithmKind, MaskMode, SpMSpVOptions};
 
 /// Result of a multi-source BFS: one parent/level map per source, plus the
 /// batched-execution telemetry.
@@ -44,10 +50,22 @@ pub struct MultiBfsResult {
 /// Runs BFS from every vertex in `sources` simultaneously with the batched
 /// bucket kernel.
 ///
-/// Equivalent to calling [`crate::bfs`] once per source (the property tests
+/// Equivalent to calling [`crate::bfs()`] once per source (the property tests
 /// assert exactly that), but amortizing each level's matrix traversal over
 /// all still-active sources.
 pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) -> MultiBfsResult {
+    multi_bfs_using(a, sources, BatchAlgorithmKind::Bucket, options)
+}
+
+/// [`multi_bfs`] with an explicit batched algorithm family, so callers (and
+/// the benchmark harness) can swap the fused kernel for the naive per-lane
+/// fallback the same way single-vector workloads swap [`spmspv::AlgorithmKind`].
+pub fn multi_bfs_using(
+    a: &CscMatrix<f64>,
+    sources: &[usize],
+    batch_kind: BatchAlgorithmKind,
+    options: SpMSpVOptions,
+) -> MultiBfsResult {
     let n = a.ncols();
     assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
     for &s in sources {
@@ -55,12 +73,20 @@ pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) 
     }
 
     let k = sources.len();
+    let mut op: PreparedMxv<'_, f64, usize, Select2ndMin> = Mxv::over(a)
+        .semiring(&Select2ndMin)
+        .batch_algorithm(batch_kind)
+        .lane_masks(k, MaskMode::Complement)
+        .options(options)
+        .prepare();
+
     let mut parents: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut levels: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut num_visited = vec![0usize; k];
 
     // active[lane] = source index this batch lane serves; retired lanes are
-    // removed so the batch width tracks the number of unfinished sources.
+    // removed (batch, frontier, and descriptor mask alike) so the batch
+    // width tracks the number of unfinished sources.
     let mut active: Vec<usize> = Vec::with_capacity(k);
     let mut frontiers: Vec<SparseVec<usize>> = Vec::with_capacity(k);
     for (s, &src) in sources.iter().enumerate() {
@@ -68,11 +94,10 @@ pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) 
         levels[s][src] = Some(0);
         num_visited[s] = 1;
         active.push(s);
+        op.lane_mask_mut(s).insert(src);
         frontiers.push(SparseVec::from_pairs(n, vec![(src, src)]).expect("source index in range"));
     }
 
-    let mut alg = SpMSpVBucketBatch::new(a, options);
-    let semiring = Select2ndMin;
     let mut iterations = 0usize;
     let mut spmspv_time = Duration::ZERO;
     let mut active_lanes_per_level = Vec::new();
@@ -83,29 +108,37 @@ pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) 
         let x =
             SparseVecBatch::from_lanes(&frontiers).expect("frontiers share the graph's dimension");
         let t = Instant::now();
-        let reached = alg.multiply_batch(&x, &semiring);
+        let reached = op.run_batch(&x);
         spmspv_time += t.elapsed();
         iterations += 1;
         level += 1;
 
+        let mut keep = vec![false; active.len()];
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_frontiers = Vec::with_capacity(active.len());
         for (lane, &s) in active.iter().enumerate() {
             let (rows, parents_found) = reached.lane(lane);
+            // Lane `lane`'s ¬visited mask already dropped known vertices in
+            // the kernel; everything in the lane is a fresh discovery.
             let mut next = SparseVec::new(n);
             for (&v, &parent) in rows.iter().zip(parents_found.iter()) {
-                if parents[s][v].is_none() {
-                    parents[s][v] = Some(parent);
-                    levels[s][v] = Some(level);
-                    num_visited[s] += 1;
-                    next.push(v, v);
-                }
+                debug_assert!(
+                    parents[s][v].is_none(),
+                    "in-kernel lane mask admits only unvisited vertices"
+                );
+                parents[s][v] = Some(parent);
+                levels[s][v] = Some(level);
+                num_visited[s] += 1;
+                next.push(v, v);
+                op.lane_mask_mut(lane).insert(v);
             }
             if !next.is_empty() {
+                keep[lane] = true;
                 next_active.push(s);
                 next_frontiers.push(next);
             }
         }
+        op.retain_lanes(&keep);
         active = next_active;
         frontiers = next_frontiers;
     }
@@ -142,6 +175,27 @@ mod tests {
                 "visited count differs for source {src}"
             );
         }
+    }
+
+    #[test]
+    fn batch_families_agree() {
+        let a = rmat(7, 7, RmatParams::graph500(), 19);
+        let sources = [0usize, 5, 63];
+        let fused = multi_bfs_using(
+            &a,
+            &sources,
+            BatchAlgorithmKind::Bucket,
+            SpMSpVOptions::with_threads(3),
+        );
+        let naive = multi_bfs_using(
+            &a,
+            &sources,
+            BatchAlgorithmKind::Naive,
+            SpMSpVOptions::with_threads(2),
+        );
+        assert_eq!(fused.parents, naive.parents);
+        assert_eq!(fused.levels, naive.levels);
+        assert_eq!(fused.active_lanes_per_level, naive.active_lanes_per_level);
     }
 
     #[test]

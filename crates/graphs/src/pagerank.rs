@@ -11,12 +11,13 @@
 //! estimate, dropping entries whose contribution fell below `tolerance`.
 //! Because contributions decay geometrically, the active frontier shrinks as
 //! the computation proceeds — vertices are "marked inactive using the
-//! sparsity of the input vector, as soon as [their] value converges", which
+//! sparsity of the input vector, as soon as \[their\] value converges", which
 //! is precisely the behaviour the paper describes. Mass parked on dangling
 //! vertices is not redistributed (the truncation the tolerance introduces
 //! anyway); the final vector is renormalized to sum to one.
 
 use sparse_substrate::{CooMatrix, CscMatrix, PlusTimes, SparseVec};
+use spmspv::ops::Mxv;
 use spmspv::{AlgorithmKind, SpMSpVOptions};
 
 /// Tuning parameters for [`pagerank_datadriven`].
@@ -85,8 +86,8 @@ pub fn pagerank_datadriven(
         };
     }
     let p = transition_matrix(a);
-    let mut alg = crate::numeric_algorithm(&p, kind, spmspv_options);
-    let semiring = PlusTimes;
+    let mut op =
+        Mxv::over(&p).semiring(&PlusTimes).algorithm(kind).options(spmspv_options).prepare::<f64>();
     let alpha = options.damping;
 
     let mut ranks = vec![0.0f64; n];
@@ -108,7 +109,7 @@ pub fn pagerank_datadriven(
 
         // Next round: α · P · contrib, dropping negligible entries so the
         // frontier keeps shrinking.
-        let propagated = alg.multiply(&contrib, &semiring);
+        let propagated = op.run(&contrib);
         let mut next = SparseVec::new(n);
         for (u, &c) in propagated.iter() {
             let scaled = alpha * c;
@@ -160,8 +161,6 @@ pub fn pagerank_personalized_batch(
     spmspv_options: spmspv::SpMSpVOptions,
     options: PageRankOptions,
 ) -> PersonalizedPageRankResult {
-    use spmspv::batch::SpMSpVBatch;
-
     assert_eq!(a.nrows(), a.ncols(), "PageRank expects a square adjacency matrix");
     let n = a.ncols();
     let k = sources.len();
@@ -177,8 +176,7 @@ pub fn pagerank_personalized_batch(
     }
 
     let p = transition_matrix(a);
-    let mut alg = spmspv::batch::SpMSpVBucketBatch::new(&p, spmspv_options);
-    let semiring = PlusTimes;
+    let mut op = Mxv::over(&p).semiring(&PlusTimes).options(spmspv_options).prepare::<f64>();
     let alpha = options.damping;
 
     let mut ranks = vec![vec![0.0f64; n]; k];
@@ -206,7 +204,7 @@ pub fn pagerank_personalized_batch(
 
         let x = sparse_substrate::SparseVecBatch::from_lanes(&contribs)
             .expect("contribution lanes share the graph's dimension");
-        let propagated = alg.multiply_batch(&x, &semiring);
+        let propagated = op.run_batch(&x);
 
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_contribs = Vec::with_capacity(active.len());

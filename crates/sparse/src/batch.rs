@@ -198,11 +198,63 @@ impl<T: Scalar> SparseVecBatch<T> {
 
     /// Fuses the lanes into the column-major layout batched SpMSpV consumes:
     /// the sorted union of active indices, each with its `(lane, value)`
-    /// activations. `O(nnz · log nnz)` for the sort; lane order within one
-    /// column follows lane id, and each lane's entries appear in ascending
-    /// index order — the property that makes a batched bucket kernel's
-    /// per-lane accumulation order identical to the single-vector kernel's.
+    /// activations. Lane order within one column follows lane id, and each
+    /// lane's entries appear in ascending index order — the property that
+    /// makes a batched bucket kernel's per-lane accumulation order identical
+    /// to the single-vector kernel's.
+    ///
+    /// When every lane is already sorted (the common case: BFS frontiers and
+    /// kernel outputs are sorted under the default options), the fusion is a
+    /// `O(nnz · log k)` k-way merge of the lanes; otherwise it falls back to
+    /// sorting `(col, lane, value)` triples in `O(nnz · log nnz)`.
     pub fn fuse_columns(&self) -> FusedColumns<T> {
+        if self.is_sorted() {
+            self.fuse_columns_merge()
+        } else {
+            self.fuse_columns_sort()
+        }
+    }
+
+    /// K-way merge fusion for sorted lanes: one cursor per lane, a min-heap
+    /// keyed on `(col, lane)` pops the activations in exactly the order the
+    /// sort-based fallback would produce them.
+    fn fuse_columns_merge(&self) -> FusedColumns<T> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        debug_assert!(self.is_sorted());
+        let k = self.k();
+        let total = self.total_nnz();
+        let mut cursor: Vec<usize> = self.lane_ptr[..k].to_vec();
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::with_capacity(k);
+        for (l, &c) in cursor.iter().enumerate() {
+            if c < self.lane_ptr[l + 1] {
+                heap.push(Reverse((self.indices[c], l)));
+            }
+        }
+
+        let mut cols = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut lanes = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        while let Some(Reverse((j, l))) = heap.pop() {
+            if cols.last() != Some(&j) {
+                cols.push(j);
+                offsets.push(lanes.len());
+            }
+            lanes.push(l as u32);
+            values.push(self.values[cursor[l]]);
+            *offsets.last_mut().unwrap() = lanes.len();
+            cursor[l] += 1;
+            if cursor[l] < self.lane_ptr[l + 1] {
+                heap.push(Reverse((self.indices[cursor[l]], l)));
+            }
+        }
+        FusedColumns { cols, offsets, lanes, values }
+    }
+
+    /// Sort-based fusion, the fallback for unsorted lanes.
+    fn fuse_columns_sort(&self) -> FusedColumns<T> {
         let mut triples: Vec<(usize, u32, T)> = Vec::with_capacity(self.total_nnz());
         for l in 0..self.k() {
             let (idx, val) = self.lane(l);
@@ -258,7 +310,7 @@ impl SparseVecBatch<f64> {
 /// Produced by [`SparseVecBatch::fuse_columns`]; consumed by the batched
 /// bucket kernel, which walks `cols` once and scales each matrix column by
 /// all of its activations in one traversal.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FusedColumns<T> {
     cols: Vec<usize>,
     offsets: Vec<usize>,
@@ -379,6 +431,40 @@ mod tests {
         let fused = b.fuse_columns();
         assert_eq!(fused.num_cols(), 0);
         assert_eq!(fused.total_activations(), 0);
+    }
+
+    #[test]
+    fn merge_fusion_is_identical_to_sort_fusion() {
+        // Pseudo-random sorted lanes (multiplicative hash) across several
+        // shapes; the k-way merge must reproduce the sort fallback bit for
+        // bit: same column union, same (lane, value) order within columns.
+        for (n, k, per_lane) in [(40usize, 1usize, 7usize), (64, 3, 13), (100, 8, 25), (9, 5, 9)] {
+            let lanes: Vec<SparseVec<f64>> = (0..k)
+                .map(|l| {
+                    let mut idx: Vec<usize> =
+                        (0..per_lane).map(|e| (e * 2654435761 + l * 97) % n).collect();
+                    idx.sort_unstable();
+                    idx.dedup();
+                    let pairs = idx.iter().map(|&j| (j, (j + 10 * l) as f64)).collect();
+                    SparseVec::from_pairs(n, pairs).unwrap()
+                })
+                .collect();
+            let b = SparseVecBatch::from_lanes(&lanes).unwrap();
+            assert!(b.is_sorted());
+            assert_eq!(b.fuse_columns_merge(), b.fuse_columns_sort(), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn unsorted_lanes_take_the_sort_fallback_and_agree() {
+        let b = demo_batch(); // lane 0 stored descending: unsorted
+        assert!(!b.is_sorted());
+        let via_public = b.fuse_columns();
+        assert_eq!(via_public, b.fuse_columns_sort());
+        // A sorted copy of the same logical batch fuses to the same layout.
+        let mut sorted = b.clone();
+        sorted.sort_lanes();
+        assert_eq!(sorted.fuse_columns_merge(), via_public);
     }
 
     #[test]

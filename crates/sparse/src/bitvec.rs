@@ -114,6 +114,128 @@ impl<T: Scalar> BitVec<T> {
     }
 }
 
+/// A mutable bitmap over the index space `0..len`, the value-less sibling of
+/// [`BitVec`] used as an **output mask** by the masked SpMSpV kernels.
+///
+/// Where [`BitVec`] is a frozen snapshot of a sparse vector (bitmap + rank +
+/// values), `MaskBits` is the evolving membership set graph algorithms
+/// maintain between multiplications — BFS inserts every newly visited vertex
+/// after each level. Storage is the same `u64`-word bitmap, so membership
+/// tests cost one shift and mask, and [`MaskBits::clear`] reuses the
+/// allocation across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskBits {
+    len: usize,
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl MaskBits {
+    /// An empty mask over `0..len`.
+    pub fn new(len: usize) -> Self {
+        MaskBits { len, words: vec![0u64; len.div_ceil(64)], count: 0 }
+    }
+
+    /// Builds a mask with the listed positions set.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut mask = Self::new(len);
+        for i in indices {
+            mask.insert(i);
+        }
+        mask
+    }
+
+    /// Builds a mask from the set positions of a [`BitVec`] (values ignored).
+    pub fn from_bitvec<T>(b: &BitVec<T>) -> Self {
+        let count = b.values.len();
+        MaskBits { len: b.len, words: b.words.clone(), count }
+    }
+
+    /// Logical dimension of the index space.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no position is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of set positions.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Constant-time membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "mask index {i} out of range for {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets position `i`; returns `true` when it was previously unset.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "mask index {i} out of range for {}", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unsets position `i`; returns `true` when it was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "mask index {i} out of range for {}", self.len);
+        let w = &mut self.words[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Sets every listed position.
+    pub fn extend(&mut self, indices: impl IntoIterator<Item = usize>) {
+        for i in indices {
+            self.insert(i);
+        }
+    }
+
+    /// Unsets every position, keeping the allocation (so a BFS wrapper can be
+    /// reused across runs without reallocating).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+
+    /// Iterates the set positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + tz)
+            })
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +294,59 @@ mod tests {
         let full = BitVec::from_pairs(3, vec![(0, 1.0), (1, 2.0), (2, 3.0)]).unwrap();
         assert_eq!(full.nnz(), 3);
         assert_eq!(full.get(2).copied(), Some(3.0));
+    }
+
+    #[test]
+    fn mask_insert_remove_contains() {
+        let mut m = MaskBits::new(130);
+        assert!(m.is_empty());
+        assert!(m.insert(0));
+        assert!(m.insert(64));
+        assert!(m.insert(129));
+        assert!(!m.insert(64), "second insert reports already-set");
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(64));
+        assert!(!m.contains(63));
+        assert!(m.remove(64));
+        assert!(!m.remove(64));
+        assert_eq!(m.count(), 2);
+        assert!(!m.contains(64));
+    }
+
+    #[test]
+    fn mask_clear_keeps_capacity_and_empties() {
+        let mut m = MaskBits::from_indices(100, [1, 50, 99]);
+        assert_eq!(m.count(), 3);
+        m.clear();
+        assert!(m.is_empty());
+        assert!(!m.contains(50));
+        assert_eq!(m.len(), 100);
+        m.insert(50);
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn mask_iter_ascending() {
+        let m = MaskBits::from_indices(200, [199, 0, 63, 64, 130]);
+        let got: Vec<usize> = m.iter().collect();
+        assert_eq!(got, vec![0, 63, 64, 130, 199]);
+    }
+
+    #[test]
+    fn mask_from_bitvec_shares_membership() {
+        let b = sample();
+        let m = MaskBits::from_bitvec(&b);
+        assert_eq!(m.count(), b.nnz());
+        assert_eq!(m.len(), b.len());
+        for i in 0..b.len() {
+            assert_eq!(m.contains(i), b.contains(i), "membership differs at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn mask_insert_out_of_range_panics() {
+        let mut m = MaskBits::new(10);
+        m.insert(10);
     }
 }

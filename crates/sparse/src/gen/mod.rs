@@ -13,11 +13,11 @@
 //!
 //! | paper dataset | generator used here |
 //! |---|---|
-//! | amazon0312, web-Google, wikipedia, ljournal-2008, wb-edu | [`rmat`] (scale-free, low diameter) |
+//! | amazon0312, web-Google, wikipedia, ljournal-2008, wb-edu | [`rmat()`] (scale-free, low diameter) |
 //! | dielFilterV3real, G3_circuit | [`grid::grid2d`] / [`grid::grid3d`] (near-regular, medium-high diameter) |
 //! | hugetric/hugetrace, delaunay_n24 | [`grid::triangular_mesh`] (planar, high diameter) |
 //! | rgg_n_2_24_s0 | [`rgg::random_geometric`] (geometric, high diameter) |
-//! | analysis model | [`erdos_renyi`] |
+//! | analysis model | [`erdos_renyi()`] |
 //!
 //! All generators take an explicit RNG seed and are deterministic for a given
 //! seed, so experiments are reproducible run to run.

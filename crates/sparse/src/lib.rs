@@ -16,7 +16,8 @@
 //! * [`SparseVec`] — `(index, value)` list format, sorted or unsorted;
 //! * [`SparseVecBatch`] — `k` sparse vectors (lanes) over a shared index
 //!   pool, the substrate of batched multi-source SpMSpV;
-//! * [`BitVec`] — bitmap + rank structure, GraphMat's vector format;
+//! * [`BitVec`] — bitmap + rank structure, GraphMat's vector format — and
+//!   [`MaskBits`], the mutable bitmap the masked SpMSpV kernels consult;
 //! * [`Spa`] — the sparse accumulator with generation-based partial
 //!   initialization (Gilbert, Moler & Schreiber) — and [`LaneSpa`], its
 //!   lane-aware variant with one slot per `(index, lane)` pair;
@@ -53,7 +54,7 @@ pub mod spa;
 pub mod spvec;
 
 pub use batch::{FusedColumns, SparseVecBatch};
-pub use bitvec::BitVec;
+pub use bitvec::{BitVec, MaskBits};
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;

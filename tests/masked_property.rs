@@ -1,0 +1,323 @@
+//! Property-based tests for in-kernel masked SpMSpV: for any operands and
+//! any mask, every kernel's `multiply_masked` / `multiply_batch_masked`
+//! must equal the post-filtered unmasked oracle (multiply, then drop the
+//! rows the mask rejects) — across [`MaskMode::Keep`] and
+//! [`MaskMode::Complement`], semirings (`PlusTimes`, the BFS
+//! `Select2ndMin`), sorted and unsorted storage, every algorithm family,
+//! and batch widths `k ∈ {1, 3, 32}` with shared and per-lane masks.
+//!
+//! Entry values are small integers (stored as `f64` where applicable) so
+//! floating-point addition is exact and results compare exactly regardless
+//! of reduction order.
+
+use proptest::prelude::*;
+use sparse_substrate::{
+    CooMatrix, CscMatrix, MaskBits, PlusTimes, Select2ndMin, SparseVec, SparseVecBatch,
+};
+use spmspv::batch::mask_filter_batch;
+use spmspv::ops::Mxv;
+use spmspv::{
+    build_algorithm, build_batch_algorithm, AlgorithmKind, BatchAlgorithmKind, BatchMaskView,
+    MaskMode, MaskView, SpMSpVOptions,
+};
+
+const ALL_KINDS: [AlgorithmKind; 6] = [
+    AlgorithmKind::Bucket,
+    AlgorithmKind::CombBlasSpa,
+    AlgorithmKind::CombBlasHeap,
+    AlgorithmKind::GraphMat,
+    AlgorithmKind::SortBased,
+    AlgorithmKind::Sequential,
+];
+
+/// Strategy: a random sparse matrix with up to `max_dim` rows/columns and
+/// small-integer entries.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = CscMatrix<f64>> {
+    (2usize..max_dim, 2usize..max_dim).prop_flat_map(|(m, n)| {
+        let entry = (0..m, 0..n, 1i32..16);
+        proptest::collection::vec(entry, 0..(m * n).min(300)).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(m, n);
+            for (i, j, v) in entries {
+                coo.push(i, j, v as f64);
+            }
+            CscMatrix::from_coo(coo, |a, b| a + b)
+        })
+    })
+}
+
+/// Strategy: one sparse lane of dimension `n` with integer values, stored in
+/// ascending or (when `reversed`) descending index order so both sorted and
+/// unsorted inputs are exercised.
+fn lane_strategy(n: usize) -> impl Strategy<Value = SparseVec<f64>> {
+    (proptest::collection::btree_map(0..n, 1i32..16, 0..n.min(40)), any::<bool>()).prop_map(
+        move |(map, reversed)| {
+            let mut pairs: Vec<(usize, f64)> =
+                map.into_iter().map(|(i, v)| (i, v as f64)).collect();
+            if reversed {
+                pairs.reverse();
+            }
+            SparseVec::from_pairs(n, pairs).expect("btree_map keys are unique and in range")
+        },
+    )
+}
+
+/// Strategy: a mask over the output dimension `m` — an arbitrary subset of
+/// the rows (possibly empty, possibly everything).
+fn mask_strategy(m: usize) -> impl Strategy<Value = MaskBits> {
+    proptest::collection::vec(0..m, 0..m.min(60))
+        .prop_map(move |rows| MaskBits::from_indices(m, rows))
+}
+
+fn mode_strategy() -> impl Strategy<Value = MaskMode> {
+    prop_oneof![Just(MaskMode::Keep), Just(MaskMode::Complement)]
+}
+
+/// Strategy: matrix, single input lane, mask over the rows, mask mode.
+fn single_operands(
+    max_dim: usize,
+) -> impl Strategy<Value = (CscMatrix<f64>, SparseVec<f64>, MaskBits, MaskMode)> {
+    matrix_strategy(max_dim).prop_flat_map(|a| {
+        let n = a.ncols();
+        let m = a.nrows();
+        (Just(a), lane_strategy(n), mask_strategy(m), mode_strategy())
+    })
+}
+
+/// Strategy: matrix, a batch of `k ∈ {1, 3, 32}` lanes, one mask per lane,
+/// mask mode.
+#[allow(clippy::type_complexity)]
+fn batch_operands(
+    max_dim: usize,
+) -> impl Strategy<Value = (CscMatrix<f64>, SparseVecBatch<f64>, Vec<MaskBits>, MaskMode)> {
+    matrix_strategy(max_dim).prop_flat_map(|a| {
+        let n = a.ncols();
+        let m = a.nrows();
+        let k = prop_oneof![Just(1usize), Just(3usize), Just(32usize)];
+        (
+            Just(a),
+            k.prop_flat_map(move |k| {
+                (
+                    proptest::collection::vec(lane_strategy(n), k..k + 1),
+                    proptest::collection::vec(mask_strategy(m), k..k + 1),
+                )
+            }),
+            mode_strategy(),
+        )
+            .prop_map(|(a, (lanes, masks), mode)| {
+                let batch = SparseVecBatch::from_lanes(&lanes).expect("lanes share n");
+                (a, batch, masks, mode)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every single-vector kernel's in-kernel mask equals post-filtering its
+    /// own unmasked product, under `(+, ×)`.
+    #[test]
+    fn masked_single_kernels_equal_post_filter_oracle_plus_times(
+        (a, x, mask, mode) in single_operands(40),
+        threads in 1usize..5,
+        sorted in any::<bool>(),
+    ) {
+        let opts = SpMSpVOptions::with_threads(threads).sorted(sorted);
+        let view = MaskView::new(&mask, mode);
+        for kind in ALL_KINDS {
+            let mut alg = build_algorithm::<f64, f64, PlusTimes>(&a, kind, opts.clone());
+            let y = alg.multiply_masked(&x, &PlusTimes, Some(view));
+            let mut oracle = alg.multiply(&x, &PlusTimes);
+            oracle.retain(|i, _| view.keeps(i));
+            prop_assert!(
+                y.same_entries(&oracle),
+                "{kind} in-kernel mask diverged from post-filter ({mode:?}, sorted={sorted})"
+            );
+            // No masked-out row may survive.
+            prop_assert!(
+                y.iter().all(|(i, _)| view.keeps(i)),
+                "{kind} leaked a masked-out row"
+            );
+        }
+    }
+
+    /// Same oracle under the BFS `(min, select2nd)` semiring, driven through
+    /// the `Mxv` descriptor (the path `bfs` actually takes).
+    #[test]
+    fn masked_mxv_equals_post_filter_oracle_select2nd_min(
+        (a, x, mask, mode) in single_operands(40),
+        threads in 1usize..5,
+    ) {
+        let frontier = SparseVec::from_pairs(
+            x.len(),
+            x.iter().map(|(i, _)| (i, i)).collect(),
+        ).expect("indices already validated");
+        let view = MaskView::new(&mask, mode);
+        for kind in ALL_KINDS {
+            let mut masked_op = Mxv::over(&a)
+                .semiring(&Select2ndMin)
+                .algorithm(kind)
+                .mask(&mask, mode)
+                .options(SpMSpVOptions::with_threads(threads))
+                .prepare();
+            let y = masked_op.run(&frontier);
+            let mut unmasked_op = Mxv::over(&a)
+                .semiring(&Select2ndMin)
+                .algorithm(kind)
+                .options(SpMSpVOptions::with_threads(threads))
+                .prepare();
+            let mut oracle = unmasked_op.run(&frontier);
+            oracle.retain(|i, _| view.keeps(i));
+            prop_assert!(
+                y.same_entries(&oracle),
+                "{kind} Mxv mask diverged from post-filter under Select2ndMin ({mode:?})"
+            );
+        }
+    }
+
+    /// Both batched families, shared mask: in-kernel equals post-filter.
+    #[test]
+    fn masked_batch_kernels_equal_post_filter_oracle_shared(
+        (a, x, masks, mode) in batch_operands(40),
+        threads in 1usize..5,
+        sorted in any::<bool>(),
+    ) {
+        let opts = SpMSpVOptions::with_threads(threads).sorted(sorted);
+        let shared = &masks[0];
+        let view = BatchMaskView::Shared(MaskView::new(shared, mode));
+        for kind in [BatchAlgorithmKind::Bucket, BatchAlgorithmKind::Naive] {
+            let mut alg = build_batch_algorithm::<f64, f64, PlusTimes>(&a, kind, opts.clone());
+            let y = alg.multiply_batch_masked(&x, &PlusTimes, Some(&view));
+            let oracle = mask_filter_batch(&alg.multiply_batch(&x, &PlusTimes), &view);
+            prop_assert!(
+                y.same_entries(&oracle),
+                "{kind} shared mask diverged from post-filter ({mode:?}, sorted={sorted}, k={})",
+                x.k()
+            );
+        }
+    }
+
+    /// Both batched families, one mask per lane: in-kernel equals
+    /// post-filter, lane by lane.
+    #[test]
+    fn masked_batch_kernels_equal_post_filter_oracle_per_lane(
+        (a, x, masks, mode) in batch_operands(40),
+        threads in 1usize..5,
+    ) {
+        let opts = SpMSpVOptions::with_threads(threads);
+        let view = BatchMaskView::PerLane { masks: &masks, mode };
+        for kind in [BatchAlgorithmKind::Bucket, BatchAlgorithmKind::Naive] {
+            let mut alg = build_batch_algorithm::<f64, f64, PlusTimes>(&a, kind, opts.clone());
+            let y = alg.multiply_batch_masked(&x, &PlusTimes, Some(&view));
+            let oracle = mask_filter_batch(&alg.multiply_batch(&x, &PlusTimes), &view);
+            prop_assert!(
+                y.same_entries(&oracle),
+                "{kind} per-lane mask diverged from post-filter ({mode:?}, k={})",
+                x.k()
+            );
+            for l in 0..y.k() {
+                let (rows, _) = y.lane(l);
+                prop_assert!(
+                    rows.iter().all(|&i| view.keeps(i, l)),
+                    "{kind} leaked a masked-out row in lane {l}"
+                );
+            }
+        }
+    }
+
+    /// The fused masked batch is bit-identical to k masked single-vector
+    /// calls (the mask analogue of the unmasked bit-identity property).
+    #[test]
+    fn masked_batch_is_bit_identical_to_masked_single_calls(
+        (a, x, masks, mode) in batch_operands(32),
+        batch_threads in 1usize..5,
+        single_threads in 1usize..5,
+    ) {
+        let view = BatchMaskView::PerLane { masks: &masks, mode };
+        let mut fused = build_batch_algorithm::<f64, f64, PlusTimes>(
+            &a,
+            BatchAlgorithmKind::Bucket,
+            SpMSpVOptions::with_threads(batch_threads),
+        );
+        let y = fused.multiply_batch_masked(&x, &PlusTimes, Some(&view));
+        let mut single = build_algorithm::<f64, f64, PlusTimes>(
+            &a,
+            AlgorithmKind::Bucket,
+            SpMSpVOptions::with_threads(single_threads),
+        );
+        for (l, lane_mask) in masks.iter().enumerate() {
+            let lane_y = single.multiply_masked(
+                &x.lane_vec(l),
+                &PlusTimes,
+                Some(MaskView::new(lane_mask, mode)),
+            );
+            prop_assert_eq!(
+                y.lane_vec(l), lane_y,
+                "masked lane {} not bit-identical to a masked SpMSpVBucket call", l
+            );
+        }
+    }
+
+    /// Degenerate masks behave like set algebra demands: an empty Keep mask
+    /// (or a full Complement mask) yields an empty product; an empty
+    /// Complement mask (or a full Keep mask) yields the unmasked product.
+    #[test]
+    fn degenerate_masks_are_identity_or_annihilator(
+        (a, x, _, _) in single_operands(30),
+        threads in 1usize..4,
+    ) {
+        let m = a.nrows();
+        let empty = MaskBits::new(m);
+        let full = MaskBits::from_indices(m, 0..m);
+        let opts = SpMSpVOptions::with_threads(threads);
+        let mut alg = build_algorithm::<f64, f64, PlusTimes>(&a, AlgorithmKind::Bucket, opts);
+        let unmasked = alg.multiply(&x, &PlusTimes);
+
+        let keep_nothing =
+            alg.multiply_masked(&x, &PlusTimes, Some(MaskView::new(&empty, MaskMode::Keep)));
+        prop_assert!(keep_nothing.is_empty());
+        let complement_everything =
+            alg.multiply_masked(&x, &PlusTimes, Some(MaskView::new(&full, MaskMode::Complement)));
+        prop_assert!(complement_everything.is_empty());
+
+        let keep_everything =
+            alg.multiply_masked(&x, &PlusTimes, Some(MaskView::new(&full, MaskMode::Keep)));
+        prop_assert_eq!(&keep_everything, &unmasked);
+        let complement_nothing =
+            alg.multiply_masked(&x, &PlusTimes, Some(MaskView::new(&empty, MaskMode::Complement)));
+        prop_assert_eq!(&complement_nothing, &unmasked);
+    }
+}
+
+/// Deterministic spot check on the graph classes the paper benchmarks: the
+/// BFS mask shape (¬visited) through the whole `Mxv` batch path.
+#[test]
+fn bfs_shaped_mask_on_rmat_and_grid_fixtures() {
+    use sparse_substrate::gen::{grid2d, random_sparse_vec, rmat, RmatParams};
+
+    let fixtures: Vec<(&str, CscMatrix<f64>)> =
+        vec![("rmat", rmat(10, 8, RmatParams::graph500(), 17)), ("grid", grid2d(30, 34))];
+    for (name, a) in fixtures {
+        let n = a.ncols();
+        let visited = MaskBits::from_indices(n, (0..n).step_by(3));
+        for k in [1usize, 3, 32] {
+            let lanes: Vec<SparseVec<f64>> =
+                (0..k).map(|l| random_sparse_vec(n, (n / 8).max(1), 700 + l as u64)).collect();
+            let x = SparseVecBatch::from_lanes(&lanes).unwrap();
+
+            let mut masked_op = Mxv::over(&a)
+                .semiring(&PlusTimes)
+                .mask(&visited, MaskMode::Complement)
+                .options(SpMSpVOptions::with_threads(4))
+                .prepare();
+            let y = masked_op.run_batch(&x);
+
+            let mut unmasked_op = Mxv::over(&a)
+                .semiring(&PlusTimes)
+                .options(SpMSpVOptions::with_threads(3))
+                .prepare::<f64>();
+            let view = BatchMaskView::Shared(MaskView::new(&visited, MaskMode::Complement));
+            let oracle = mask_filter_batch(&unmasked_op.run_batch(&x), &view);
+            assert_eq!(y, oracle, "{name}: masked k={k} batch differs from post-filter oracle");
+        }
+    }
+}
