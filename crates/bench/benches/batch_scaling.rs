@@ -32,6 +32,7 @@ use std::time::{Duration, Instant};
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
 use sparse_substrate::{MaskBits, PlusTimes, SparseVec, SparseVecBatch};
 use spmspv::batch::mask_filter_batch;
+use spmspv::engine::{Engine, EngineConfig, MxvRequest};
 use spmspv::ops::Mxv;
 use spmspv::{
     BatchAlgorithmKind, BatchMaskView, MaskMode, MaskView, SpMSpVBucketBatch, SpMSpVOptions,
@@ -62,7 +63,7 @@ fn bench_batch_scaling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for &k in &KS {
         let x = make_batch(n, k);
-        for kind in [BatchAlgorithmKind::Bucket, BatchAlgorithmKind::Naive] {
+        for kind in BatchAlgorithmKind::all() {
             let mut op = Mxv::over(&a)
                 .semiring(&PlusTimes)
                 .batch_algorithm(kind)
@@ -173,10 +174,88 @@ fn bench_batch_scaling(c: &mut Criterion) {
         "  phases sum to {:.3} ms — there is no post-filter step to account for.",
         timings.total().as_secs_f64() * 1e3
     );
+
+    // Serving-engine coalescing table — the front-door workload the engine
+    // exists for: k concurrent clients each ask for one small frontier
+    // expansion (personalized-PageRank seeds / BFS probes over a hot vertex
+    // set, SEED_NNZ nonzeros each). One Engine flush (queue drain, grouping,
+    // fused batch, ticket demux — everything the serving layer pays) versus
+    // what those clients would do without the engine: each prepares its own
+    // single-vector `Mxv` descriptor over the shared matrix (a `PreparedMxv`
+    // is `&mut self` — independent clients cannot share one) and calls
+    // `run`. The engine must win in TOTAL time for k ≥ 4: coalescing plus
+    // workspace pooling has to beat not-batching even after the
+    // queue/ticket bookkeeping.
+    eprintln!(
+        "\nengine coalescing (one flush of k seed requests, {SEED_NNZ} nnz each, vs k \
+         independent Mxv::run calls):"
+    );
+    eprintln!("{:>4}  {:>16}  {:>18}  {:>8}", "k", "engine flush", "k independent runs", "speedup");
+    for &k in &KS {
+        let lanes = make_seed_requests(n, k);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default().max_lanes(0).options(SpMSpVOptions::with_threads(threads)),
+        );
+        let engine_total = median_time(|| {
+            let tickets: Vec<_> =
+                lanes.iter().map(|x| engine.submit(MxvRequest::new(x.clone()))).collect();
+            engine.flush();
+            for t in tickets {
+                let _ = t.try_take().expect("flush serves every request");
+            }
+        });
+        let single_total = median_time(|| {
+            for x in &lanes {
+                let mut single = Mxv::over(&a)
+                    .semiring(&PlusTimes)
+                    .options(SpMSpVOptions::with_threads(threads))
+                    .prepare::<f64>();
+                let _ = single.run(x);
+            }
+        });
+        eprintln!(
+            "{:>4}  {:>14.1}us  {:>16.1}us  {:>7.2}x",
+            k,
+            engine_total.as_secs_f64() * 1e6,
+            single_total.as_secs_f64() * 1e6,
+            single_total.as_secs_f64() / engine_total.as_secs_f64().max(f64::EPSILON),
+        );
+    }
+    let stats_engine = Engine::over(&a, PlusTimes);
+    let tickets: Vec<_> = make_seed_requests(n, 16)
+        .iter()
+        .map(|x| stats_engine.submit(MxvRequest::new(x.clone())))
+        .collect();
+    stats_engine.flush();
+    drop(tickets);
+    eprintln!("  telemetry of a 16-request flush: {}", stats_engine.stats());
 }
 
-/// Median-of-7 wall time of `f`, divided by the lane count.
-fn time_per_lane(k: usize, mut f: impl FnMut()) -> Duration {
+/// Frontier size of one serving request — the personalized-PageRank /
+/// BFS-probe shape: a handful of seed vertices, not a bulk frontier.
+const SEED_NNZ: usize = 8;
+
+/// `k` client frontiers of [`SEED_NNZ`] vertices drawn from a 256-vertex hot
+/// set (zipfian-serving assumption: popular vertices recur across clients),
+/// spread over the id space by a multiplicative hash.
+fn make_seed_requests(n: usize, k: usize) -> Vec<SparseVec<f64>> {
+    (0..k)
+        .map(|l| {
+            let mut idx: Vec<usize> = (0..SEED_NNZ)
+                .map(|e| ((e * 2654435761 + l * 40503 + 977) % 256) * (n / 256) + 3)
+                .collect();
+            idx.sort_unstable();
+            idx.dedup();
+            SparseVec::from_pairs(n, idx.into_iter().map(|i| (i, 1.0)).collect())
+                .expect("hot-set indices are in range")
+        })
+        .collect()
+}
+
+/// Median-of-7 wall time of `f`.
+fn median_time(mut f: impl FnMut()) -> Duration {
     f(); // warm-up
     let mut samples: Vec<Duration> = (0..7)
         .map(|_| {
@@ -186,7 +265,12 @@ fn time_per_lane(k: usize, mut f: impl FnMut()) -> Duration {
         })
         .collect();
     samples.sort_unstable();
-    samples[samples.len() / 2] / k as u32
+    samples[samples.len() / 2]
+}
+
+/// Median-of-7 wall time of `f`, divided by the lane count.
+fn time_per_lane(k: usize, f: impl FnMut()) -> Duration {
+    median_time(f) / k as u32
 }
 
 criterion_group!(benches, bench_batch_scaling);

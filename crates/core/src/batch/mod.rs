@@ -38,8 +38,10 @@
 //! matters.
 
 mod naive;
+mod rowsplit;
 
 pub use naive::NaiveBatch;
+pub use rowsplit::CombBlasSpaBatch;
 
 use std::marker::PhantomData;
 use std::time::Instant;
@@ -134,6 +136,10 @@ pub enum BatchAlgorithmKind {
     /// `k` independent single-vector bucket calls ([`NaiveBatch`]) — the
     /// correctness oracle and amortization baseline.
     Naive,
+    /// CombBLAS-style row-split batch ([`CombBlasSpaBatch`]): `t` row pieces,
+    /// each scanning the whole fused input with a private lane-aware SPA —
+    /// the honest batched counterpart of the paper's CombBLAS-SPA baseline.
+    CombBlasRowSplit,
 }
 
 impl BatchAlgorithmKind {
@@ -142,7 +148,17 @@ impl BatchAlgorithmKind {
         match self {
             BatchAlgorithmKind::Bucket => "SpMSpV-bucket-batch",
             BatchAlgorithmKind::Naive => "Naive-batch",
+            BatchAlgorithmKind::CombBlasRowSplit => "CombBLAS-SPA-batch",
         }
+    }
+
+    /// Every batched family, in bench-legend order.
+    pub fn all() -> [BatchAlgorithmKind; 3] {
+        [
+            BatchAlgorithmKind::Bucket,
+            BatchAlgorithmKind::Naive,
+            BatchAlgorithmKind::CombBlasRowSplit,
+        ]
     }
 }
 
@@ -167,6 +183,7 @@ where
     match kind {
         BatchAlgorithmKind::Bucket => Box::new(SpMSpVBucketBatch::new(matrix, options)),
         BatchAlgorithmKind::Naive => Box::new(NaiveBatch::new(matrix, options)),
+        BatchAlgorithmKind::CombBlasRowSplit => Box::new(CombBlasSpaBatch::new(matrix, options)),
     }
 }
 

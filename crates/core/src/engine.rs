@@ -1,0 +1,1061 @@
+//! The serving front door: an [`Engine`] that coalesces many clients'
+//! single-frontier requests into fused batched multiplications.
+//!
+//! The paper's batched kernel amortizes workspace setup and matrix traffic
+//! across `k` frontiers — but a library caller had to hand-assemble a
+//! [`SparseVecBatch`] to get that win. Serving workloads (personalized
+//! PageRank for many users, landmark BFS probes, reachability queries) do
+//! not arrive pre-batched: they arrive as **independent requests from
+//! independent logical clients**. This module turns the [`crate::ops::Mxv`]
+//! descriptor into exactly that serving layer:
+//!
+//! * [`Engine::load`] / [`Engine::over`] bind a matrix (owned or borrowed)
+//!   to a pool of [`crate::ops::PreparedMxv`] descriptors — one per batched
+//!   algorithm family, instantiated lazily, workspaces reused across every
+//!   flush;
+//! * clients open [`Session`]s and submit [`MxvRequest`]s (frontier +
+//!   optional output mask + optional algorithm hint), receiving a [`Ticket`]
+//!   per request;
+//! * the **coalescer** ([`Engine::flush`]) drains the queue, groups
+//!   compatible requests (same algorithm family, same mask mode — the
+//!   semiring is fixed by the engine's type), fuses each group into
+//!   [`SparseVecBatch`] lanes up to the [`EngineConfig::max_lanes`] width
+//!   budget, executes **one** masked batched multiplication per group chunk,
+//!   and demultiplexes the per-lane results back to the tickets;
+//! * requests retired mid-flight — a cancelled [`Ticket`], a closed
+//!   [`Session`] — leave the batch before lanes are assembled, so a slow
+//!   client that gave up never costs kernel time.
+//!
+//! Two execution styles share this pipeline:
+//!
+//! * **synchronous**: `submit` + [`Engine::flush`] — the caller decides when
+//!   to fuse (the style `multi_bfs` and `pagerank_personalized_batch` use:
+//!   one flush per traversal level);
+//! * **thread-driven**: [`Engine::serve`] runs a background flush loop that
+//!   fires when [`EngineConfig::max_lanes`] lanes are pending or after
+//!   [`EngineConfig::linger`] of quiet, while client threads block on
+//!   [`Ticket::wait`]. The queue is bounded by
+//!   [`EngineConfig::queue_capacity`] for backpressure.
+//!
+//! ```
+//! use sparse_substrate::{fixtures, PlusTimes, SparseVec};
+//! use spmspv::engine::{Engine, MxvRequest};
+//!
+//! let a = fixtures::figure1_matrix();
+//! let engine = Engine::load(a, PlusTimes); // engine owns the matrix
+//! let x = fixtures::figure1_vector();
+//!
+//! // Three logical clients, one fused multiplication.
+//! let tickets: Vec<_> =
+//!     (0..3).map(|_| engine.submit(MxvRequest::new(x.clone()))).collect();
+//! engine.flush();
+//! for t in tickets {
+//!     let y: SparseVec<f64> = t.wait().expect("not cancelled");
+//!     assert!(!y.is_empty());
+//! }
+//! assert_eq!(engine.stats().fused_batches, 1);
+//! ```
+//!
+//! Results are **bit-identical** to running every request through its own
+//! single-vector [`crate::ops::PreparedMxv::run`] call (the engine property
+//! test asserts exactly that): under the default sorted options, the fused
+//! bucket kernel reduces each lane in the same order as the single-vector
+//! kernel.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{CscMatrix, MaskBits, Scalar, Semiring, SparseVec, SparseVecBatch};
+
+use crate::algorithm::SpMSpVOptions;
+use crate::batch::BatchAlgorithmKind;
+use crate::masked::MaskMode;
+use crate::ops::{Mxv, PreparedMxv};
+use crate::stats::EngineStats;
+use crate::timing::FlushTimings;
+
+/// Tuning knobs of an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Width budget per fused multiplication: a flush splits each compatible
+    /// group into chunks of at most this many lanes (`0` = unbounded). Also
+    /// the width trigger of the [`Engine::serve`] loop. Bounding the width
+    /// keeps the batched kernel's `m × k` lane-SPA within cache reach — the
+    /// ROADMAP's batch-perf observation.
+    pub max_lanes: usize,
+    /// Bound on queued requests; `submit` blocks (backpressure) while the
+    /// queue is full. `0` = unbounded (the synchronous style's default).
+    pub queue_capacity: usize,
+    /// How long the [`Engine::serve`] loop waits for more requests to
+    /// coalesce before flushing a partially filled batch.
+    pub linger: Duration,
+    /// Batched algorithm family for requests without an explicit hint.
+    pub batch_algorithm: BatchAlgorithmKind,
+    /// Kernel tuning options shared by every pooled descriptor.
+    pub options: SpMSpVOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_lanes: 64,
+            queue_capacity: 0,
+            linger: Duration::from_micros(200),
+            batch_algorithm: BatchAlgorithmKind::Bucket,
+            options: SpMSpVOptions::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style setter for [`EngineConfig::max_lanes`].
+    pub fn max_lanes(mut self, k: usize) -> Self {
+        self.max_lanes = k;
+        self
+    }
+
+    /// Builder-style setter for [`EngineConfig::queue_capacity`].
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Builder-style setter for [`EngineConfig::linger`].
+    pub fn linger(mut self, d: Duration) -> Self {
+        self.linger = d;
+        self
+    }
+
+    /// Builder-style setter for [`EngineConfig::batch_algorithm`].
+    pub fn batch_algorithm(mut self, kind: BatchAlgorithmKind) -> Self {
+        self.batch_algorithm = kind;
+        self
+    }
+
+    /// Builder-style setter for [`EngineConfig::options`].
+    pub fn options(mut self, options: SpMSpVOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// One client request: a frontier, an optional in-kernel output mask, and an
+/// optional batched-algorithm hint. Requests with the same mask *mode* and
+/// algorithm family coalesce into one fused multiplication; each request's
+/// mask becomes its lane's mask.
+#[derive(Debug, Clone)]
+pub struct MxvRequest<X> {
+    frontier: SparseVec<X>,
+    mask: Option<(MaskBits, MaskMode)>,
+    algorithm: Option<BatchAlgorithmKind>,
+}
+
+impl<X: Scalar> MxvRequest<X> {
+    /// A plain unmasked request under the engine's default algorithm.
+    pub fn new(frontier: SparseVec<X>) -> Self {
+        MxvRequest { frontier, mask: None, algorithm: None }
+    }
+
+    /// Attaches this request's own output mask (the BFS `¬visited` idiom:
+    /// every client carries its private visited set).
+    pub fn mask(mut self, bits: MaskBits, mode: MaskMode) -> Self {
+        self.mask = Some((bits, mode));
+        self
+    }
+
+    /// Pins the batched algorithm family for this request; requests with
+    /// different families never fuse.
+    pub fn algorithm(mut self, kind: BatchAlgorithmKind) -> Self {
+        self.algorithm = Some(kind);
+        self
+    }
+}
+
+/// Result slot state shared between a [`Ticket`] and the queue/coalescer.
+enum TicketState<Y> {
+    Pending,
+    Ready(SparseVec<Y>),
+    Taken,
+    Cancelled,
+}
+
+struct TicketShared<Y> {
+    state: Mutex<TicketState<Y>>,
+    ready: Condvar,
+}
+
+impl<Y: Scalar> TicketShared<Y> {
+    fn fulfil(&self, y: SparseVec<Y>) {
+        let mut st = self.state.lock().unwrap();
+        if matches!(*st, TicketState::Pending) {
+            *st = TicketState::Ready(y);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Marks a pending ticket cancelled; returns whether it was pending.
+    fn cancel(&self) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if matches!(*st, TicketState::Pending) {
+            *st = TicketState::Cancelled;
+            self.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        matches!(*self.state.lock().unwrap(), TicketState::Cancelled)
+    }
+}
+
+/// A claim on one request's result.
+///
+/// In the synchronous style, call [`Engine::flush`] and then
+/// [`Ticket::try_take`]; under [`Engine::serve`], block on [`Ticket::wait`].
+/// [`Ticket::cancel`] retires the request mid-flight: if it has not been
+/// fused into a batch yet, it never will be.
+pub struct Ticket<Y> {
+    shared: Arc<TicketShared<Y>>,
+}
+
+impl<Y: Scalar> Ticket<Y> {
+    /// Blocks until the request is served (or cancelled), consuming the
+    /// ticket. Returns `None` when the request was cancelled, or when the
+    /// result was already claimed by an earlier [`Ticket::try_take`].
+    ///
+    /// Only sensible when something will flush — the [`Engine::serve`] loop,
+    /// or another thread calling [`Engine::flush`].
+    pub fn wait(self) -> Option<SparseVec<Y>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, TicketState::Taken) {
+                TicketState::Ready(y) => return Some(y),
+                TicketState::Cancelled => {
+                    *st = TicketState::Cancelled;
+                    return None;
+                }
+                TicketState::Pending => {
+                    *st = TicketState::Pending;
+                    st = self.shared.ready.wait(st).unwrap();
+                }
+                TicketState::Taken => return None,
+            }
+        }
+    }
+
+    /// Takes the result if it is ready; `None` while pending, after
+    /// cancellation, or if already taken.
+    pub fn try_take(&self) -> Option<SparseVec<Y>> {
+        let mut st = self.shared.state.lock().unwrap();
+        match std::mem::replace(&mut *st, TicketState::Taken) {
+            TicketState::Ready(y) => Some(y),
+            other => {
+                *st = other;
+                None
+            }
+        }
+    }
+
+    /// Retires the request: a still-queued request is dropped from the next
+    /// flush (its lane is never assembled); a request already served keeps
+    /// its result. Returns whether the request was still pending.
+    pub fn cancel(&self) -> bool {
+        self.shared.cancel()
+    }
+
+    /// Whether the request has neither been served nor cancelled yet.
+    pub fn is_pending(&self) -> bool {
+        matches!(*self.shared.state.lock().unwrap(), TicketState::Pending)
+    }
+}
+
+/// One queued request, tagged with the session that submitted it.
+struct QueueEntry<X, Y> {
+    session: u64,
+    frontier: SparseVec<X>,
+    mask: Option<(MaskBits, MaskMode)>,
+    algorithm: BatchAlgorithmKind,
+    ticket: Arc<TicketShared<Y>>,
+}
+
+struct RequestQueue<X, Y> {
+    entries: Mutex<VecDeque<QueueEntry<X, Y>>>,
+    /// Signalled when requests arrive (wakes the serve loop).
+    grew: Condvar,
+    /// Signalled when the queue drains (unblocks bounded `submit`).
+    shrank: Condvar,
+}
+
+/// How the engine holds its matrix: borrowed from the caller, or owned.
+enum MatrixSource<'m, A> {
+    Borrowed(&'m CscMatrix<A>),
+    Owned(Arc<CscMatrix<A>>),
+}
+
+/// The engine's pool of prepared descriptors, one per batched family.
+type DescriptorPool<'m, A, X, S> = Vec<(BatchAlgorithmKind, PreparedMxv<'m, A, X, S>)>;
+
+/// The serving engine. See the [module docs](self).
+///
+/// Generic over the matrix element `A`, the input element `X` and the
+/// semiring `S` — one engine serves one operation type, many clients. The
+/// engine is `Sync`: sessions on any thread may submit while the serve loop
+/// (or any thread) flushes.
+pub struct Engine<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> {
+    /// One prepared descriptor per batched algorithm family, created lazily,
+    /// reused across flushes (the amortization the engine exists for).
+    ///
+    /// Field order matters: `pool` holds matrix borrows that, for an owned
+    /// matrix, are derived from `source` — it must drop first, and struct
+    /// fields drop in declaration order.
+    pool: Mutex<DescriptorPool<'m, A, X, S>>,
+    queue: RequestQueue<X, S::Output>,
+    stats: Mutex<EngineStats>,
+    config: EngineConfig,
+    semiring: S,
+    next_session: AtomicU64,
+    source: MatrixSource<'m, A>,
+}
+
+impl<'m, A, X, S> Engine<'m, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'm,
+{
+    /// An engine borrowing `matrix` from the caller, with default
+    /// configuration — the fit for algorithm drivers (`multi_bfs`,
+    /// `pagerank_personalized_batch`) that already hold the matrix.
+    pub fn over(matrix: &'m CscMatrix<A>, semiring: S) -> Self {
+        Self::over_with(matrix, semiring, EngineConfig::default())
+    }
+
+    /// [`Engine::over`] with an explicit configuration.
+    pub fn over_with(matrix: &'m CscMatrix<A>, semiring: S, config: EngineConfig) -> Self {
+        Self::from_source(MatrixSource::Borrowed(matrix), semiring, config)
+    }
+
+    /// An engine **owning** `matrix`, with default configuration — the
+    /// serving deployment shape: load once, serve until dropped.
+    pub fn load(matrix: CscMatrix<A>, semiring: S) -> Self {
+        Self::load_with(matrix, semiring, EngineConfig::default())
+    }
+
+    /// [`Engine::load`] with an explicit configuration.
+    pub fn load_with(matrix: CscMatrix<A>, semiring: S, config: EngineConfig) -> Self {
+        Self::from_source(MatrixSource::Owned(Arc::new(matrix)), semiring, config)
+    }
+
+    fn from_source(source: MatrixSource<'m, A>, semiring: S, config: EngineConfig) -> Self {
+        Engine {
+            pool: Mutex::new(Vec::new()),
+            queue: RequestQueue {
+                entries: Mutex::new(VecDeque::new()),
+                grew: Condvar::new(),
+                shrank: Condvar::new(),
+            },
+            stats: Mutex::new(EngineStats::default()),
+            config,
+            semiring,
+            next_session: AtomicU64::new(1),
+            source,
+        }
+    }
+
+    /// The matrix reference the pooled descriptors are prepared over.
+    fn matrix_ref(&self) -> &'m CscMatrix<A> {
+        match &self.source {
+            MatrixSource::Borrowed(m) => m,
+            // SAFETY: the Arc is owned by `self.source` for the engine's
+            // whole life and never swapped or released early, so the matrix
+            // sits at a stable heap address and is never mutated (no API
+            // takes it by `&mut`). The only borrows derived from this
+            // extended reference live inside `self.pool`, which is declared
+            // before `source` and therefore dropped first; no public API
+            // returns anything borrowed for `'m`.
+            MatrixSource::Owned(arc) => unsafe { &*Arc::as_ptr(arc) },
+        }
+    }
+
+    /// The matrix this engine serves.
+    pub fn matrix(&self) -> &CscMatrix<A> {
+        self.matrix_ref()
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cumulative coalescing telemetry.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Requests currently queued (submitted, not yet flushed).
+    pub fn pending(&self) -> usize {
+        self.queue.entries.lock().unwrap().len()
+    }
+
+    /// Opens a session: a handle for one logical client, whose queued
+    /// requests can be retired together with [`Session::close`].
+    pub fn session(&self) -> Session<'_, 'm, A, X, S> {
+        Session { engine: self, id: self.next_session.fetch_add(1, Ordering::Relaxed) }
+    }
+
+    /// Submits an anonymous request (no session). See [`Session::submit`].
+    pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
+        self.submit_tagged(0, request)
+    }
+
+    fn submit_tagged(&self, session: u64, request: MxvRequest<X>) -> Ticket<S::Output> {
+        let m = self.matrix_ref();
+        assert_eq!(
+            request.frontier.len(),
+            m.ncols(),
+            "request frontier has dimension {} but the matrix has {} columns",
+            request.frontier.len(),
+            m.ncols()
+        );
+        if let Some((bits, _)) = &request.mask {
+            assert_eq!(
+                bits.len(),
+                m.nrows(),
+                "request mask covers {} rows but the matrix has {} output rows",
+                bits.len(),
+                m.nrows()
+            );
+        }
+        let shared = Arc::new(TicketShared {
+            state: Mutex::new(TicketState::Pending),
+            ready: Condvar::new(),
+        });
+        let entry = QueueEntry {
+            session,
+            frontier: request.frontier,
+            mask: request.mask,
+            algorithm: request.algorithm.unwrap_or(self.config.batch_algorithm),
+            ticket: Arc::clone(&shared),
+        };
+        // Count the request before it becomes flushable, so a concurrent
+        // `stats()` snapshot always sees `requests ≥ lanes_executed`.
+        self.stats.lock().unwrap().requests += 1;
+        {
+            let mut q = self.queue.entries.lock().unwrap();
+            if self.config.queue_capacity > 0 {
+                while q.len() >= self.config.queue_capacity {
+                    q = self.queue.shrank.wait(q).unwrap();
+                }
+            }
+            q.push_back(entry);
+        }
+        self.queue.grew.notify_all();
+        Ticket { shared }
+    }
+
+    /// Drains the queue and serves every live request: groups compatible
+    /// requests, fuses each group into at most [`EngineConfig::max_lanes`]
+    /// lanes per batched multiplication, executes, and demultiplexes results
+    /// to the tickets. Returns what happened (all zeros when the queue was
+    /// empty).
+    pub fn flush(&self) -> FlushOutcome {
+        let drained: Vec<QueueEntry<X, S::Output>> = {
+            let mut q = self.queue.entries.lock().unwrap();
+            q.drain(..).collect()
+        };
+        self.queue.shrank.notify_all();
+        if drained.is_empty() {
+            return FlushOutcome::default();
+        }
+
+        let mut outcome = FlushOutcome { requests: drained.len(), ..FlushOutcome::default() };
+        let t_group = Instant::now();
+        // Group by (algorithm family, mask mode), preserving arrival order
+        // within each group — the demux order clients observe.
+        type Key = (BatchAlgorithmKind, Option<MaskMode>);
+        type Group<X, Y> = (Key, Vec<QueueEntry<X, Y>>);
+        let mut groups: Vec<Group<X, S::Output>> = Vec::new();
+        for entry in drained {
+            if entry.ticket.is_cancelled() {
+                outcome.retired += 1;
+                continue;
+            }
+            let key = (entry.algorithm, entry.mask.as_ref().map(|&(_, mode)| mode));
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, members)) => members.push(entry),
+                None => groups.push((key, vec![entry])),
+            }
+        }
+        outcome.timings.assemble += t_group.elapsed();
+
+        let width = if self.config.max_lanes == 0 { usize::MAX } else { self.config.max_lanes };
+        let mut pool = self.pool.lock().unwrap();
+        for ((kind, mode), members) in groups {
+            let mut members = members.into_iter().peekable();
+            while members.peek().is_some() {
+                let t_assemble = Instant::now();
+                // Mid-flight retirement check once more at assembly time: a
+                // ticket cancelled after the drain still leaves the batch.
+                let chunk: Vec<QueueEntry<X, S::Output>> = members
+                    .by_ref()
+                    .take(width)
+                    .filter(|e| {
+                        let live = !e.ticket.is_cancelled();
+                        if !live {
+                            outcome.retired += 1;
+                        }
+                        live
+                    })
+                    .collect();
+                if chunk.is_empty() {
+                    continue;
+                }
+                // Disassemble the entries: frontiers fuse into the batch,
+                // masks move into the pooled descriptor, tickets stay for
+                // the demux — no per-request copies.
+                let mut tickets = Vec::with_capacity(chunk.len());
+                let mut lanes = Vec::with_capacity(chunk.len());
+                let mut masks = mode.map(|_| Vec::with_capacity(chunk.len()));
+                for entry in chunk {
+                    tickets.push(entry.ticket);
+                    lanes.push(entry.frontier);
+                    if let Some(masks) = masks.as_mut() {
+                        masks.push(entry.mask.expect("grouped as masked").0);
+                    }
+                }
+                let x = SparseVecBatch::from_lanes(&lanes)
+                    .expect("request dimensions are validated at submit");
+                let prepared = Self::pool_entry(
+                    &mut pool,
+                    kind,
+                    self.matrix_ref(),
+                    &self.semiring,
+                    &self.config.options,
+                );
+                match (mode, masks) {
+                    (Some(mode), Some(masks)) => prepared.set_lane_masks(masks, mode),
+                    _ => prepared.unmask(),
+                }
+                outcome.timings.assemble += t_assemble.elapsed();
+
+                let t_execute = Instant::now();
+                let y = prepared.run_batch(&x);
+                outcome.timings.execute += t_execute.elapsed();
+
+                let t_demux = Instant::now();
+                for (lane, ticket) in tickets.iter().enumerate() {
+                    ticket.fulfil(y.lane_vec(lane));
+                }
+                // Release this chunk's masks; the kernels stay pooled.
+                prepared.unmask();
+                outcome.batches += 1;
+                outcome.lanes += tickets.len();
+                outcome.timings.demux += t_demux.elapsed();
+            }
+        }
+        drop(pool);
+
+        let mut stats = self.stats.lock().unwrap();
+        stats.retired += outcome.retired;
+        if outcome.batches > 0 {
+            stats.flushes += 1;
+        }
+        stats.fused_batches += outcome.batches;
+        stats.lanes_executed += outcome.lanes;
+        stats.widest_flush = stats.widest_flush.max(outcome.lanes);
+        stats.flush_timings += outcome.timings;
+        outcome
+    }
+
+    fn pool_entry<'p>(
+        pool: &'p mut DescriptorPool<'m, A, X, S>,
+        kind: BatchAlgorithmKind,
+        matrix: &'m CscMatrix<A>,
+        semiring: &S,
+        options: &SpMSpVOptions,
+    ) -> &'p mut PreparedMxv<'m, A, X, S> {
+        if let Some(pos) = pool.iter().position(|(k, _)| *k == kind) {
+            return &mut pool[pos].1;
+        }
+        let prepared = Mxv::over(matrix)
+            .semiring(semiring)
+            .batch_algorithm(kind)
+            .options(options.clone())
+            .prepare::<X>();
+        pool.push((kind, prepared));
+        &mut pool.last_mut().expect("just pushed").1
+    }
+
+    /// Runs `body` with a background flush loop serving the engine: the loop
+    /// flushes whenever [`EngineConfig::max_lanes`] requests are pending or
+    /// [`EngineConfig::linger`] elapses with a non-empty queue. The loop
+    /// drains remaining requests and stops when `body` returns (or panics).
+    ///
+    /// Client threads spawned inside `body` submit through [`Session`]s and
+    /// block on [`Ticket::wait`].
+    pub fn serve<R: Send>(&self, body: impl FnOnce(&Self) -> R + Send) -> R
+    where
+        S::Output: Scalar,
+    {
+        let shutdown = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let server = scope.spawn(|| self.serve_loop(&shutdown));
+            // Raise the shutdown flag even when `body` unwinds, so the
+            // scope's implicit join cannot deadlock on a still-running loop.
+            let guard = ShutdownGuard { flag: &shutdown, queue: &self.queue };
+            let out = body(self);
+            drop(guard);
+            server.join().expect("engine serve loop panicked");
+            out
+        })
+    }
+
+    fn serve_loop(&self, shutdown: &AtomicBool) {
+        let linger = self.config.linger.max(Duration::from_micros(1));
+        // `max_lanes == 0` means "no width budget" for the coalescer, so it
+        // disables the width trigger too: the loop then flushes on linger
+        // timeouts only.
+        let width = if self.config.max_lanes == 0 { usize::MAX } else { self.config.max_lanes };
+        loop {
+            let mut deadline: Option<Instant> = None;
+            {
+                let mut entries = self.queue.entries.lock().unwrap();
+                loop {
+                    if shutdown.load(Ordering::SeqCst) || entries.len() >= width {
+                        break;
+                    }
+                    if !entries.is_empty() && deadline.is_none() {
+                        deadline = Some(Instant::now() + linger);
+                    }
+                    match deadline {
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                break;
+                            }
+                            let (guard, _) =
+                                self.queue.grew.wait_timeout(entries, d - now).unwrap();
+                            entries = guard;
+                        }
+                        // Empty queue: block until a submit (or the shutdown
+                        // guard) signals `grew` — no periodic wakeups.
+                        None => entries = self.queue.grew.wait(entries).unwrap(),
+                    }
+                }
+                if entries.is_empty() && shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            self.flush();
+        }
+    }
+
+    /// Retires every still-queued request of `session`: entries leave the
+    /// queue and their tickets report cancelled.
+    fn retire_session(&self, session: u64) -> usize {
+        let retired = {
+            let mut q = self.queue.entries.lock().unwrap();
+            let before = q.len();
+            q.retain(|e| {
+                if e.session == session {
+                    e.ticket.cancel();
+                    false
+                } else {
+                    true
+                }
+            });
+            before - q.len()
+        };
+        if retired > 0 {
+            self.queue.shrank.notify_all();
+            self.stats.lock().unwrap().retired += retired;
+        }
+        retired
+    }
+}
+
+/// Raises the shutdown flag (and wakes the serve loop) on drop — including
+/// on unwind out of a `serve` body.
+struct ShutdownGuard<'a, X, Y> {
+    flag: &'a AtomicBool,
+    queue: &'a RequestQueue<X, Y>,
+}
+
+impl<X, Y> Drop for ShutdownGuard<'_, X, Y> {
+    fn drop(&mut self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Notify while holding the queue lock: the serve loop checks the
+        // flag and parks on `grew` under this same mutex, so the notify
+        // cannot land in the gap between its check and its wait (a lost
+        // wakeup would hang the untimed empty-queue wait forever).
+        let _entries = self.queue.entries.lock().unwrap();
+        self.queue.grew.notify_all();
+    }
+}
+
+/// What one [`Engine::flush`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushOutcome {
+    /// Requests drained from the queue.
+    pub requests: usize,
+    /// Requests dropped because their ticket was cancelled (or their session
+    /// closed) before their lane was assembled.
+    pub retired: usize,
+    /// Fused batched multiplications executed.
+    pub batches: usize,
+    /// Lanes executed across those batches (= requests served).
+    pub lanes: usize,
+    /// Wall-clock breakdown of this flush.
+    pub timings: FlushTimings,
+}
+
+/// A handle for one logical client of an [`Engine`].
+///
+/// Sessions are cheap (an id plus a borrow) and independent: many sessions
+/// submit concurrently, and the coalescer fuses across session boundaries.
+/// [`Session::close`] retires the session's still-queued requests — the
+/// serving-side counterpart of multi-source BFS lane retirement.
+pub struct Session<'e, 'm, A: Scalar, X: Scalar, S: Semiring<A, X>> {
+    engine: &'e Engine<'m, A, X, S>,
+    id: u64,
+}
+
+impl<'e, 'm, A, X, S> Session<'e, 'm, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'm,
+{
+    /// This session's id (unique within its engine).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submits a request on behalf of this session. Blocks for backpressure
+    /// when the engine's queue is bounded and full.
+    pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
+        self.engine.submit_tagged(self.id, request)
+    }
+
+    /// Closes the session, retiring its still-queued requests mid-flight:
+    /// their lanes are never assembled and their tickets report cancelled.
+    /// Requests already served keep their results. Returns how many requests
+    /// were retired.
+    pub fn close(self) -> usize {
+        self.engine.retire_session(self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+    use sparse_substrate::{fixtures, PlusTimes, Select2ndMin};
+
+    fn requests(n: usize, count: usize, seed: u64) -> Vec<SparseVec<f64>> {
+        (0..count).map(|i| random_sparse_vec(n, (n / 4).max(1), seed + i as u64)).collect()
+    }
+
+    /// The oracle: one independent single-vector `PreparedMxv::run` per
+    /// request, same options.
+    fn independent_run(
+        a: &CscMatrix<f64>,
+        x: &SparseVec<f64>,
+        mask: Option<(&MaskBits, MaskMode)>,
+    ) -> SparseVec<f64> {
+        let op = Mxv::over(a).semiring(&PlusTimes);
+        let mut op = match mask {
+            Some((bits, mode)) => op.mask(bits, mode).prepare(),
+            None => op.prepare(),
+        };
+        op.run(x)
+    }
+
+    #[test]
+    fn coalesced_flush_is_bit_identical_to_independent_runs() {
+        let a = erdos_renyi(200, 6.0, 9);
+        let engine = Engine::over(&a, PlusTimes);
+        let frontiers = requests(200, 6, 3);
+        let tickets: Vec<Ticket<f64>> =
+            frontiers.iter().map(|x| engine.submit(MxvRequest::new(x.clone()))).collect();
+        let outcome = engine.flush();
+        assert_eq!(outcome.requests, 6);
+        assert_eq!(outcome.lanes, 6);
+        assert_eq!(outcome.batches, 1, "six compatible requests must fuse into one batch");
+        for (ticket, x) in tickets.into_iter().zip(frontiers.iter()) {
+            let y = ticket.try_take().expect("flushed");
+            assert_eq!(y, independent_run(&a, x, None), "engine lane diverged");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.fused_batches, 1);
+        assert_eq!(stats.widest_flush, 6);
+        assert!(stats.mean_lanes_per_batch() > 5.9);
+    }
+
+    #[test]
+    fn owned_matrix_engine_serves_after_load() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let expected = independent_run(&a, &x, None);
+        let engine = Engine::load(a, PlusTimes);
+        let t = engine.submit(MxvRequest::new(x));
+        engine.flush();
+        assert_eq!(t.wait().expect("not cancelled"), expected);
+        assert_eq!(engine.matrix().nrows(), 8);
+    }
+
+    #[test]
+    fn per_request_masks_become_lane_masks() {
+        let a = erdos_renyi(150, 5.0, 4);
+        let engine = Engine::over(&a, PlusTimes);
+        let frontiers = requests(150, 4, 11);
+        let masks: Vec<MaskBits> =
+            (0..4).map(|i| MaskBits::from_indices(150, (i..150).step_by(3))).collect();
+        let tickets: Vec<Ticket<f64>> = frontiers
+            .iter()
+            .zip(masks.iter())
+            .map(|(x, bits)| {
+                engine.submit(MxvRequest::new(x.clone()).mask(bits.clone(), MaskMode::Complement))
+            })
+            .collect();
+        let outcome = engine.flush();
+        assert_eq!(outcome.batches, 1, "same mask mode must coalesce");
+        for ((ticket, x), bits) in tickets.into_iter().zip(&frontiers).zip(&masks) {
+            let y = ticket.try_take().expect("flushed");
+            assert_eq!(y, independent_run(&a, x, Some((bits, MaskMode::Complement))));
+        }
+    }
+
+    #[test]
+    fn incompatible_requests_split_into_groups() {
+        let a = erdos_renyi(100, 5.0, 2);
+        let engine = Engine::over(&a, PlusTimes);
+        let xs = requests(100, 4, 5);
+        let bits = MaskBits::from_indices(100, (0..100).step_by(2));
+        engine.submit(MxvRequest::new(xs[0].clone()));
+        engine.submit(MxvRequest::new(xs[1].clone()).mask(bits.clone(), MaskMode::Keep));
+        engine.submit(MxvRequest::new(xs[2].clone()).mask(bits, MaskMode::Complement));
+        engine.submit(MxvRequest::new(xs[3].clone()).algorithm(BatchAlgorithmKind::Naive));
+        let outcome = engine.flush();
+        assert_eq!(outcome.batches, 4, "four mutually incompatible requests");
+        assert_eq!(outcome.lanes, 4);
+    }
+
+    #[test]
+    fn max_lanes_budget_chunks_wide_groups() {
+        let a = erdos_renyi(80, 4.0, 7);
+        let engine = Engine::over_with(&a, PlusTimes, EngineConfig::default().max_lanes(2));
+        let xs = requests(80, 5, 23);
+        let tickets: Vec<Ticket<f64>> =
+            xs.iter().map(|x| engine.submit(MxvRequest::new(x.clone()))).collect();
+        let outcome = engine.flush();
+        assert_eq!(outcome.batches, 3, "5 lanes under a width budget of 2 → 3 batches");
+        for (ticket, x) in tickets.into_iter().zip(&xs) {
+            assert_eq!(ticket.try_take().expect("flushed"), independent_run(&a, x, None));
+        }
+    }
+
+    #[test]
+    fn cancelled_ticket_retires_before_assembly() {
+        let a = erdos_renyi(90, 4.0, 1);
+        let engine = Engine::over(&a, PlusTimes);
+        let xs = requests(90, 3, 2);
+        let keep0 = engine.submit(MxvRequest::new(xs[0].clone()));
+        let dropped = engine.submit(MxvRequest::new(xs[1].clone()));
+        let keep1 = engine.submit(MxvRequest::new(xs[2].clone()));
+        assert!(dropped.cancel());
+        assert!(!dropped.cancel(), "second cancel is a no-op");
+        let outcome = engine.flush();
+        assert_eq!(outcome.retired, 1);
+        assert_eq!(outcome.lanes, 2);
+        assert!(dropped.try_take().is_none());
+        assert_eq!(keep0.try_take().expect("served"), independent_run(&a, &xs[0], None));
+        assert_eq!(keep1.try_take().expect("served"), independent_run(&a, &xs[2], None));
+        assert_eq!(engine.stats().retired, 1);
+    }
+
+    #[test]
+    fn closing_a_session_retires_its_queued_requests() {
+        let a = erdos_renyi(70, 4.0, 6);
+        let engine = Engine::over(&a, PlusTimes);
+        let xs = requests(70, 3, 9);
+        let closing = engine.session();
+        let staying = engine.session();
+        assert_ne!(closing.id(), staying.id());
+        let dead = closing.submit(MxvRequest::new(xs[0].clone()));
+        let live = staying.submit(MxvRequest::new(xs[1].clone()));
+        let dead2 = closing.submit(MxvRequest::new(xs[2].clone()));
+        assert_eq!(closing.close(), 2);
+        let outcome = engine.flush();
+        assert_eq!(outcome.lanes, 1);
+        assert!(dead.wait().is_none());
+        assert!(dead2.try_take().is_none());
+        assert_eq!(live.try_take().expect("served"), independent_run(&a, &xs[1], None));
+    }
+
+    #[test]
+    fn serve_loop_fuses_concurrent_clients() {
+        let a = erdos_renyi(160, 5.0, 12);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default().max_lanes(8).linger(Duration::from_millis(20)),
+        );
+        let xs = requests(160, 8, 31);
+        let results: Vec<(SparseVec<f64>, SparseVec<f64>)> = engine.serve(|engine| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = xs
+                    .iter()
+                    .map(|x| {
+                        s.spawn(move || {
+                            let session = engine.session();
+                            let ticket = session.submit(MxvRequest::new(x.clone()));
+                            (ticket.wait().expect("served"), x.clone())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+            })
+        });
+        for (y, x) in &results {
+            assert_eq!(*y, independent_run(&a, x, None), "served lane diverged");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.lanes_executed, 8);
+        assert!(
+            stats.fused_batches < 8,
+            "serve loop should coalesce at least some of the 8 concurrent requests \
+             (got {} batches)",
+            stats.fused_batches
+        );
+    }
+
+    #[test]
+    fn serve_loop_without_width_budget_flushes_on_linger_only() {
+        // max_lanes = 0 must mean "no width trigger" in serve mode too: the
+        // loop coalesces whatever accumulates within one linger window
+        // instead of flushing every request alone.
+        let a = erdos_renyi(100, 4.0, 3);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default().max_lanes(0).linger(Duration::from_millis(20)),
+        );
+        let xs = requests(100, 6, 17);
+        let results: Vec<(SparseVec<f64>, SparseVec<f64>)> = engine.serve(|engine| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = xs
+                    .iter()
+                    .map(|x| {
+                        s.spawn(move || {
+                            let ticket = engine.submit(MxvRequest::new(x.clone()));
+                            (ticket.wait().expect("served"), x.clone())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+            })
+        });
+        for (y, x) in &results {
+            assert_eq!(*y, independent_run(&a, x, None));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.lanes_executed, 6);
+        assert!(
+            stats.fused_batches < 6,
+            "an unbounded width budget must still coalesce concurrent requests \
+             (got {} batches for 6 requests)",
+            stats.fused_batches
+        );
+    }
+
+    #[test]
+    fn wait_after_try_take_returns_none_instead_of_panicking() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let engine = Engine::over(&a, PlusTimes);
+        let ticket = engine.submit(MxvRequest::new(x));
+        engine.flush();
+        assert!(ticket.try_take().is_some());
+        assert!(ticket.try_take().is_none(), "second take sees nothing");
+        assert!(ticket.wait().is_none(), "wait after take must not panic");
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_losing_requests() {
+        let a = erdos_renyi(60, 4.0, 8);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default()
+                .max_lanes(2)
+                .queue_capacity(2)
+                .linger(Duration::from_micros(100)),
+        );
+        let xs = requests(60, 12, 44);
+        let served: usize = engine.serve(|engine| {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = xs
+                    .iter()
+                    .map(|x| {
+                        s.spawn(move || {
+                            engine.submit(MxvRequest::new(x.clone())).wait().expect("served").nnz()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().filter_map(|h| h.join().ok()).count()
+            })
+        });
+        assert_eq!(served, 12);
+        assert_eq!(engine.stats().lanes_executed, 12);
+    }
+
+    #[test]
+    fn select2nd_semiring_engine_serves_bfs_shaped_requests() {
+        let a = fixtures::tridiagonal(12);
+        let engine: Engine<'_, f64, usize, Select2ndMin> = Engine::over(&a, Select2ndMin);
+        let frontier = SparseVec::from_pairs(12, vec![(4, 4usize)]).unwrap();
+        let mut visited = MaskBits::new(12);
+        visited.insert(4);
+        let t = engine
+            .submit(MxvRequest::new(frontier.clone()).mask(visited.clone(), MaskMode::Complement));
+        engine.flush();
+        let y = t.try_take().expect("served");
+        let mut op =
+            Mxv::over(&a).semiring(&Select2ndMin).mask(&visited, MaskMode::Complement).prepare();
+        assert_eq!(y, op.run(&frontier));
+        assert!(y.get(4).is_none(), "¬visited mask dropped the source");
+    }
+
+    #[test]
+    fn flush_on_an_empty_queue_is_a_noop() {
+        let a = fixtures::figure1_matrix();
+        let engine: Engine<'_, f64, f64, PlusTimes> = Engine::over(&a, PlusTimes);
+        assert_eq!(engine.flush(), FlushOutcome::default());
+        assert_eq!(engine.pending(), 0);
+        assert_eq!(engine.stats().flushes, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn submit_rejects_mismatched_frontier_dimension() {
+        let a = fixtures::figure1_matrix();
+        let engine: Engine<'_, f64, f64, PlusTimes> = Engine::over(&a, PlusTimes);
+        let _ = engine.submit(MxvRequest::new(SparseVec::new(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "output rows")]
+    fn submit_rejects_mismatched_mask_dimension() {
+        let a = fixtures::figure1_matrix();
+        let engine: Engine<'_, f64, f64, PlusTimes> = Engine::over(&a, PlusTimes);
+        let _ = engine
+            .submit(MxvRequest::new(SparseVec::new(8)).mask(MaskBits::new(4), MaskMode::Keep));
+    }
+}

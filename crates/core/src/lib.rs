@@ -71,17 +71,27 @@
 //!
 //! ## Migrating from the pre-`Mxv` entry points
 //!
-//! | old (still works) | new |
+//! The deprecated shims of the previous release (`MaskedSpMSpV`,
+//! `graphs::bfs_with`, `graphs::bfs_algorithm`, `graphs::numeric_algorithm`)
+//! have been **removed**; the kernel traits themselves remain the supported
+//! SPI beneath the descriptor.
+//!
+//! | removed / old | replacement |
 //! |---|---|
 //! | `SpMSpVBucket::new(&a, opts).multiply(&x, &s)` | `Mxv::over(&a).semiring(&s).options(opts).prepare().run(&x)` |
 //! | `SpMSpVBucketBatch::new(&a, opts).multiply_batch(&xs, &s)` | `Mxv::over(&a).semiring(&s).options(opts).prepare().run_batch(&xs)` |
-//! | `MaskedSpMSpV::new(alg, n, mode)` + `set`/`clear` | `Mxv::over(&a).semiring(&s).masked(mode)` + `mask_mut()` *(wrapper deprecated)* |
-//! | `graphs::bfs_algorithm(&a, kind, opts)` | `Mxv::over(&a).semiring(&Select2ndMin).algorithm(kind)` |
+//! | `MaskedSpMSpV::new(alg, n, mode)` + `set`/`clear` | `Mxv::over(&a).semiring(&s).masked(mode)` + `mask_mut()` / `mask_clear()` |
+//! | `graphs::bfs_algorithm(&a, kind, opts)` | `build_algorithm(&a, kind, opts)` (any semiring) |
+//! | `graphs::numeric_algorithm(&a, kind, opts)` | `build_algorithm(&a, kind, opts)` |
+//! | `graphs::bfs_with(&mut alg, &a, src)` | `graphs::bfs_prepared(&mut op, src)` on a `.masked(MaskMode::Complement)` descriptor |
 //!
-//! [`MaskedSpMSpV`] and the `spmspv-graphs` convenience constructors
-//! (`bfs_algorithm`, `numeric_algorithm`, `bfs_with`) are deprecated and
-//! will be removed after one release; the kernel traits themselves remain
-//! the supported SPI beneath the descriptor.
+//! ## Serving many clients: the `engine` layer
+//!
+//! [`engine::Engine`] turns the descriptor into a serving front door: many
+//! logical clients submit [`engine::MxvRequest`]s through
+//! [`engine::Session`] handles, and a coalescer fuses compatible requests
+//! into one batched multiplication per flush. See the [`engine`] module
+//! docs.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -91,6 +101,7 @@ pub mod baselines;
 pub mod batch;
 pub mod bucket;
 pub mod disjoint;
+pub mod engine;
 pub mod executor;
 pub mod masked;
 pub mod ops;
@@ -99,12 +110,12 @@ pub mod timing;
 
 pub use algorithm::{build_algorithm, AlgorithmKind, SpMSpV, SpMSpVOptions};
 pub use batch::{
-    build_batch_algorithm, BatchAlgorithmKind, NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch,
+    build_batch_algorithm, BatchAlgorithmKind, CombBlasSpaBatch, NaiveBatch, SpMSpVBatch,
+    SpMSpVBucketBatch,
 };
 pub use bucket::SpMSpVBucket;
+pub use engine::{Engine, EngineConfig, MxvRequest, Session, Ticket};
 pub use executor::Executor;
-#[allow(deprecated)]
-pub use masked::MaskedSpMSpV;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
 pub use ops::{Mxv, MxvOp, PreparedMxv};
 pub use stats::WorkStats;

@@ -14,9 +14,7 @@
 //! by the caller (or by a [`crate::ops::PreparedMxv`] descriptor); the views
 //! here are cheap `Copy` borrows handed to one multiplication.
 
-use sparse_substrate::{MaskBits, Scalar, Semiring, SparseVec};
-
-use crate::algorithm::SpMSpV;
+use sparse_substrate::MaskBits;
 
 /// Whether the mask selects the rows where it is set, or their complement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,97 +118,9 @@ impl<'m> BatchMaskView<'m> {
     }
 }
 
-/// Wraps any [`SpMSpV`] implementation with an output mask.
-///
-/// Deprecated shim: masking is now a first-class argument of the kernels
-/// ([`SpMSpV::multiply_masked`]) and of the [`crate::ops::Mxv`] descriptor
-/// (`Mxv::over(&a).semiring(&s).masked(mode)`), which apply it during the
-/// SPA merge instead of post-filtering. This wrapper now forwards to
-/// `multiply_masked`, so it no longer pays the post-filter pass either — but
-/// new code should program against `Mxv`. Kept for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `spmspv::ops::Mxv` (`.masked(mode)` / `.mask(&bits, mode)`) or \
-            `SpMSpV::multiply_masked` directly; this wrapper will be removed"
-)]
-pub struct MaskedSpMSpV<Alg> {
-    inner: Alg,
-    mask: MaskBits,
-    mode: MaskMode,
-}
-
-#[allow(deprecated)]
-impl<Alg> MaskedSpMSpV<Alg> {
-    /// Wraps `inner` with an initially empty mask over `nrows` output rows.
-    pub fn new(inner: Alg, nrows: usize, mode: MaskMode) -> Self {
-        MaskedSpMSpV { inner, mask: MaskBits::new(nrows), mode }
-    }
-
-    /// Adds row `i` to the mask.
-    pub fn set(&mut self, i: usize) {
-        self.mask.insert(i);
-    }
-
-    /// Adds every listed row to the mask.
-    pub fn set_all(&mut self, rows: impl IntoIterator<Item = usize>) {
-        self.mask.extend(rows);
-    }
-
-    /// Removes every row from the mask, keeping the allocation so the wrapper
-    /// can be reused across runs (e.g. BFS restarts) without reallocating.
-    pub fn clear(&mut self) {
-        self.mask.clear();
-    }
-
-    /// Whether row `i` is currently in the mask.
-    pub fn contains(&self, i: usize) -> bool {
-        self.mask.contains(i)
-    }
-
-    /// Number of rows currently in the mask (O(1), tracked incrementally).
-    pub fn mask_len(&self) -> usize {
-        self.mask.count()
-    }
-
-    /// Access to the wrapped algorithm.
-    pub fn inner_mut(&mut self) -> &mut Alg {
-        &mut self.inner
-    }
-}
-
-#[allow(deprecated)]
-impl<A, X, S, Alg> SpMSpV<A, X, S> for MaskedSpMSpV<Alg>
-where
-    A: Scalar,
-    X: Scalar,
-    S: Semiring<A, X>,
-    Alg: SpMSpV<A, X, S>,
-{
-    fn name(&self) -> &'static str {
-        "masked"
-    }
-
-    fn nrows(&self) -> usize {
-        self.inner.nrows()
-    }
-
-    fn ncols(&self) -> usize {
-        self.inner.ncols()
-    }
-
-    fn multiply(&mut self, x: &SparseVec<X>, semiring: &S) -> SparseVec<S::Output> {
-        self.inner.multiply_masked(x, semiring, Some(MaskView::new(&self.mask, self.mode)))
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::algorithm::SpMSpVOptions;
-    use crate::bucket::SpMSpVBucket;
-    use sparse_substrate::ops::spmspv_reference;
-    use sparse_substrate::{fixtures, PlusTimes};
 
     #[test]
     fn mask_views_interpret_modes() {
@@ -237,48 +147,5 @@ mod tests {
         assert!(per_lane.keeps(1, 1) && !per_lane.keeps(1, 0));
         assert_eq!(per_lane.lane_count(), Some(2));
         assert!(per_lane.lane_view(1).keeps(1));
-    }
-
-    #[test]
-    fn complement_mask_drops_visited_rows() {
-        let a = fixtures::figure1_matrix();
-        let x = fixtures::figure1_vector();
-        let unmasked = spmspv_reference(&a, &x, &PlusTimes);
-        let inner = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(2));
-        let mut masked = MaskedSpMSpV::new(inner, 8, MaskMode::Complement);
-        masked.set_all([0usize, 4]);
-        let y = masked.multiply(&x, &PlusTimes);
-        assert!(y.get(0).is_none());
-        assert!(y.get(4).is_none());
-        assert_eq!(y.nnz(), unmasked.nnz() - 2);
-        for (i, v) in y.iter() {
-            assert_eq!(unmasked.get(i), Some(v));
-        }
-    }
-
-    #[test]
-    fn keep_mask_retains_only_masked_rows() {
-        let a = fixtures::figure1_matrix();
-        let x = fixtures::figure1_vector();
-        let inner = SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(1));
-        let mut masked = MaskedSpMSpV::new(inner, 8, MaskMode::Keep);
-        masked.set(2);
-        masked.set(3);
-        let y = masked.multiply(&x, &PlusTimes);
-        let rows: Vec<usize> = y.iter().map(|(i, _)| i).collect();
-        assert_eq!(rows, vec![2, 3]);
-    }
-
-    #[test]
-    fn clear_empties_the_mask() {
-        let a = fixtures::tridiagonal(6);
-        let inner: SpMSpVBucket<'_, f64, f64, PlusTimes> =
-            SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(1));
-        let mut masked = MaskedSpMSpV::new(inner, 6, MaskMode::Keep);
-        masked.set_all(0..6);
-        assert_eq!(masked.mask_len(), 6);
-        masked.clear();
-        assert_eq!(masked.mask_len(), 0);
-        assert!(!masked.contains(3));
     }
 }

@@ -1,4 +1,4 @@
-//! Work accounting (Table II of the paper).
+//! Work accounting (Table II of the paper) and serving-engine telemetry.
 //!
 //! The paper's argument is not about constant factors but about *how much
 //! work* each parallelization strategy performs relative to the lower bound
@@ -6,10 +6,15 @@
 //! computes, exactly and analytically from the operands, the work each
 //! algorithm family performs, so the `table2_characteristics` experiment can
 //! print measured work ratios instead of hand-waving.
+//!
+//! [`EngineStats`] is the serving-side analogue: it counts how well the
+//! [`crate::engine::Engine`]'s coalescer is doing its one job — turning many
+//! single-frontier requests into few wide fused multiplications.
 
 use sparse_substrate::{CscMatrix, Scalar, SparseVec};
 
 use crate::algorithm::AlgorithmKind;
+use crate::timing::FlushTimings;
 
 /// Exact operation counts for one SpMSpV invocation by one algorithm family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +62,73 @@ impl WorkStats {
         } else {
             self.total_work() as f64 / lower_bound as f64
         }
+    }
+}
+
+/// Coalescing telemetry of one [`crate::engine::Engine`]: how many requests
+/// arrived, how few fused multiplications they collapsed into, and where the
+/// flush wall-clock went.
+///
+/// Snapshot via [`crate::engine::Engine::stats`]; all counters are
+/// cumulative since engine creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests submitted (whether or not they ran).
+    pub requests: usize,
+    /// Requests retired before execution (ticket cancelled or session
+    /// closed mid-flight).
+    pub retired: usize,
+    /// `flush` invocations that found at least one live request.
+    pub flushes: usize,
+    /// Fused batched multiplications executed across all flushes. Lower is
+    /// better for a fixed request count: `requests − retired` lanes divided
+    /// over `fused_batches` calls is the coalescing win.
+    pub fused_batches: usize,
+    /// Lanes executed across all fused batches (= requests that produced a
+    /// result).
+    pub lanes_executed: usize,
+    /// Widest single flush observed (lanes).
+    pub widest_flush: usize,
+    /// Accumulated wall-clock breakdown across every flush.
+    pub flush_timings: FlushTimings,
+}
+
+impl EngineStats {
+    /// Mean lanes per fused multiplication — the amortization factor the
+    /// engine exists to maximize (1.0 means no coalescing happened).
+    pub fn mean_lanes_per_batch(&self) -> f64 {
+        if self.fused_batches == 0 {
+            0.0
+        } else {
+            self.lanes_executed as f64 / self.fused_batches as f64
+        }
+    }
+
+    /// Mean lanes per flush (a flush may execute several groups when
+    /// requests are not mutually compatible).
+    pub fn mean_lanes_per_flush(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.lanes_executed as f64 / self.flushes as f64
+        }
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} retired) → {} fused batches over {} flushes \
+             ({:.1} lanes/batch, widest {}); {}",
+            self.requests,
+            self.retired,
+            self.fused_batches,
+            self.flushes,
+            self.mean_lanes_per_batch(),
+            self.widest_flush,
+            self.flush_timings,
+        )
     }
 }
 

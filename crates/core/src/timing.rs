@@ -68,9 +68,87 @@ impl std::fmt::Display for StepTimings {
     }
 }
 
+/// Wall-clock breakdown of one (or several accumulated) serving-engine
+/// flushes — the coalescer's counterpart of [`StepTimings`].
+///
+/// A flush has three phases: *assemble* (draining the request queue,
+/// grouping compatible requests, building the fused [`sparse_substrate::SparseVecBatch`] and
+/// installing per-lane masks), *execute* (the fused batched
+/// multiplications), and *demux* (scattering per-lane results back to the
+/// tickets). `execute` dominating is the designed-for regime: it means the
+/// serving layer's bookkeeping is amortized away by the fused kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushTimings {
+    /// Queue drain, request grouping, batch assembly, mask installation.
+    pub assemble: Duration,
+    /// The fused batched multiplications.
+    pub execute: Duration,
+    /// Per-lane result scatter back to the waiting tickets.
+    pub demux: Duration,
+}
+
+impl FlushTimings {
+    /// Total time across the three phases.
+    pub fn total(&self) -> Duration {
+        self.assemble + self.execute + self.demux
+    }
+
+    /// Fraction of the total spent in each phase, in the order
+    /// (assemble, execute, demux). Returns zeros for an empty timing.
+    pub fn fractions(&self) -> [f64; 3] {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return [0.0; 3];
+        }
+        [
+            self.assemble.as_secs_f64() / total,
+            self.execute.as_secs_f64() / total,
+            self.demux.as_secs_f64() / total,
+        ]
+    }
+}
+
+impl AddAssign for FlushTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.assemble += rhs.assemble;
+        self.execute += rhs.execute;
+        self.demux += rhs.demux;
+    }
+}
+
+impl std::fmt::Display for FlushTimings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "assemble {:.3} ms | execute {:.3} ms | demux {:.3} ms",
+            self.assemble.as_secs_f64() * 1e3,
+            self.execute.as_secs_f64() * 1e3,
+            self.demux.as_secs_f64() * 1e3,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn flush_timings_total_fractions_and_display() {
+        let t = FlushTimings {
+            assemble: Duration::from_millis(10),
+            execute: Duration::from_millis(80),
+            demux: Duration::from_millis(10),
+        };
+        assert_eq!(t.total(), Duration::from_millis(100));
+        let f = t.fractions();
+        assert!((f[1] - 0.8).abs() < 1e-9);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(FlushTimings::default().fractions(), [0.0; 3]);
+        let mut acc = t;
+        acc += t;
+        assert_eq!(acc.execute, Duration::from_millis(160));
+        assert!(t.to_string().contains("execute 80.000 ms"), "unexpected display: {t}");
+    }
 
     #[test]
     fn total_and_fractions() {

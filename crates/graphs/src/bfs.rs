@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec};
 use spmspv::ops::{Mxv, PreparedMxv};
-use spmspv::{AlgorithmKind, MaskMode, SpMSpV, SpMSpVOptions};
+use spmspv::{AlgorithmKind, MaskMode, SpMSpVOptions};
 
 /// Result of a breadth-first search.
 #[derive(Debug, Clone)]
@@ -120,59 +120,6 @@ pub fn bfs_prepared(
     BfsResult { parents, levels, num_visited, iterations, spmspv_time, frontier_sizes }
 }
 
-/// Runs BFS from `source` with a caller-provided SpMSpV implementation
-/// (any type implementing the [`SpMSpV`] trait for the
-/// `(min, select2nd)` semiring).
-#[deprecated(
-    since = "0.2.0",
-    note = "describe the search with `spmspv::ops::Mxv` and call `bfs_prepared` \
-            (or `bfs` for one-shot searches); this entry point will be removed"
-)]
-pub fn bfs_with<Alg>(alg: &mut Alg, a: &CscMatrix<f64>, source: usize) -> BfsResult
-where
-    Alg: SpMSpV<f64, usize, Select2ndMin> + ?Sized,
-{
-    let n = a.ncols();
-    assert!(source < n, "source vertex {source} out of range for {n} vertices");
-    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
-
-    let mut parents: Vec<Option<usize>> = vec![None; n];
-    let mut levels: Vec<Option<usize>> = vec![None; n];
-    parents[source] = Some(source);
-    levels[source] = Some(0);
-
-    let mut frontier = SparseVec::from_pairs(n, vec![(source, source)]).expect("valid source");
-    let mut num_visited = 1usize;
-    let mut iterations = 0usize;
-    let mut spmspv_time = Duration::ZERO;
-    let mut frontier_sizes = Vec::new();
-    let semiring = Select2ndMin;
-
-    let mut level = 0usize;
-    while !frontier.is_empty() {
-        frontier_sizes.push(frontier.nnz());
-        let t = Instant::now();
-        let reached = alg.multiply(&frontier, &semiring);
-        spmspv_time += t.elapsed();
-        iterations += 1;
-        level += 1;
-
-        // Build the next frontier: newly discovered vertices only.
-        let mut next = SparseVec::new(n);
-        for (v, &parent) in reached.iter() {
-            if parents[v].is_none() {
-                parents[v] = Some(parent);
-                levels[v] = Some(level);
-                num_visited += 1;
-                next.push(v, v);
-            }
-        }
-        frontier = next;
-    }
-
-    BfsResult { parents, levels, num_visited, iterations, spmspv_time, frontier_sizes }
-}
-
 /// Runs a plain BFS and returns, for every level, the frontier as a sparse
 /// `f64` vector (unit values). Figure 3 of the paper sweeps `nnz(x)` by
 /// taking real BFS frontiers of different sizes; this helper produces them.
@@ -205,6 +152,7 @@ mod tests {
     use super::*;
     use sparse_substrate::gen::{grid2d, rmat, RmatParams};
     use sparse_substrate::CooMatrix;
+    use spmspv::SpMSpV;
 
     fn path_graph(n: usize) -> CscMatrix<f64> {
         let mut coo = CooMatrix::new(n, n);
@@ -247,21 +195,49 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn mxv_path_is_bit_identical_to_the_legacy_post_filter_path() {
-        // The acceptance bar of the Mxv migration: the in-kernel-masked
-        // descriptor run reproduces the old multiply-then-filter loop
+    fn mxv_path_is_bit_identical_to_a_post_filter_loop() {
+        // The acceptance bar of the Mxv migration, kept alive after the
+        // removal of the old `bfs_with` entry point: the in-kernel-masked
+        // descriptor run reproduces a multiply-then-filter frontier loop
         // exactly — same parents, same levels, same telemetry counts.
         let a = rmat(8, 8, RmatParams::graph500(), 21);
         for source in [0usize, 9, 77] {
             let new = bfs(&a, source, AlgorithmKind::Bucket, SpMSpVOptions::with_threads(3));
-            let mut legacy_alg = spmspv::SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(3));
-            let old = bfs_with(&mut legacy_alg, &a, source);
-            assert_eq!(new.parents, old.parents, "parents differ for source {source}");
-            assert_eq!(new.levels, old.levels, "levels differ for source {source}");
-            assert_eq!(new.num_visited, old.num_visited);
-            assert_eq!(new.iterations, old.iterations);
-            assert_eq!(new.frontier_sizes, old.frontier_sizes);
+
+            let mut alg = spmspv::SpMSpVBucket::new(&a, SpMSpVOptions::with_threads(3));
+            let n = a.ncols();
+            let mut parents: Vec<Option<usize>> = vec![None; n];
+            let mut levels: Vec<Option<usize>> = vec![None; n];
+            parents[source] = Some(source);
+            levels[source] = Some(0);
+            let mut frontier =
+                SparseVec::from_pairs(n, vec![(source, source)]).expect("valid source");
+            let mut num_visited = 1usize;
+            let mut iterations = 0usize;
+            let mut frontier_sizes = Vec::new();
+            let mut level = 0usize;
+            while !frontier.is_empty() {
+                frontier_sizes.push(frontier.nnz());
+                let reached = SpMSpV::multiply(&mut alg, &frontier, &Select2ndMin);
+                iterations += 1;
+                level += 1;
+                let mut next = SparseVec::new(n);
+                for (v, &parent) in reached.iter() {
+                    if parents[v].is_none() {
+                        parents[v] = Some(parent);
+                        levels[v] = Some(level);
+                        num_visited += 1;
+                        next.push(v, v);
+                    }
+                }
+                frontier = next;
+            }
+
+            assert_eq!(new.parents, parents, "parents differ for source {source}");
+            assert_eq!(new.levels, levels, "levels differ for source {source}");
+            assert_eq!(new.num_visited, num_visited);
+            assert_eq!(new.iterations, iterations);
+            assert_eq!(new.frontier_sizes, frontier_sizes);
         }
     }
 

@@ -36,37 +36,3 @@ pub use pagerank::{
     pagerank_datadriven, pagerank_personalized_batch, PageRankOptions, PersonalizedPageRankResult,
 };
 pub use pseudo_diameter::pseudo_diameter;
-
-use sparse_substrate::{CscMatrix, Select2ndMin};
-use spmspv::{AlgorithmKind, SpMSpV, SpMSpVOptions};
-
-/// Builds a boxed SpMSpV instance specialized to the `(min, select2nd)`
-/// semiring used by BFS, connected components and bipartite matching, for
-/// the requested algorithm family.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `spmspv::build_algorithm` (any semiring) or describe the whole \
-            operation with `spmspv::ops::Mxv`; this shim will be removed"
-)]
-pub fn bfs_algorithm<'a>(
-    a: &'a CscMatrix<f64>,
-    kind: AlgorithmKind,
-    options: SpMSpVOptions,
-) -> Box<dyn SpMSpV<f64, usize, Select2ndMin> + 'a> {
-    spmspv::build_algorithm(a, kind, options)
-}
-
-/// Builds a boxed SpMSpV instance for the numerical `(+, ×)` semiring over
-/// `f64`, used by data-driven PageRank and the benchmark harness.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `spmspv::build_algorithm` (any semiring) or describe the whole \
-            operation with `spmspv::ops::Mxv`; this shim will be removed"
-)]
-pub fn numeric_algorithm<'a>(
-    a: &'a CscMatrix<f64>,
-    kind: AlgorithmKind,
-    options: SpMSpVOptions,
-) -> Box<dyn SpMSpV<f64, f64, sparse_substrate::PlusTimes> + 'a> {
-    spmspv::build_algorithm(a, kind, options)
-}

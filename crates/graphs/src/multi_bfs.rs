@@ -1,28 +1,30 @@
-//! Multi-source breadth-first search on the batched SpMSpV primitive.
+//! Multi-source breadth-first search, expressed as `k` clients of the
+//! serving [`Engine`].
 //!
-//! `k` BFS traversals (one per source) advance in lock step: every level is
-//! **one** batched SpMSpV over the bundle of current frontiers, so the
-//! matrix's column structure is traversed once per level for the whole
-//! batch instead of once per source. This is the workload batched SpMSpV
-//! exists for — betweenness centrality, all-pairs-ish reachability probes
-//! and landmark selection all run many BFSs from different sources over one
-//! graph.
+//! `k` BFS traversals (one per source) advance in lock step: each source is
+//! one engine [`Session`] that submits its current frontier — with its own
+//! `¬visited` mask — as an [`MxvRequest`] every level, and **one**
+//! [`Engine::flush`] per level coalesces every still-active source into a
+//! single fused batched SpMSpV. The matrix's column structure is traversed
+//! once per level for the whole batch instead of once per source. This is
+//! the workload batched SpMSpV exists for — betweenness centrality,
+//! all-pairs-ish reachability probes and landmark selection all run many
+//! BFSs from different sources over one graph.
 //!
-//! The traversal is expressed on one [`Mxv`] descriptor carrying a
-//! [`MaskMode::Complement`] mask **per lane** — each source's visited set —
-//! so the batched kernel drops already-visited `(vertex, lane)` pairs during
-//! its merge step and each lane's output is exactly its next frontier.
+//! Each request's mask becomes its lane's in-kernel
+//! [`MaskMode::Complement`] mask, so the batched kernel drops
+//! already-visited `(vertex, lane)` pairs during its merge step and each
+//! lane's output is exactly its next frontier.
 //!
-//! Sources finish at different levels; a lane whose frontier empties is
-//! *retired* — dropped from the batch (and its mask from the descriptor,
-//! via [`PreparedMxv::retain_lanes`]) so later levels only pay for the
-//! still-active sources. [`MultiBfsResult::active_lanes_per_level`] records
-//! that shrinkage.
+//! Sources finish at different levels; a source whose frontier empties
+//! simply closes its session and stops submitting, so later levels' fused
+//! batches only carry the still-active sources.
+//! [`MultiBfsResult::active_lanes_per_level`] records that shrinkage.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use sparse_substrate::{CscMatrix, Select2ndMin, SparseVec, SparseVecBatch};
-use spmspv::ops::{Mxv, PreparedMxv};
+use sparse_substrate::{CscMatrix, MaskBits, Select2ndMin, SparseVec};
+use spmspv::engine::{Engine, EngineConfig, MxvRequest, Session};
 use spmspv::{BatchAlgorithmKind, MaskMode, SpMSpVOptions};
 
 /// Result of a multi-source BFS: one parent/level map per source, plus the
@@ -45,6 +47,9 @@ pub struct MultiBfsResult {
     /// Number of still-active lanes fed to each level's batched SpMSpV —
     /// demonstrates lane retirement.
     pub active_lanes_per_level: Vec<usize>,
+    /// The serving engine's coalescing telemetry for this traversal: every
+    /// level's `active` requests collapsed into one fused batch.
+    pub engine_stats: spmspv::stats::EngineStats,
 }
 
 /// Runs BFS from every vertex in `sources` simultaneously with the batched
@@ -73,28 +78,34 @@ pub fn multi_bfs_using(
     }
 
     let k = sources.len();
-    let mut op: PreparedMxv<'_, f64, usize, Select2ndMin> = Mxv::over(a)
-        .semiring(&Select2ndMin)
-        .batch_algorithm(batch_kind)
-        .lane_masks(k, MaskMode::Complement)
-        .options(options)
-        .prepare();
+    // One serving engine per traversal; every source is one client session.
+    // `max_lanes(0)` lifts the width budget so each level stays exactly one
+    // fused multiplication, preserving the pre-engine execution shape.
+    let engine: Engine<'_, f64, usize, Select2ndMin> = Engine::over_with(
+        a,
+        Select2ndMin,
+        EngineConfig::default().batch_algorithm(batch_kind).options(options).max_lanes(0),
+    );
 
     let mut parents: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut levels: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut num_visited = vec![0usize; k];
 
-    // active[lane] = source index this batch lane serves; retired lanes are
-    // removed (batch, frontier, and descriptor mask alike) so the batch
-    // width tracks the number of unfinished sources.
+    // active[lane] = source index this batch lane serves; a finished source
+    // closes its session and stops submitting, so the fused batch width
+    // tracks the number of unfinished sources.
     let mut active: Vec<usize> = Vec::with_capacity(k);
+    let mut sessions: Vec<Option<Session<'_, '_, f64, usize, Select2ndMin>>> =
+        Vec::with_capacity(k);
+    let mut visited: Vec<MaskBits> = vec![MaskBits::new(n); k];
     let mut frontiers: Vec<SparseVec<usize>> = Vec::with_capacity(k);
     for (s, &src) in sources.iter().enumerate() {
         parents[s][src] = Some(src);
         levels[s][src] = Some(0);
         num_visited[s] = 1;
         active.push(s);
-        op.lane_mask_mut(s).insert(src);
+        sessions.push(Some(engine.session()));
+        visited[s].insert(src);
         frontiers.push(SparseVec::from_pairs(n, vec![(src, src)]).expect("source index in range"));
     }
 
@@ -105,23 +116,31 @@ pub fn multi_bfs_using(
 
     while !active.is_empty() {
         active_lanes_per_level.push(active.len());
-        let x =
-            SparseVecBatch::from_lanes(&frontiers).expect("frontiers share the graph's dimension");
-        let t = Instant::now();
-        let reached = op.run_batch(&x);
-        spmspv_time += t.elapsed();
+        // Every still-active source submits its frontier with its own
+        // ¬visited mask; one flush fuses them all.
+        let tickets: Vec<_> = active
+            .iter()
+            .zip(frontiers.iter())
+            .map(|(&s, frontier)| {
+                let request = MxvRequest::new(frontier.clone())
+                    .mask(visited[s].clone(), MaskMode::Complement);
+                sessions[s].as_ref().expect("active source keeps its session").submit(request)
+            })
+            .collect();
+        let outcome = engine.flush();
+        debug_assert_eq!(outcome.lanes, active.len());
+        spmspv_time += outcome.timings.execute;
         iterations += 1;
         level += 1;
 
-        let mut keep = vec![false; active.len()];
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_frontiers = Vec::with_capacity(active.len());
-        for (lane, &s) in active.iter().enumerate() {
-            let (rows, parents_found) = reached.lane(lane);
-            // Lane `lane`'s ¬visited mask already dropped known vertices in
-            // the kernel; everything in the lane is a fresh discovery.
+        for (&s, ticket) in active.iter().zip(tickets) {
+            let reached = ticket.try_take().expect("flush served every live request");
+            // The lane's ¬visited mask already dropped known vertices in the
+            // kernel; everything that comes back is a fresh discovery.
             let mut next = SparseVec::new(n);
-            for (&v, &parent) in rows.iter().zip(parents_found.iter()) {
+            for (v, &parent) in reached.iter() {
                 debug_assert!(
                     parents[s][v].is_none(),
                     "in-kernel lane mask admits only unvisited vertices"
@@ -130,15 +149,15 @@ pub fn multi_bfs_using(
                 levels[s][v] = Some(level);
                 num_visited[s] += 1;
                 next.push(v, v);
-                op.lane_mask_mut(lane).insert(v);
+                visited[s].insert(v);
             }
             if !next.is_empty() {
-                keep[lane] = true;
                 next_active.push(s);
                 next_frontiers.push(next);
+            } else if let Some(session) = sessions[s].take() {
+                session.close();
             }
         }
-        op.retain_lanes(&keep);
         active = next_active;
         frontiers = next_frontiers;
     }
@@ -151,6 +170,7 @@ pub fn multi_bfs_using(
         iterations,
         spmspv_time,
         active_lanes_per_level,
+        engine_stats: engine.stats(),
     }
 }
 
@@ -175,6 +195,29 @@ mod tests {
                 "visited count differs for source {src}"
             );
         }
+        // Serving telemetry: each level's requests fused into one batch.
+        assert_eq!(multi.engine_stats.fused_batches, multi.iterations);
+        assert_eq!(
+            multi.engine_stats.requests,
+            multi.active_lanes_per_level.iter().sum::<usize>(),
+            "one request per active source per level"
+        );
+        assert_eq!(multi.engine_stats.widest_flush, sources.len());
+    }
+
+    #[test]
+    fn row_split_batch_family_agrees_too() {
+        let a = rmat(7, 6, RmatParams::graph500(), 29);
+        let sources = [1usize, 40];
+        let fused = multi_bfs(&a, &sources, SpMSpVOptions::with_threads(2));
+        let rowsplit = multi_bfs_using(
+            &a,
+            &sources,
+            BatchAlgorithmKind::CombBlasRowSplit,
+            SpMSpVOptions::with_threads(3),
+        );
+        assert_eq!(fused.parents, rowsplit.parents);
+        assert_eq!(fused.levels, rowsplit.levels);
     }
 
     #[test]

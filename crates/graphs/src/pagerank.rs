@@ -143,18 +143,25 @@ pub struct PersonalizedPageRankResult {
     /// Still-active lanes fed to each iteration's batched SpMSpV — lanes
     /// retire as their contribution vector converges below tolerance.
     pub active_lanes_per_iteration: Vec<usize>,
+    /// The serving engine's coalescing telemetry: every iteration's active
+    /// teleport targets collapsed into one fused batch.
+    pub engine_stats: spmspv::stats::EngineStats,
 }
 
 /// Batched personalized PageRank: one rank vector per teleport target in
-/// `sources`, computed with a **single** batched SpMSpV per iteration.
+/// `sources`, computed with a **single** batched SpMSpV per iteration —
+/// expressed as `k` client sessions of a serving [`spmspv::engine::Engine`],
+/// one request per still-active lane per iteration, one
+/// [`spmspv::engine::Engine::flush`] per iteration.
 ///
 /// Same power-series expansion as [`pagerank_datadriven`], but the teleport
 /// mass of lane `l` is concentrated on `sources[l]` instead of spread
 /// uniformly: `π_l = (1−α) · Σ_{t≥0} (α·P)ᵗ · e_{sources[l]}`. All lanes
 /// share each iteration's traversal of `P`'s column structure; a lane whose
-/// surviving contributions drop below `tolerance` everywhere is retired from
-/// the batch. Lane `l`'s result is identical to running the function with
-/// `sources == [sources[l]]` alone — lanes never interact.
+/// surviving contributions drop below `tolerance` everywhere closes its
+/// session and stops submitting. Lane `l`'s result is identical to running
+/// the function with `sources == [sources[l]]` alone — lanes never
+/// interact.
 pub fn pagerank_personalized_batch(
     a: &CscMatrix<f64>,
     sources: &[usize],
@@ -172,16 +179,25 @@ pub fn pagerank_personalized_batch(
             ranks: vec![Vec::new(); k],
             iterations: 0,
             active_lanes_per_iteration: Vec::new(),
+            engine_stats: spmspv::stats::EngineStats::default(),
         };
     }
 
     let p = transition_matrix(a);
-    let mut op = Mxv::over(&p).semiring(&PlusTimes).options(spmspv_options).prepare::<f64>();
+    // One serving engine per computation; every teleport target is one
+    // client session. `max_lanes(0)` keeps each iteration one fused call.
+    let engine: spmspv::engine::Engine<'_, f64, f64, PlusTimes> = spmspv::engine::Engine::over_with(
+        &p,
+        PlusTimes,
+        spmspv::engine::EngineConfig::default().options(spmspv_options).max_lanes(0),
+    );
     let alpha = options.damping;
 
     let mut ranks = vec![vec![0.0f64; n]; k];
     // active[lane] = source index this batch lane serves.
     let mut active: Vec<usize> = (0..k).collect();
+    let mut sessions: Vec<Option<spmspv::engine::Session<'_, '_, f64, f64, PlusTimes>>> =
+        (0..k).map(|_| Some(engine.session())).collect();
     let mut contribs: Vec<SparseVec<f64>> = sources
         .iter()
         .map(|&s| {
@@ -202,16 +218,24 @@ pub fn pagerank_personalized_batch(
             }
         }
 
-        let x = sparse_substrate::SparseVecBatch::from_lanes(&contribs)
-            .expect("contribution lanes share the graph's dimension");
-        let propagated = op.run_batch(&x);
+        let tickets: Vec<_> = active
+            .iter()
+            .zip(contribs.iter())
+            .map(|(&s, contrib)| {
+                sessions[s]
+                    .as_ref()
+                    .expect("active lane keeps its session")
+                    .submit(spmspv::engine::MxvRequest::new(contrib.clone()))
+            })
+            .collect();
+        engine.flush();
 
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_contribs = Vec::with_capacity(active.len());
-        for (lane, &s) in active.iter().enumerate() {
-            let (rows, vals) = propagated.lane(lane);
+        for (&s, ticket) in active.iter().zip(tickets) {
+            let propagated = ticket.try_take().expect("flush served every live request");
             let mut next = SparseVec::new(n);
-            for (&u, &c) in rows.iter().zip(vals.iter()) {
+            for (u, &c) in propagated.iter() {
                 let scaled = alpha * c;
                 if scaled > options.tolerance {
                     next.push(u, scaled);
@@ -220,6 +244,8 @@ pub fn pagerank_personalized_batch(
             if !next.is_empty() {
                 next_active.push(s);
                 next_contribs.push(next);
+            } else if let Some(session) = sessions[s].take() {
+                session.close();
             }
         }
         active = next_active;
@@ -235,7 +261,12 @@ pub fn pagerank_personalized_batch(
         }
     }
 
-    PersonalizedPageRankResult { ranks, iterations, active_lanes_per_iteration }
+    PersonalizedPageRankResult {
+        ranks,
+        iterations,
+        active_lanes_per_iteration,
+        engine_stats: engine.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +429,10 @@ mod tests {
         assert_eq!(r.active_lanes_per_iteration[0], 2);
         // every iteration's lane count is non-increasing
         assert!(r.active_lanes_per_iteration.windows(2).all(|w| w[0] >= w[1]));
+        // serving telemetry: one fused batch per iteration, one request per
+        // active lane per iteration
+        assert_eq!(r.engine_stats.fused_batches, r.iterations);
+        assert_eq!(r.engine_stats.requests, r.active_lanes_per_iteration.iter().sum::<usize>());
     }
 
     #[test]

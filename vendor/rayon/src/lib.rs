@@ -4,7 +4,13 @@
 //!
 //! It is **not** a work-stealing runtime: parallel iterators eagerly
 //! materialize their items, split them into `current_num_threads()` contiguous
-//! chunks and run each chunk on a scoped OS thread (`std::thread::scope`).
+//! chunks and run each chunk as a job on a **persistent worker pool** (lazily
+//! started on the first parallel call, sized to the machine's logical CPU
+//! count, reused by every subsequent parallel call) — so iterative workloads
+//! such as a serving loop's flush-after-flush execution pay thread spawn cost
+//! once per process instead of once per call. The submitting thread helps
+//! drain its own job batch while it waits, which both adds one lane of
+//! parallelism and makes nested parallel calls deadlock-free.
 //! Order-sensitive guarantees the algorithms rely on are preserved:
 //!
 //! * `map(..).collect::<Vec<_>>()` keeps item order;
@@ -97,6 +103,164 @@ pub mod slice {
     impl<T: Send> ParallelSliceMut<T> for Vec<T> {
         fn as_parallel_slice_mut(&mut self) -> &mut [T] {
             self
+        }
+    }
+}
+
+pub(crate) mod pool {
+    //! The persistent worker pool behind every parallel call.
+    //!
+    //! Workers are OS threads spawned once (lazily, on the first parallel
+    //! call) and parked on a condvar between jobs. A *batch* is the set of
+    //! jobs of one [`run_jobs`] call; batches are queued FIFO and a worker
+    //! takes one job at a time, so several concurrent submitters interleave
+    //! fairly. The submitting thread does not merely block: it keeps
+    //! executing jobs of its own batch until none are left unstarted, which
+    //! makes nested `run_jobs` calls (a job submitting a sub-batch) free of
+    //! deadlock — every waiter is also a worker for the work it waits on.
+
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// A lifetime-erased job. See the SAFETY discussion in [`run_jobs`].
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    /// One `run_jobs` call's jobs plus its completion latch.
+    struct Batch {
+        /// Jobs not yet started; both workers and the submitter pop here.
+        pending: Mutex<VecDeque<Job>>,
+        /// Jobs not yet finished (pending + currently executing), plus the
+        /// first panic payload observed while executing one.
+        status: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+        /// Signalled when the last job of the batch finishes.
+        done: Condvar,
+        /// Ambient `current_num_threads()` of the submitter, restored around
+        /// every job so nested parallel calls honor the pinned pool size.
+        threads: usize,
+    }
+
+    impl Batch {
+        /// Runs one job of this batch, recording panics instead of unwinding
+        /// into the worker loop, and releases the latch slot.
+        fn execute(&self, job: Job) {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                super::with_thread_count(self.threads, job);
+            }));
+            let mut status = self.status.lock().unwrap();
+            status.0 -= 1;
+            if let Err(payload) = result {
+                status.1.get_or_insert(payload);
+            }
+            if status.0 == 0 {
+                self.done.notify_all();
+            }
+        }
+
+        /// Pops one not-yet-started job, if any.
+        fn take(&self) -> Option<Job> {
+            self.pending.lock().unwrap().pop_front()
+        }
+    }
+
+    /// The queue workers serve: batches with unstarted jobs, FIFO.
+    struct GlobalQueue {
+        batches: Mutex<VecDeque<Arc<Batch>>>,
+        available: Condvar,
+    }
+
+    fn queue() -> &'static GlobalQueue {
+        static POOL: OnceLock<&'static GlobalQueue> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let q: &'static GlobalQueue = Box::leak(Box::new(GlobalQueue {
+                batches: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+            }));
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(1);
+            for i in 0..workers {
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(q))
+                    .expect("failed to spawn pool worker");
+            }
+            q
+        })
+    }
+
+    /// A worker: forever pop the front batch's next job and run it. Batches
+    /// whose pending queue has drained are dropped from the queue (their
+    /// in-flight jobs are tracked by the batch's own latch, not here).
+    fn worker_loop(q: &'static GlobalQueue) {
+        loop {
+            let (batch, job) = {
+                let mut batches = q.batches.lock().unwrap();
+                'find: loop {
+                    while let Some(front) = batches.front() {
+                        if let Some(job) = front.take() {
+                            break 'find (Arc::clone(front), job);
+                        }
+                        batches.pop_front();
+                    }
+                    batches = q.available.wait(batches).unwrap();
+                }
+            };
+            batch.execute(job);
+        }
+    }
+
+    /// Executes every job, in parallel on the persistent pool, and returns
+    /// once **all** of them have finished. Panics inside a job are caught,
+    /// the remaining jobs still run, and the first payload is re-raised on
+    /// the submitting thread afterwards.
+    pub(crate) fn run_jobs(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+        let n = jobs.len();
+        match n {
+            0 => return,
+            1 => {
+                for job in jobs {
+                    job();
+                }
+                return;
+            }
+            _ => {}
+        }
+        // SAFETY (lifetime erasure): the jobs may borrow the submitter's
+        // stack frame. Erasing their lifetimes to `'static` is sound because
+        // this function does not return before every job has finished
+        // executing (the `done` latch below counts them down, and the wait
+        // runs on every path, panic included), so no borrow is dereferenced
+        // after the frame it points into is gone. Workers never stash a job
+        // beyond the `execute` call that consumes it.
+        let jobs: VecDeque<Job> = jobs
+            .into_iter()
+            .map(|job| unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) })
+            .collect();
+        let batch = Arc::new(Batch {
+            pending: Mutex::new(jobs),
+            status: Mutex::new((n, None)),
+            done: Condvar::new(),
+            threads: super::current_num_threads(),
+        });
+
+        let q = queue();
+        {
+            let mut batches = q.batches.lock().unwrap();
+            batches.push_back(Arc::clone(&batch));
+        }
+        q.available.notify_all();
+
+        // Help-first wait: run this batch's own unstarted jobs, then block
+        // until the stragglers (jobs taken by workers) finish.
+        while let Some(job) = batch.take() {
+            batch.execute(job);
+        }
+        let mut status = batch.status.lock().unwrap();
+        while status.0 > 0 {
+            status = batch.done.wait(status).unwrap();
+        }
+        if let Some(payload) = status.1.take() {
+            drop(status);
+            resume_unwind(payload);
         }
     }
 }
@@ -226,28 +390,25 @@ impl ThreadPool {
             if batch.is_empty() {
                 break;
             }
-            let workers = self.threads.min(batch.len()).max(1);
-            if workers == 1 {
-                for task in batch {
-                    task(&scope);
-                }
-            } else {
-                let queue = Mutex::new(batch);
-                std::thread::scope(|ts| {
-                    for _ in 0..workers {
-                        let queue = &queue;
-                        let scope = &scope;
-                        let threads = self.threads;
-                        ts.spawn(move || {
-                            with_thread_count(threads, || loop {
-                                let task = queue.lock().unwrap().pop();
-                                match task {
-                                    Some(t) => t(scope),
-                                    None => break,
-                                }
-                            })
-                        });
+            if self.threads == 1 || batch.len() == 1 {
+                with_thread_count(self.threads, || {
+                    for task in batch {
+                        task(&scope);
                     }
+                });
+            } else {
+                // Every task becomes one job on the persistent pool; tasks
+                // spawned by tasks land in `scope.tasks` and run in the next
+                // round of this drain loop.
+                let scope_ref = &scope;
+                with_thread_count(self.threads, || {
+                    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = batch
+                        .into_iter()
+                        .map(|task| {
+                            Box::new(move || task(scope_ref)) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool::run_jobs(jobs);
                 });
             }
         }
@@ -277,8 +438,8 @@ pub mod iter {
     //! The parallel-iterator subset: eager item lists with deferred,
     //! chunk-parallel terminal operations.
 
-    /// Runs `f` over `items` on up to `current_num_threads()` scoped
-    /// threads, preserving item order in the result.
+    /// Runs `f` over `items` as up to `current_num_threads()` chunk jobs on
+    /// the persistent worker pool, preserving item order in the result.
     fn run_parallel<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -300,26 +461,25 @@ pub mod iter {
             }
             chunks.push(chunk);
         }
-        let f = &f;
-        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
+        // One output slot per chunk: each job owns exactly one `&mut` slot,
+        // so the writes are disjoint and order is preserved by construction.
+        let mut slots: Vec<Option<Vec<R>>> = (0..chunks.len()).map(|_| None).collect();
+        {
+            let f = &f;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
                 .into_iter()
-                .map(|chunk| {
-                    s.spawn(move || {
-                        // Workers inherit the caller's ambient thread count so
-                        // nested parallel calls still honor the pinned pool
-                        // size instead of falling back to the CPU count.
-                        super::with_thread_count(threads, || {
-                            chunk.into_iter().map(f).collect::<Vec<R>>()
-                        })
-                    })
+                .zip(slots.iter_mut())
+                .map(|(chunk, slot)| {
+                    Box::new(move || {
+                        *slot = Some(chunk.into_iter().map(f).collect::<Vec<R>>());
+                    }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
-        });
+            super::pool::run_jobs(jobs);
+        }
         let mut out = Vec::with_capacity(n);
-        for mut part in per_chunk {
-            out.append(&mut part);
+        for part in &mut slots {
+            out.append(part.as_mut().expect("every chunk job ran to completion"));
         }
         out
     }
