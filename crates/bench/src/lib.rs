@@ -8,4 +8,4 @@ pub mod report;
 
 pub use datasets::{paper_suite, Dataset, DatasetClass};
 pub use platform::platform_summary;
-pub use report::{geomean, thread_sweep, Series};
+pub use report::{geomean, thread_sweep, Json, Series};

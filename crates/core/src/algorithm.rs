@@ -1,7 +1,8 @@
 //! The common interface every SpMSpV implementation exposes.
 
-use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SpaBackend, SparseVec};
 
+use crate::adaptive::AdaptiveConfig;
 use crate::executor::Executor;
 use crate::masked::MaskView;
 
@@ -21,6 +22,15 @@ pub struct SpMSpVOptions {
     /// writes into the buckets (§III-A "Cache efficiency"). `0` disables the
     /// optimization and writes straight into the buckets.
     pub staging_buffer: usize,
+    /// Which [`sparse_substrate::BatchAccumulator`] backend the batched
+    /// kernels merge through. [`SpaBackend::Auto`] (the default) lets each
+    /// call pick from the measured triple count, `m`, `k` and the mask —
+    /// see [`crate::adaptive`].
+    pub spa_backend: SpaBackend,
+    /// Cost-model constants for [`SpaBackend::Auto`] and the `Adaptive`
+    /// algorithm families. Unset fields fall back to the one-shot
+    /// calibration pass ([`AdaptiveConfig::resolve`]).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl Default for SpMSpVOptions {
@@ -30,6 +40,8 @@ impl Default for SpMSpVOptions {
             buckets_per_thread: 4,
             sorted_output: true,
             staging_buffer: 512,
+            spa_backend: SpaBackend::Auto,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
@@ -55,6 +67,18 @@ impl SpMSpVOptions {
     /// Builder-style setter for [`SpMSpVOptions::staging_buffer`].
     pub fn staging_buffer(mut self, entries: usize) -> Self {
         self.staging_buffer = entries;
+        self
+    }
+
+    /// Builder-style setter for [`SpMSpVOptions::spa_backend`].
+    pub fn spa_backend(mut self, backend: SpaBackend) -> Self {
+        self.spa_backend = backend;
+        self
+    }
+
+    /// Builder-style setter for [`SpMSpVOptions::adaptive`].
+    pub fn adaptive(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = config;
         self
     }
 
@@ -123,6 +147,7 @@ where
     X: Scalar,
     S: Semiring<A, X> + 'a,
 {
+    use crate::adaptive::AdaptiveSpMSpV;
     use crate::baselines::{CombBlasHeap, CombBlasSpa, GraphMatSpMSpV, SequentialSpa, SortBased};
     use crate::bucket::SpMSpVBucket;
     match kind {
@@ -132,6 +157,7 @@ where
         AlgorithmKind::GraphMat => Box::new(GraphMatSpMSpV::new(matrix, options)),
         AlgorithmKind::SortBased => Box::new(SortBased::new(matrix, options)),
         AlgorithmKind::Sequential => Box::new(SequentialSpa::new(matrix, options)),
+        AlgorithmKind::Adaptive => Box::new(AdaptiveSpMSpV::new(matrix, options)),
     }
 }
 
@@ -151,6 +177,10 @@ pub enum AlgorithmKind {
     SortBased,
     /// Sequential SPA-based reference.
     Sequential,
+    /// Cost-model dispatch per call between [`AlgorithmKind::Bucket`] and
+    /// [`AlgorithmKind::Sequential`] from the frontier's estimated flops
+    /// ([`crate::adaptive::AdaptiveSpMSpV`]).
+    Adaptive,
 }
 
 impl AlgorithmKind {
@@ -173,6 +203,7 @@ impl AlgorithmKind {
             AlgorithmKind::GraphMat => "GraphMat",
             AlgorithmKind::SortBased => "SpMSpV-sort",
             AlgorithmKind::Sequential => "Sequential-SPA",
+            AlgorithmKind::Adaptive => "Adaptive",
         }
     }
 }

@@ -44,11 +44,15 @@ pub use naive::NaiveBatch;
 pub use rowsplit::CombBlasSpaBatch;
 
 use std::marker::PhantomData;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
-use sparse_substrate::{CscMatrix, LaneSpa, Scalar, Semiring, SparseVecBatch};
+use sparse_substrate::{
+    AccumulatorWindow, BatchAccumulator, CscMatrix, HashLaneSpa, LaneMajorSpa, LaneSpa, Scalar,
+    Semiring, SpaBackend, SparseVecBatch,
+};
 
+use crate::adaptive::{choose_backend, keep_fraction};
 use crate::algorithm::SpMSpVOptions;
 use crate::bucket::{bucket_of, bucket_row_ranges, BucketPlan};
 use crate::disjoint::{split_by_boundaries, DisjointWriter, SliceWriter};
@@ -96,6 +100,38 @@ pub trait SpMSpVBatch<A: Scalar, X: Scalar, S: Semiring<A, X>>: Send {
             Some(mask) => mask_filter_batch(&y, mask),
         }
     }
+
+    /// The concrete `(kernel family, SPA backend)` the most recent call
+    /// resolved to. Every kernel in this crate reports `Some` once a
+    /// multiplication has actually merged (adaptive ones report their
+    /// delegate); before the first call — or when a call short-circuits on
+    /// an empty input without merging — there is nothing to report. `None`
+    /// by default so third-party implementations stay source-compatible.
+    fn last_run_info(&self) -> Option<BatchRunInfo> {
+        None
+    }
+}
+
+/// The concrete configuration one batched call executed with: which kernel
+/// family ran and which [`SpaBackend`] it merged through. Surfaced through
+/// [`SpMSpVBatch::last_run_info`] so the serving engine's telemetry
+/// ([`crate::stats::EngineStats`]) can record what the adaptive dispatch
+/// actually chose per flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchRunInfo {
+    /// The kernel family that executed (never
+    /// [`BatchAlgorithmKind::Adaptive`] — dispatchers report their
+    /// delegate).
+    pub kernel: BatchAlgorithmKind,
+    /// The accumulator backend the merge ran through (never
+    /// [`SpaBackend::Auto`] — kernels report what `Auto` resolved to).
+    pub backend: SpaBackend,
+}
+
+impl std::fmt::Display for BatchRunInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.kernel.label(), self.backend.label())
+    }
 }
 
 /// Post-filters a batched product through a mask — the fallback path the
@@ -140,6 +176,10 @@ pub enum BatchAlgorithmKind {
     /// each scanning the whole fused input with a private lane-aware SPA —
     /// the honest batched counterpart of the paper's CombBLAS-SPA baseline.
     CombBlasRowSplit,
+    /// Cost-model dispatch per call between the fixed families (and, inside
+    /// the bucket delegate, the SPA backends) from `(total nnz, k, m,
+    /// threads)` — see [`crate::adaptive::AdaptiveBatch`].
+    Adaptive,
 }
 
 impl BatchAlgorithmKind {
@@ -149,11 +189,25 @@ impl BatchAlgorithmKind {
             BatchAlgorithmKind::Bucket => "SpMSpV-bucket-batch",
             BatchAlgorithmKind::Naive => "Naive-batch",
             BatchAlgorithmKind::CombBlasRowSplit => "CombBLAS-SPA-batch",
+            BatchAlgorithmKind::Adaptive => "Adaptive-batch",
         }
     }
 
-    /// Every batched family, in bench-legend order.
-    pub fn all() -> [BatchAlgorithmKind; 3] {
+    /// Every batched family, in bench-legend order ([`Self::Adaptive`]
+    /// last).
+    pub fn all() -> [BatchAlgorithmKind; 4] {
+        [
+            BatchAlgorithmKind::Bucket,
+            BatchAlgorithmKind::Naive,
+            BatchAlgorithmKind::CombBlasRowSplit,
+            BatchAlgorithmKind::Adaptive,
+        ]
+    }
+
+    /// The fixed families an adaptive dispatch can delegate to (everything
+    /// but [`Self::Adaptive`]). `const` so telemetry tables
+    /// ([`crate::stats::ChoiceCounts`]) derive from this single source.
+    pub const fn fixed() -> [BatchAlgorithmKind; 3] {
         [
             BatchAlgorithmKind::Bucket,
             BatchAlgorithmKind::Naive,
@@ -184,14 +238,21 @@ where
         BatchAlgorithmKind::Bucket => Box::new(SpMSpVBucketBatch::new(matrix, options)),
         BatchAlgorithmKind::Naive => Box::new(NaiveBatch::new(matrix, options)),
         BatchAlgorithmKind::CombBlasRowSplit => Box::new(CombBlasSpaBatch::new(matrix, options)),
+        BatchAlgorithmKind::Adaptive => {
+            Box::new(crate::adaptive::AdaptiveBatch::new(matrix, options))
+        }
     }
 }
 
-/// Reusable buffers of one [`SpMSpVBucketBatch`] instance: the lane-aware
-/// SPA (grown to the largest `m × k` seen so far) and the shared triple
-/// buffer (capacity retained across calls).
+/// Reusable buffers of one [`SpMSpVBucketBatch`] instance: one lazily
+/// instantiated accumulator per [`SpaBackend`] (each retaining its
+/// high-water allocation, so alternating backends between flushes never
+/// reallocates) and the shared triple buffer (capacity retained across
+/// calls).
 struct BatchWorkspace<Y> {
-    spa: LaneSpa<Y>,
+    dense: LaneSpa<Y>,
+    lane_major: Option<LaneMajorSpa<Y>>,
+    hashed: Option<HashLaneSpa<Y>>,
     /// `(row, lane, scaled value)` triples, all buckets back to back.
     entries: Vec<(usize, u32, Y)>,
 }
@@ -202,6 +263,9 @@ pub struct SpMSpVBucketBatch<'a, A, X, S: Semiring<A, X>> {
     options: SpMSpVOptions,
     executor: Executor,
     workspace: BatchWorkspace<S::Output>,
+    /// What [`SpaBackend::Auto`] resolved to on the most recent call
+    /// (`None` until the first multiplication runs).
+    last_backend: Option<SpaBackend>,
     _marker: PhantomData<fn(X, S)>,
 }
 
@@ -225,13 +289,32 @@ where
         options: SpMSpVOptions,
         executor: Executor,
     ) -> Self {
-        let workspace = BatchWorkspace { spa: LaneSpa::new(0, 0), entries: Vec::new() };
-        SpMSpVBucketBatch { matrix, options, executor, workspace, _marker: PhantomData }
+        let workspace = BatchWorkspace {
+            dense: LaneSpa::new(0, 0),
+            lane_major: None,
+            hashed: None,
+            entries: Vec::new(),
+        };
+        SpMSpVBucketBatch {
+            matrix,
+            options,
+            executor,
+            workspace,
+            last_backend: None,
+            _marker: PhantomData,
+        }
     }
 
     /// The options this instance was built with.
     pub fn options(&self) -> &SpMSpVOptions {
         &self.options
+    }
+
+    /// The SPA backend the most recent call merged through (what
+    /// [`SpaBackend::Auto`] resolved to, or the pinned backend); `None`
+    /// before the first call.
+    pub fn last_backend(&self) -> Option<SpaBackend> {
+        self.last_backend
     }
 
     /// Computes `Y ← A ⊕.⊗ X` and returns the per-step wall-clock breakdown
@@ -346,81 +429,168 @@ where
         unsafe { ws.entries.set_len(total) };
         timings.bucketing = t1.elapsed();
 
-        // ---------------- Merge (lane-aware SPA) ----------------
-        let t2 = Instant::now();
-        let row_ranges = bucket_row_ranges(m, nb);
-        ws.spa.ensure_shape(m, k);
-        let sorted_output = self.options.sorted_output;
-        // Per (bucket, lane) unique row lists.
-        let uinds: Vec<Vec<Vec<usize>>> = {
-            let windows = ws.spa.split_index_ranges(&row_ranges);
-            let entry_slices = split_by_boundaries(&ws.entries, &plan.bucket_starts);
-            self.executor.install(|| {
-                entry_slices
-                    .into_par_iter()
-                    .zip(windows.into_par_iter())
-                    .map(|(bucket_entries, mut window)| {
-                        let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
-                        for &(i, lane, ref v) in bucket_entries {
-                            if let Some(mask) = mask {
-                                if !mask.keeps(i, lane as usize) {
-                                    continue;
-                                }
-                            }
-                            if window.accumulate(i, lane as usize, *v, |a, b| semiring.add(a, b)) {
-                                uind[lane as usize].push(i);
-                            }
-                        }
-                        if sorted_output {
-                            for lane_uind in uind.iter_mut() {
-                                lane_uind.sort_unstable();
-                            }
-                        }
-                        uind
-                    })
-                    .collect()
-            })
+        // ---------------- Merge + Output (pluggable SPA backend) ----------
+        // The backend decision runs *after* estimate, when the exact triple
+        // count is known: fill = triples / (m·k) (scaled by the mask's keep
+        // fraction) is the quantity the cost model keys on.
+        let backend = match self.options.spa_backend {
+            SpaBackend::Auto => choose_backend(
+                total,
+                m,
+                k,
+                fused.num_cols(),
+                fused.total_activations(),
+                keep_fraction(mask),
+                &self.options.adaptive.resolve(),
+            ),
+            fixed => fixed,
         };
-        timings.merge = t2.elapsed();
+        self.last_backend = Some(backend);
+        let row_ranges = bucket_row_ranges(m, nb);
+        let params = MergeParams {
+            executor: &self.executor,
+            entries: &ws.entries,
+            bucket_starts: &plan.bucket_starts,
+            row_ranges: &row_ranges,
+            m,
+            k,
+            mask,
+            sorted_output: self.options.sorted_output,
+        };
+        let (y, merge_time, output_time) = match backend {
+            SpaBackend::DenseIndexMajor | SpaBackend::Auto => {
+                merge_and_output(&mut ws.dense, semiring, &params)
+            }
+            SpaBackend::DenseLaneMajor => merge_and_output(
+                ws.lane_major.get_or_insert_with(|| LaneMajorSpa::new(0, 0)),
+                semiring,
+                &params,
+            ),
+            SpaBackend::Hashed => merge_and_output(
+                ws.hashed.get_or_insert_with(|| HashLaneSpa::new(0, 0)),
+                semiring,
+                &params,
+            ),
+        };
+        timings.merge = merge_time;
+        timings.output = output_time;
 
-        // ---------------- Output ----------------
-        let t3 = Instant::now();
-        // lane_ptr[l] = total unique rows of lanes < l; within a lane, the
-        // buckets' contributions land in ascending bucket (= row-range)
-        // order, so sorted buckets concatenate into a sorted lane.
-        let mut lane_sizes = vec![0usize; k];
+        (y, timings)
+    }
+}
+
+/// The merge/output inputs shared by every backend instantiation of
+/// [`merge_and_output`] (bundled so the generic helper's signature stays
+/// readable).
+struct MergeParams<'p, Y> {
+    executor: &'p Executor,
+    /// `(row, lane, scaled value)` triples, all buckets back to back.
+    entries: &'p [(usize, u32, Y)],
+    /// `bucket_starts[b]..bucket_starts[b+1]` is bucket `b`'s triple range.
+    bucket_starts: &'p [usize],
+    /// Output-row range of each bucket (contiguous from 0, covering `0..m`).
+    row_ranges: &'p [std::ops::Range<usize>],
+    m: usize,
+    k: usize,
+    mask: Option<&'p BatchMaskView<'p>>,
+    sorted_output: bool,
+}
+
+/// Steps 2 + 3 of the batched pipeline, generic over the SPA backend: merge
+/// every bucket's triples into disjoint accumulator windows in parallel,
+/// then gather the per-`(bucket, lane)` unique rows into a
+/// [`SparseVecBatch`]. Returns the result plus the (merge, output) timings.
+///
+/// Monomorphized per backend so the accumulate fast path — including the
+/// semiring add — inlines; the backend decision is a single `match` in the
+/// caller.
+fn merge_and_output<A, X, S, Acc>(
+    spa: &mut Acc,
+    semiring: &S,
+    p: &MergeParams<'_, S::Output>,
+) -> (SparseVecBatch<S::Output>, Duration, Duration)
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+    Acc: BatchAccumulator<S::Output>,
+{
+    let (m, k) = (p.m, p.k);
+    let t2 = Instant::now();
+    spa.ensure_shape(m, k);
+    let bucket_counts: Vec<usize> = p.bucket_starts.windows(2).map(|w| w[1] - w[0]).collect();
+    let mask = p.mask;
+    let sorted_output = p.sorted_output;
+    // Per (bucket, lane) unique row lists.
+    let uinds: Vec<Vec<Vec<usize>>> = {
+        let windows = spa.split_windows(p.row_ranges, &bucket_counts);
+        let entry_slices = split_by_boundaries(p.entries, p.bucket_starts);
+        p.executor.install(|| {
+            entry_slices
+                .into_par_iter()
+                .zip(windows.into_par_iter())
+                .map(|(bucket_entries, mut window)| {
+                    let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
+                    for &(i, lane, ref v) in bucket_entries {
+                        if let Some(mask) = mask {
+                            if !mask.keeps(i, lane as usize) {
+                                continue;
+                            }
+                        }
+                        if window.accumulate(i, lane as usize, *v, |a, b| semiring.add(a, b)) {
+                            uind[lane as usize].push(i);
+                        }
+                    }
+                    if sorted_output {
+                        for lane_uind in uind.iter_mut() {
+                            lane_uind.sort_unstable();
+                        }
+                    }
+                    uind
+                })
+                .collect()
+        })
+    };
+    let merge_time = t2.elapsed();
+
+    let t3 = Instant::now();
+    // lane_ptr[l] = total unique rows of lanes < l; within a lane, the
+    // buckets' contributions land in ascending bucket (= row-range)
+    // order, so sorted buckets concatenate into a sorted lane.
+    let mut lane_sizes = vec![0usize; k];
+    for bucket_uind in &uinds {
+        for (l, lane_uind) in bucket_uind.iter().enumerate() {
+            lane_sizes[l] += lane_uind.len();
+        }
+    }
+    let mut lane_ptr = Vec::with_capacity(k + 1);
+    lane_ptr.push(0usize);
+    for &s in &lane_sizes {
+        lane_ptr.push(lane_ptr.last().unwrap() + s);
+    }
+    let y_nnz = *lane_ptr.last().unwrap();
+
+    // Exclusive write window per (bucket, lane) inside the output pool.
+    let mut window_starts: Vec<Vec<usize>> = Vec::with_capacity(uinds.len());
+    {
+        let mut lane_cursor = lane_ptr[..k].to_vec();
         for bucket_uind in &uinds {
+            let mut starts = Vec::with_capacity(k);
             for (l, lane_uind) in bucket_uind.iter().enumerate() {
-                lane_sizes[l] += lane_uind.len();
+                starts.push(lane_cursor[l]);
+                lane_cursor[l] += lane_uind.len();
             }
+            window_starts.push(starts);
         }
-        let mut lane_ptr = Vec::with_capacity(k + 1);
-        lane_ptr.push(0usize);
-        for &s in &lane_sizes {
-            lane_ptr.push(lane_ptr.last().unwrap() + s);
-        }
-        let y_nnz = *lane_ptr.last().unwrap();
+    }
 
-        // Exclusive write window per (bucket, lane) inside the output pool.
-        let mut window_starts: Vec<Vec<usize>> = Vec::with_capacity(nb);
-        {
-            let mut lane_cursor = lane_ptr[..k].to_vec();
-            for bucket_uind in &uinds {
-                let mut starts = Vec::with_capacity(k);
-                for (l, lane_uind) in bucket_uind.iter().enumerate() {
-                    starts.push(lane_cursor[l]);
-                    lane_cursor[l] += lane_uind.len();
-                }
-                window_starts.push(starts);
-            }
-        }
-
-        let idx_writer = DisjointWriter::new(y_nnz);
-        let val_writer = DisjointWriter::new(y_nnz);
-        {
-            let spa = &ws.spa;
-            self.executor.install(|| {
-                uinds.par_iter().zip(window_starts.par_iter()).for_each(|(bucket_uind, starts)| {
+    let idx_writer = DisjointWriter::new(y_nnz);
+    let val_writer = DisjointWriter::new(y_nnz);
+    {
+        let spa = &*spa;
+        p.executor.install(|| {
+            uinds.par_iter().zip(window_starts.par_iter()).enumerate().for_each(
+                |(b, (bucket_uind, starts))| {
                     for (l, lane_uind) in bucket_uind.iter().enumerate() {
                         let base = starts[l];
                         for (off, &i) in lane_uind.iter().enumerate() {
@@ -429,23 +599,22 @@ where
                             // is written exactly once.
                             unsafe {
                                 idx_writer.write(base + off, i);
-                                val_writer.write(base + off, *spa.value_at(i, l));
+                                val_writer.write(base + off, *spa.value_at_window(b, i, l));
                             }
                         }
                     }
-                });
-            });
-        }
-        // SAFETY: the windows partition 0..y_nnz and every slot was written
-        // above; the parallel scope has ended (happens-before established).
-        let (out_indices, out_values) =
-            unsafe { (idx_writer.assume_filled(), val_writer.assume_filled()) };
-        let y = SparseVecBatch::from_parts_trusted(m, lane_ptr, out_indices, out_values)
-            .expect("batched bucket output is consistent by construction");
-        timings.output = t3.elapsed();
-
-        (y, timings)
+                },
+            );
+        });
     }
+    // SAFETY: the windows partition 0..y_nnz and every slot was written
+    // above; the parallel scope has ended (happens-before established).
+    let (out_indices, out_values) =
+        unsafe { (idx_writer.assume_filled(), val_writer.assume_filled()) };
+    let y = SparseVecBatch::from_parts_trusted(m, lane_ptr, out_indices, out_values)
+        .expect("batched bucket output is consistent by construction");
+    let output_time = t3.elapsed();
+    (y, merge_time, output_time)
 }
 
 impl<'a, A, X, S> SpMSpVBatch<A, X, S> for SpMSpVBucketBatch<'a, A, X, S>
@@ -477,6 +646,11 @@ where
         mask: Option<&BatchMaskView<'_>>,
     ) -> SparseVecBatch<S::Output> {
         self.multiply_batch_masked_with_timings(x, semiring, mask).0
+    }
+
+    fn last_run_info(&self) -> Option<BatchRunInfo> {
+        self.last_backend
+            .map(|backend| BatchRunInfo { kernel: BatchAlgorithmKind::Bucket, backend })
     }
 }
 

@@ -7,19 +7,21 @@
 //! structure once **per lane**, where the fused kernel traverses it once per
 //! *distinct* active column of the whole batch.
 
-use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec, SparseVecBatch};
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SpaBackend, SparseVec, SparseVecBatch};
 
 use crate::algorithm::{SpMSpV, SpMSpVOptions};
 use crate::bucket::SpMSpVBucket;
 use crate::masked::BatchMaskView;
 
-use super::SpMSpVBatch;
+use super::{BatchAlgorithmKind, BatchRunInfo, SpMSpVBatch};
 
 /// Batched SpMSpV as `k` independent bucket multiplications sharing one
 /// prepared [`SpMSpVBucket`] instance (so the per-lane workspace reuse of
 /// the single-vector kernel still applies).
 pub struct NaiveBatch<'a, A, X, S: Semiring<A, X>> {
     inner: SpMSpVBucket<'a, A, X, S>,
+    /// Whether any multiplication has run (gates [`SpMSpVBatch::last_run_info`]).
+    ran: bool,
 }
 
 impl<'a, A, X, S> NaiveBatch<'a, A, X, S>
@@ -30,7 +32,7 @@ where
 {
     /// Prepares the fallback for `matrix` with the given options.
     pub fn new(matrix: &'a CscMatrix<A>, options: SpMSpVOptions) -> Self {
-        NaiveBatch { inner: SpMSpVBucket::new(matrix, options) }
+        NaiveBatch { inner: SpMSpVBucket::new(matrix, options), ran: false }
     }
 }
 
@@ -53,6 +55,7 @@ where
     }
 
     fn multiply_batch(&mut self, x: &SparseVecBatch<X>, semiring: &S) -> SparseVecBatch<S::Output> {
+        self.ran = true;
         let lanes: Vec<SparseVec<S::Output>> =
             (0..x.k()).map(|l| self.inner.multiply(&x.lane_vec(l), semiring)).collect();
         SparseVecBatch::from_lanes(&lanes).expect("every lane shares the matrix's row dimension")
@@ -67,12 +70,22 @@ where
         if let Some(mask) = mask {
             mask.check_lanes(x.k());
         }
+        self.ran = true;
         let lanes: Vec<SparseVec<S::Output>> = (0..x.k())
             .map(|l| {
                 self.inner.multiply_masked(&x.lane_vec(l), semiring, mask.map(|m| m.lane_view(l)))
             })
             .collect();
         SparseVecBatch::from_lanes(&lanes).expect("every lane shares the matrix's row dimension")
+    }
+
+    fn last_run_info(&self) -> Option<BatchRunInfo> {
+        // The single-vector kernel's SPA is a plain per-row array — the
+        // k = 1 degenerate case of the dense index-major layout.
+        self.ran.then_some(BatchRunInfo {
+            kernel: BatchAlgorithmKind::Naive,
+            backend: SpaBackend::DenseIndexMajor,
+        })
     }
 }
 

@@ -5,8 +5,8 @@
 //! multiply its own piece with the *entire* input vector. This is the same
 //! strategy extended to a batch: every thread walks the **whole fused input**
 //! (all `k` lanes) against its own `m/t × n` piece, accumulating into a
-//! private per-piece [`LaneSpa`], and the per-piece outputs are concatenated
-//! row-range by row-range.
+//! private per-piece lane-aware accumulator, and the per-piece outputs are
+//! concatenated row-range by row-range.
 //!
 //! Like its single-vector counterpart it is intentionally *not*
 //! work-efficient — each of the `t` pieces re-reads all `nnz(X)` activations,
@@ -18,6 +18,11 @@
 //! beat a batched row-split, not only the `k`-independent-calls
 //! [`NaiveBatch`](super::NaiveBatch).
 //!
+//! The per-piece accumulator is pluggable like the fused kernel's
+//! ([`SpMSpVOptions::spa_backend`]): dense index-major, dense lane-major, or
+//! hashed, with [`SpaBackend::Auto`] resolving per call from the estimated
+//! fill of each piece's `m/t × k` slot space.
+//!
 //! Output determinism matches the rest of the crate: under `sorted_output`
 //! each lane is sorted ascending, so results are comparable entry-for-entry
 //! with the bucket kernels (bit-identical for order-insensitive semirings;
@@ -25,25 +30,40 @@
 //! order, same as every other family here).
 
 use rayon::prelude::*;
-use sparse_substrate::{CscMatrix, DcscMatrix, LaneSpa, Scalar, Semiring, SparseVecBatch};
+use sparse_substrate::{
+    BatchAccumulator, CscMatrix, DcscMatrix, FusedColumns, HashLaneSpa, LaneMajorSpa, LaneSpa,
+    Scalar, Semiring, SpaBackend, SparseVecBatch,
+};
 
+use crate::adaptive::{choose_backend, estimated_flops, keep_fraction};
 use crate::algorithm::SpMSpVOptions;
 use crate::executor::Executor;
 use crate::masked::BatchMaskView;
 
-use super::SpMSpVBatch;
+use super::{BatchAlgorithmKind, BatchRunInfo, SpMSpVBatch};
 
-/// Row-split CombBLAS-style batched SpMSpV with one private lane-aware SPA
-/// per piece.
+/// One piece's lazily instantiated accumulators, one per backend, each
+/// keeping its high-water allocation across calls.
+struct PiecePool<Y> {
+    dense: LaneSpa<Y>,
+    lane_major: Option<LaneMajorSpa<Y>>,
+    hashed: Option<HashLaneSpa<Y>>,
+}
+
+/// Row-split CombBLAS-style batched SpMSpV with one private lane-aware
+/// accumulator per piece.
 pub struct CombBlasSpaBatch<'a, A, X, S: Semiring<A, X>> {
     matrix: &'a CscMatrix<A>,
     pieces: Vec<DcscMatrix<A>>,
     /// Row offset of each piece within the full matrix.
     offsets: Vec<usize>,
-    /// One private lane-aware SPA per piece, grown amortized as `k` varies.
-    spas: Vec<LaneSpa<S::Output>>,
+    /// One accumulator pool per piece, grown amortized as `k` varies.
+    spas: Vec<PiecePool<S::Output>>,
     executor: Executor,
-    sorted_output: bool,
+    options: SpMSpVOptions,
+    /// What [`SpaBackend::Auto`] resolved to on the most recent call
+    /// (`None` until the first multiplication runs).
+    last_backend: Option<SpaBackend>,
     _marker: std::marker::PhantomData<fn(X, S)>,
 }
 
@@ -59,14 +79,22 @@ where
         let t = executor.threads().max(1);
         let pieces = DcscMatrix::row_split(matrix, t);
         let offsets = matrix.row_split_offsets(t);
-        let spas = pieces.iter().map(|p| LaneSpa::new(p.nrows(), 0)).collect();
+        let spas = pieces
+            .iter()
+            .map(|p| PiecePool {
+                dense: LaneSpa::new(p.nrows(), 0),
+                lane_major: None,
+                hashed: None,
+            })
+            .collect();
         CombBlasSpaBatch {
             matrix,
             pieces,
             offsets,
             spas,
             executor,
-            sorted_output: options.sorted_output,
+            options,
+            last_backend: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -75,6 +103,63 @@ where
     pub fn pieces(&self) -> usize {
         self.pieces.len()
     }
+
+    /// The SPA backend the most recent call merged through; `None` before
+    /// the first call.
+    pub fn last_backend(&self) -> Option<SpaBackend> {
+        self.last_backend
+    }
+}
+
+/// One piece's merge: scan the whole fused input against the piece,
+/// accumulate into `spa`, and emit lane-major `(global row, value)` lists.
+/// Generic over the accumulator backend so the inner loop inlines.
+#[allow(clippy::too_many_arguments)]
+fn rowsplit_piece<A, X, S, Acc>(
+    piece: &DcscMatrix<A>,
+    piece_base: usize,
+    spa: &mut Acc,
+    fused: &FusedColumns<X>,
+    k: usize,
+    mask: Option<&BatchMaskView<'_>>,
+    semiring: &S,
+    sorted: bool,
+) -> Vec<Vec<(usize, S::Output)>>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X>,
+    Acc: BatchAccumulator<S::Output>,
+{
+    spa.ensure_shape(piece.nrows().max(1), k.max(1));
+    let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for c in 0..fused.num_cols() {
+        let j = fused.cols()[c];
+        let Some((rows, avals)) = piece.column(j) else { continue };
+        let (lanes, xvals) = fused.activations(c);
+        for (&i, av) in rows.iter().zip(avals.iter()) {
+            for (&lane, xv) in lanes.iter().zip(xvals.iter()) {
+                if let Some(mask) = mask {
+                    if !mask.keeps(i + piece_base, lane as usize) {
+                        continue;
+                    }
+                }
+                let prod = semiring.multiply(av, xv);
+                if spa.accumulate(i, lane as usize, prod, |a, b| semiring.add(a, b)) {
+                    uind[lane as usize].push(i);
+                }
+            }
+        }
+    }
+    uind.into_iter()
+        .enumerate()
+        .map(|(lane, mut lane_uind)| {
+            if sorted {
+                lane_uind.sort_unstable();
+            }
+            lane_uind.into_iter().map(|i| (i + piece_base, *spa.value_at(i, lane))).collect()
+        })
+        .collect()
 }
 
 impl<'a, A, X, S> SpMSpVBatch<A, X, S> for CombBlasSpaBatch<'a, A, X, S>
@@ -128,9 +213,31 @@ where
         // matrix column is still read once per piece for all lanes, which is
         // the batched amortization this baseline exists to measure.
         let fused = x.fuse_columns();
+        // Backend per call: the exact flop count would need a pre-pass, so
+        // Auto estimates fill from total activations × mean column degree
+        // (each piece's slot space scales with its row share, so global fill
+        // ≈ per-piece fill).
+        let backend = match self.options.spa_backend {
+            SpaBackend::Auto => {
+                let est_flops = estimated_flops(self.matrix, fused.total_activations());
+                choose_backend(
+                    est_flops,
+                    m,
+                    k,
+                    fused.num_cols(),
+                    fused.total_activations(),
+                    keep_fraction(mask),
+                    &self.options.adaptive.resolve(),
+                )
+            }
+            fixed => fixed,
+        };
+        self.last_backend = Some(backend);
+
         let offsets = &self.offsets;
         let pieces = &self.pieces;
-        let sorted = self.sorted_output;
+        let sorted = self.options.sorted_output;
+        let fused = &fused;
         // Per-piece, lane-major `(row, value)` lists with global row ids.
         type PieceLanes<Y> = Vec<Vec<(usize, Y)>>;
         let per_piece: Vec<PieceLanes<S::Output>> = self.executor.install(|| {
@@ -138,41 +245,40 @@ where
                 .par_iter()
                 .zip(self.spas.par_iter_mut())
                 .enumerate()
-                .map(|(p, (piece, spa))| {
-                    let piece_base = offsets[p];
-                    spa.ensure_shape(piece.nrows().max(1), k.max(1));
-                    let mut uind: Vec<Vec<usize>> = vec![Vec::new(); k];
-                    for c in 0..fused.num_cols() {
-                        let j = fused.cols()[c];
-                        let Some((rows, avals)) = piece.column(j) else { continue };
-                        let (lanes, xvals) = fused.activations(c);
-                        for (&i, av) in rows.iter().zip(avals.iter()) {
-                            for (&lane, xv) in lanes.iter().zip(xvals.iter()) {
-                                if let Some(mask) = mask {
-                                    if !mask.keeps(i + piece_base, lane as usize) {
-                                        continue;
-                                    }
-                                }
-                                let prod = semiring.multiply(av, xv);
-                                if spa.accumulate(i, lane as usize, prod, |a, b| semiring.add(a, b))
-                                {
-                                    uind[lane as usize].push(i);
-                                }
-                            }
-                        }
+                .map(|(p, (piece, pool))| {
+                    let base = offsets[p];
+                    match backend {
+                        SpaBackend::DenseIndexMajor | SpaBackend::Auto => rowsplit_piece(
+                            piece,
+                            base,
+                            &mut pool.dense,
+                            fused,
+                            k,
+                            mask,
+                            semiring,
+                            sorted,
+                        ),
+                        SpaBackend::DenseLaneMajor => rowsplit_piece(
+                            piece,
+                            base,
+                            pool.lane_major.get_or_insert_with(|| LaneMajorSpa::new(0, 0)),
+                            fused,
+                            k,
+                            mask,
+                            semiring,
+                            sorted,
+                        ),
+                        SpaBackend::Hashed => rowsplit_piece(
+                            piece,
+                            base,
+                            pool.hashed.get_or_insert_with(|| HashLaneSpa::new(0, 0)),
+                            fused,
+                            k,
+                            mask,
+                            semiring,
+                            sorted,
+                        ),
                     }
-                    uind.into_iter()
-                        .enumerate()
-                        .map(|(lane, mut lane_uind)| {
-                            if sorted {
-                                lane_uind.sort_unstable();
-                            }
-                            lane_uind
-                                .into_iter()
-                                .map(|i| (i + piece_base, *spa.value_at(i, lane)))
-                                .collect()
-                        })
-                        .collect()
                 })
                 .collect()
         });
@@ -195,6 +301,11 @@ where
         }
         SparseVecBatch::from_parts_trusted(m, lane_ptr, indices, values)
             .expect("row-split output is consistent by construction")
+    }
+
+    fn last_run_info(&self) -> Option<BatchRunInfo> {
+        self.last_backend
+            .map(|backend| BatchRunInfo { kernel: BatchAlgorithmKind::CombBlasRowSplit, backend })
     }
 }
 
@@ -233,6 +344,28 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_produces_identical_output() {
+        let a = erdos_renyi(220, 5.0, 8);
+        let x = random_batch(220, 6, 35, 3);
+        let run = |backend: SpaBackend| {
+            let mut alg =
+                CombBlasSpaBatch::new(&a, SpMSpVOptions::with_threads(3).spa_backend(backend));
+            let y = alg.multiply_batch(&x, &PlusTimes);
+            assert_eq!(alg.last_backend(), Some(backend));
+            assert_eq!(alg.last_run_info().unwrap().kernel, BatchAlgorithmKind::CombBlasRowSplit);
+            y
+        };
+        let dense = run(SpaBackend::DenseIndexMajor);
+        assert_eq!(dense, run(SpaBackend::DenseLaneMajor), "lane-major backend diverged");
+        assert_eq!(dense, run(SpaBackend::Hashed), "hashed backend diverged");
+        // Auto resolves to one of the concrete backends and agrees too.
+        let mut auto = CombBlasSpaBatch::new(&a, SpMSpVOptions::with_threads(3));
+        assert_eq!(auto.last_backend(), None, "no run yet, nothing to report");
+        assert_eq!(dense, auto.multiply_batch(&x, &PlusTimes));
+        assert!(matches!(auto.last_backend(), Some(b) if b != SpaBackend::Auto));
+    }
+
+    #[test]
     fn agrees_with_fused_bucket_batch_on_bfs_semiring() {
         let a = rmat(8, 8, RmatParams::graph500(), 4);
         let n = a.ncols();
@@ -252,18 +385,27 @@ mod tests {
         let a = erdos_renyi(180, 5.0, 3);
         let x = random_batch(180, 5, 30, 11);
         let shared = MaskBits::from_indices(180, (0..180).step_by(3));
-        let per_lane: Vec<MaskBits> =
-            (0..5).map(|l| MaskBits::from_indices(180, (l..180).step_by(4))).collect();
+        let per_lane: Vec<std::sync::Arc<MaskBits>> = (0..5)
+            .map(|l| std::sync::Arc::new(MaskBits::from_indices(180, (l..180).step_by(4))))
+            .collect();
         for mode in [MaskMode::Keep, MaskMode::Complement] {
             for view in [
                 BatchMaskView::Shared(MaskView::new(&shared, mode)),
                 BatchMaskView::PerLane { masks: &per_lane, mode },
             ] {
-                let mut alg = CombBlasSpaBatch::new(&a, SpMSpVOptions::with_threads(4));
-                let masked = alg.multiply_batch_masked(&x, &PlusTimes, Some(&view));
-                let unmasked = alg.multiply_batch(&x, &PlusTimes);
-                let oracle = mask_filter_batch(&unmasked, &view);
-                assert_eq!(masked, oracle, "{mode:?} diverged from the post-filter oracle");
+                for backend in SpaBackend::concrete() {
+                    let mut alg = CombBlasSpaBatch::new(
+                        &a,
+                        SpMSpVOptions::with_threads(4).spa_backend(backend),
+                    );
+                    let masked = alg.multiply_batch_masked(&x, &PlusTimes, Some(&view));
+                    let unmasked = alg.multiply_batch(&x, &PlusTimes);
+                    let oracle = mask_filter_batch(&unmasked, &view);
+                    assert_eq!(
+                        masked, oracle,
+                        "{mode:?}/{backend} diverged from the post-filter oracle"
+                    );
+                }
             }
         }
     }

@@ -73,7 +73,7 @@ use crate::algorithm::SpMSpVOptions;
 use crate::batch::BatchAlgorithmKind;
 use crate::masked::MaskMode;
 use crate::ops::{Mxv, PreparedMxv};
-use crate::stats::EngineStats;
+use crate::stats::{ChoiceCounts, EngineStats};
 use crate::timing::FlushTimings;
 
 /// Tuning knobs of an [`Engine`].
@@ -103,7 +103,11 @@ impl Default for EngineConfig {
             max_lanes: 64,
             queue_capacity: 0,
             linger: Duration::from_micros(200),
-            batch_algorithm: BatchAlgorithmKind::Bucket,
+            // Adaptive: each flush resolves the kernel family and SPA
+            // backend from the coalesced batch's width and density, so
+            // serving traffic auto-tunes without caller hints. What each
+            // flush chose is recorded in [`EngineStats::choices`].
+            batch_algorithm: BatchAlgorithmKind::Adaptive,
             options: SpMSpVOptions::default(),
         }
     }
@@ -148,7 +152,7 @@ impl EngineConfig {
 #[derive(Debug, Clone)]
 pub struct MxvRequest<X> {
     frontier: SparseVec<X>,
-    mask: Option<(MaskBits, MaskMode)>,
+    mask: Option<(Arc<MaskBits>, MaskMode)>,
     algorithm: Option<BatchAlgorithmKind>,
 }
 
@@ -160,8 +164,15 @@ impl<X: Scalar> MxvRequest<X> {
 
     /// Attaches this request's own output mask (the BFS `¬visited` idiom:
     /// every client carries its private visited set).
-    pub fn mask(mut self, bits: MaskBits, mode: MaskMode) -> Self {
-        self.mask = Some((bits, mode));
+    ///
+    /// Accepts an owned [`MaskBits`] or an `Arc<MaskBits>`. Iterative
+    /// clients that re-submit an evolving mask every round should pass
+    /// `Arc::clone(&mask)` — the bitmap then travels through the queue, the
+    /// coalescer and the kernel by refcount, and between flushes the
+    /// client's `Arc::make_mut` updates stay zero-copy because the engine
+    /// has dropped its reference by then.
+    pub fn mask(mut self, bits: impl Into<Arc<MaskBits>>, mode: MaskMode) -> Self {
+        self.mask = Some((bits.into(), mode));
         self
     }
 
@@ -277,7 +288,7 @@ impl<Y: Scalar> Ticket<Y> {
 struct QueueEntry<X, Y> {
     session: u64,
     frontier: SparseVec<X>,
-    mask: Option<(MaskBits, MaskMode)>,
+    mask: Option<(Arc<MaskBits>, MaskMode)>,
     algorithm: BatchAlgorithmKind,
     ticket: Arc<TicketShared<Y>>,
 }
@@ -545,6 +556,9 @@ where
                 let t_execute = Instant::now();
                 let y = prepared.run_batch(&x);
                 outcome.timings.execute += t_execute.elapsed();
+                if let Some(info) = prepared.last_batch_run_info() {
+                    outcome.choices.record(info);
+                }
 
                 let t_demux = Instant::now();
                 for (lane, ticket) in tickets.iter().enumerate() {
@@ -568,6 +582,7 @@ where
         stats.lanes_executed += outcome.lanes;
         stats.widest_flush = stats.widest_flush.max(outcome.lanes);
         stats.flush_timings += outcome.timings;
+        stats.choices.merge(&outcome.choices);
         outcome
     }
 
@@ -711,6 +726,9 @@ pub struct FlushOutcome {
     pub lanes: usize,
     /// Wall-clock breakdown of this flush.
     pub timings: FlushTimings,
+    /// The concrete `(kernel family, SPA backend)` each fused batch of this
+    /// flush resolved to.
+    pub choices: ChoiceCounts,
 }
 
 /// A handle for one logical client of an [`Engine`].

@@ -62,7 +62,15 @@
 //!   [`baselines::GraphMatSpMSpV`], [`baselines::SortBased`],
 //!   [`baselines::SequentialSpa`]);
 //! * [`SpMSpVBatch`] — batched kernels ([`SpMSpVBucketBatch`],
-//!   [`NaiveBatch`]).
+//!   [`NaiveBatch`], [`CombBlasSpaBatch`]), merging through a pluggable
+//!   [`SpaBackend`] (dense index-major, dense lane-major, or hashed
+//!   accumulators — all generation-stamped, O(1) logical reset).
+//!
+//! `AlgorithmKind::Adaptive` / `BatchAlgorithmKind::Adaptive` (the
+//! defaults) dispatch each call — see [`adaptive`] — to the fixed family
+//! and backend a cost model predicts fastest for its shape; telemetry of
+//! what was chosen flows through [`batch::BatchRunInfo`] and
+//! [`stats::ChoiceCounts`].
 //!
 //! Both traits carry masked entry points (`multiply_masked`,
 //! `multiply_batch_masked`) whose mask check lives **inside** each kernel's
@@ -96,6 +104,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod adaptive;
 pub mod algorithm;
 pub mod baselines;
 pub mod batch;
@@ -108,15 +117,17 @@ pub mod ops;
 pub mod stats;
 pub mod timing;
 
+pub use adaptive::{AdaptiveBatch, AdaptiveConfig, AdaptiveSpMSpV, ResolvedAdaptive};
 pub use algorithm::{build_algorithm, AlgorithmKind, SpMSpV, SpMSpVOptions};
 pub use batch::{
-    build_batch_algorithm, BatchAlgorithmKind, CombBlasSpaBatch, NaiveBatch, SpMSpVBatch,
-    SpMSpVBucketBatch,
+    build_batch_algorithm, BatchAlgorithmKind, BatchRunInfo, CombBlasSpaBatch, NaiveBatch,
+    SpMSpVBatch, SpMSpVBucketBatch,
 };
 pub use bucket::SpMSpVBucket;
 pub use engine::{Engine, EngineConfig, MxvRequest, Session, Ticket};
 pub use executor::Executor;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
 pub use ops::{Mxv, MxvOp, PreparedMxv};
-pub use stats::WorkStats;
+pub use sparse_substrate::SpaBackend;
+pub use stats::{ChoiceCounts, WorkStats};
 pub use timing::StepTimings;

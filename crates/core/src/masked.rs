@@ -12,7 +12,12 @@
 //!
 //! The membership set itself is a [`sparse_substrate::MaskBits`] bitmap owned
 //! by the caller (or by a [`crate::ops::PreparedMxv`] descriptor); the views
-//! here are cheap `Copy` borrows handed to one multiplication.
+//! here are cheap `Copy` borrows handed to one multiplication. Per-lane
+//! bitmaps travel as `Arc<MaskBits>` so iterative engine clients
+//! (multi-source BFS) can hand the same visited set to every flush without
+//! copying `O(n)` bits per level.
+
+use std::sync::Arc;
 
 use sparse_substrate::MaskBits;
 
@@ -73,8 +78,9 @@ pub enum BatchMaskView<'m> {
     /// Lane `l` is filtered by `masks[l]`; the slice length must equal the
     /// batch width `k`.
     PerLane {
-        /// One bitmap per lane.
-        masks: &'m [MaskBits],
+        /// One shared-ownership bitmap per lane (the engine moves each
+        /// request's `Arc` here without cloning the bits).
+        masks: &'m [Arc<MaskBits>],
         /// Interpretation shared by all lanes.
         mode: MaskMode,
     },
@@ -93,7 +99,7 @@ impl<'m> BatchMaskView<'m> {
     pub fn lane_view(&self, lane: usize) -> MaskView<'m> {
         match self {
             BatchMaskView::Shared(view) => *view,
-            BatchMaskView::PerLane { masks, mode } => MaskView::new(&masks[lane], *mode),
+            BatchMaskView::PerLane { masks, mode } => MaskView::new(masks[lane].as_ref(), *mode),
         }
     }
 
@@ -141,7 +147,10 @@ mod tests {
         assert!(shared.keeps(3, 0));
         assert_eq!(shared.lane_count(), None);
 
-        let lanes = vec![MaskBits::from_indices(5, [0]), MaskBits::from_indices(5, [1])];
+        let lanes = vec![
+            Arc::new(MaskBits::from_indices(5, [0])),
+            Arc::new(MaskBits::from_indices(5, [1])),
+        ];
         let per_lane = BatchMaskView::PerLane { masks: &lanes, mode: MaskMode::Keep };
         assert!(per_lane.keeps(0, 0) && !per_lane.keeps(0, 1));
         assert!(per_lane.keeps(1, 1) && !per_lane.keeps(1, 0));

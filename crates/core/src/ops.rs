@@ -38,40 +38,51 @@
 //!
 //! Algorithm selection is pluggable in both shapes: [`AlgorithmKind`] picks
 //! the single-vector kernel (bucket, the CombBLAS/GraphMat baselines, …)
-//! and [`BatchAlgorithmKind`] picks the batched one (fused bucket or the
-//! naive per-lane fallback).
+//! and [`BatchAlgorithmKind`] picks the batched one (fused bucket with a
+//! pluggable SPA backend, the naive per-lane fallback, or the row-split
+//! baseline). Both default to the `Adaptive` dispatchers
+//! ([`crate::adaptive`]), which resolve the family — and the batched SPA
+//! backend — per call from the frontier's density without changing any
+//! result.
+
+use std::sync::Arc;
 
 use sparse_substrate::{CscMatrix, MaskBits, Scalar, Semiring, SparseVec, SparseVecBatch};
 
 use crate::algorithm::{build_algorithm, AlgorithmKind, SpMSpV, SpMSpVOptions};
-use crate::batch::{build_batch_algorithm, BatchAlgorithmKind, SpMSpVBatch};
+use crate::batch::{build_batch_algorithm, BatchAlgorithmKind, BatchRunInfo, SpMSpVBatch};
 use crate::masked::{BatchMaskView, MaskMode, MaskView};
 
 /// Entry point of the unified operation API. See the [module docs](self).
 pub struct Mxv;
 
 impl Mxv {
-    /// Starts describing a multiplication over `matrix`. Defaults: the
-    /// paper's bucket algorithm in both shapes, default options, no mask.
+    /// Starts describing a multiplication over `matrix`. Defaults: adaptive
+    /// kernel dispatch in both shapes (each call picks the family — and the
+    /// batched SPA backend — from the frontier's density; see
+    /// [`crate::adaptive`]), default options, no mask. Results never depend
+    /// on the dispatch: every family reduces in the same order.
     pub fn over<A: Scalar>(matrix: &CscMatrix<A>) -> MxvOp<'_, A, ()> {
         MxvOp {
             matrix,
             semiring: (),
             options: SpMSpVOptions::default(),
-            algorithm: AlgorithmKind::Bucket,
-            batch_algorithm: BatchAlgorithmKind::Bucket,
+            algorithm: AlgorithmKind::Adaptive,
+            batch_algorithm: BatchAlgorithmKind::Adaptive,
             mask: MaskStore::Unmasked,
         }
     }
 }
 
 /// The mask a descriptor owns: nothing, one shared bitmap, or one bitmap per
-/// batch lane.
+/// batch lane. Per-lane bitmaps are `Arc`-shared with the callers that
+/// submitted them (the serving engine's requests), so installing them for a
+/// flush moves refcounts, not `O(n)` bits.
 #[derive(Debug, Clone)]
 enum MaskStore {
     Unmasked,
     Shared { bits: MaskBits, mode: MaskMode },
-    PerLane { masks: Vec<MaskBits>, mode: MaskMode },
+    PerLane { masks: Vec<Arc<MaskBits>>, mode: MaskMode },
 }
 
 /// The operation descriptor under construction: matrix, semiring, algorithm
@@ -158,7 +169,10 @@ impl<'a, A: Scalar, SR> MxvOp<'a, A, SR> {
     /// [`PreparedMxv::retain_lanes`]. Single-vector [`PreparedMxv::run`]
     /// panics under a per-lane mask.
     pub fn lane_masks(mut self, k: usize, mode: MaskMode) -> Self {
-        self.mask = MaskStore::PerLane { masks: vec![MaskBits::new(self.matrix.nrows()); k], mode };
+        // One Arc per lane (not `vec![arc; k]`, which would share a single
+        // allocation and force a copy-on-write on the first insert).
+        let masks = (0..k).map(|_| Arc::new(MaskBits::new(self.matrix.nrows()))).collect();
+        self.mask = MaskStore::PerLane { masks, mode };
         self
     }
 }
@@ -181,6 +195,7 @@ impl<'a, A: Scalar, S> MxvOp<'a, A, S> {
             mask: self.mask,
             single: None,
             batch: None,
+            last_batch_info: None,
         }
     }
 }
@@ -209,6 +224,7 @@ pub struct PreparedMxv<'a, A, X, S: Semiring<A, X>> {
     mask: MaskStore,
     single: Option<Box<dyn SpMSpV<A, X, S> + 'a>>,
     batch: Option<Box<dyn SpMSpVBatch<A, X, S> + 'a>>,
+    last_batch_info: Option<BatchRunInfo>,
 }
 
 impl<'a, A, X, S> PreparedMxv<'a, A, X, S>
@@ -258,11 +274,17 @@ where
                 Some(BatchMaskView::PerLane { masks, mode: *mode })
             }
         };
-        self.batch.as_mut().expect("instantiated above").multiply_batch_masked(
-            x,
-            &self.semiring,
-            mask.as_ref(),
-        )
+        let batch = self.batch.as_mut().expect("instantiated above");
+        let y = batch.multiply_batch_masked(x, &self.semiring, mask.as_ref());
+        self.last_batch_info = batch.last_run_info();
+        y
+    }
+
+    /// The concrete `(kernel family, SPA backend)` the most recent
+    /// [`PreparedMxv::run_batch`] resolved to (`None` before the first
+    /// batched run) — what an adaptive descriptor actually executed.
+    pub fn last_batch_run_info(&self) -> Option<BatchRunInfo> {
+        self.last_batch_info
     }
 
     /// The matrix the descriptor was prepared over.
@@ -304,9 +326,13 @@ where
 
     /// Mutable access to lane `lane`'s mask bitmap. Panics when the
     /// descriptor does not carry per-lane masks.
+    ///
+    /// Per-lane masks are `Arc`-shared; between flushes the descriptor's
+    /// reference is unique, so this is the zero-copy `Arc::make_mut` path —
+    /// a clone only happens if the caller still holds the same `Arc`.
     pub fn lane_mask_mut(&mut self, lane: usize) -> &mut MaskBits {
         match &mut self.mask {
-            MaskStore::PerLane { masks, .. } => &mut masks[lane],
+            MaskStore::PerLane { masks, .. } => Arc::make_mut(&mut masks[lane]),
             _ => panic!("descriptor has no per-lane masks; build with .lane_masks(k, mode)"),
         }
     }
@@ -340,23 +366,27 @@ where
         }
     }
 
-    /// Empties every mask bitmap (shared or per-lane), keeping allocations,
-    /// so the descriptor can serve a fresh traversal.
+    /// Empties every mask bitmap (shared or per-lane), keeping allocations
+    /// where the descriptor is the sole owner, so it can serve a fresh
+    /// traversal.
     pub fn mask_clear(&mut self) {
         match &mut self.mask {
             MaskStore::Unmasked => {}
             MaskStore::Shared { bits, .. } => bits.clear(),
-            MaskStore::PerLane { masks, .. } => masks.iter_mut().for_each(MaskBits::clear),
+            MaskStore::PerLane { masks, .. } => {
+                masks.iter_mut().for_each(|m| Arc::make_mut(m).clear())
+            }
         }
     }
 
     /// Replaces the descriptor's mask with one caller-provided bitmap per
     /// lane — the serving-engine idiom, where every coalesced request brings
-    /// its own mask and the pooled descriptor is re-masked before each
-    /// fused flush. The prepared kernels (and their workspaces) are kept.
+    /// its own `Arc`-shared mask and the pooled descriptor is re-masked
+    /// before each fused flush by moving refcounts, never bits. The
+    /// prepared kernels (and their workspaces) are kept.
     ///
     /// Panics when any bitmap does not span the matrix's row space.
-    pub fn set_lane_masks(&mut self, masks: Vec<MaskBits>, mode: MaskMode) {
+    pub fn set_lane_masks(&mut self, masks: Vec<Arc<MaskBits>>, mode: MaskMode) {
         for bits in &masks {
             assert_eq!(
                 bits.len(),
@@ -395,6 +425,7 @@ mod tests {
             AlgorithmKind::GraphMat,
             AlgorithmKind::SortBased,
             AlgorithmKind::Sequential,
+            AlgorithmKind::Adaptive,
         ] {
             let mut op = Mxv::over(&a)
                 .semiring(&PlusTimes)
@@ -415,9 +446,12 @@ mod tests {
         let batch = op.run_batch(&SparseVecBatch::from_single(&x));
         assert_eq!(batch.k(), 1);
         assert_eq!(batch.lane_vec(0), single);
-        assert_eq!(op.algorithm_kind(), AlgorithmKind::Bucket);
-        assert_eq!(op.batch_algorithm_kind(), BatchAlgorithmKind::Bucket);
+        assert_eq!(op.algorithm_kind(), AlgorithmKind::Adaptive);
+        assert_eq!(op.batch_algorithm_kind(), BatchAlgorithmKind::Adaptive);
         assert_eq!(op.mask_mode(), None);
+        let info = op.last_batch_run_info().expect("batched run recorded its resolution");
+        assert_ne!(info.kernel, BatchAlgorithmKind::Adaptive, "info must be concrete");
+        assert_ne!(info.backend, sparse_substrate::SpaBackend::Auto);
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! [`crate::engine::Engine`]'s coalescer is doing its one job — turning many
 //! single-frontier requests into few wide fused multiplications.
 
-use sparse_substrate::{CscMatrix, Scalar, SparseVec};
+use sparse_substrate::{CscMatrix, Scalar, SpaBackend, SparseVec};
 
 use crate::algorithm::AlgorithmKind;
+use crate::batch::{BatchAlgorithmKind, BatchRunInfo};
 use crate::timing::FlushTimings;
 
 /// Exact operation counts for one SpMSpV invocation by one algorithm family.
@@ -91,6 +92,104 @@ pub struct EngineStats {
     pub widest_flush: usize,
     /// Accumulated wall-clock breakdown across every flush.
     pub flush_timings: FlushTimings,
+    /// Which concrete `(kernel family, SPA backend)` each fused batch
+    /// resolved to — the adaptive dispatch's audit trail.
+    pub choices: ChoiceCounts,
+}
+
+/// Counts of the concrete `(kernel family, SPA backend)` configurations
+/// batched multiplications resolved to — what [`BatchAlgorithmKind::Adaptive`]
+/// (or a fixed configuration) actually executed.
+///
+/// Fixed-size and `Copy` so it can live inside the engine's snapshot-able
+/// [`EngineStats`] and per-flush
+/// [`FlushOutcome`](crate::engine::FlushOutcome).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChoiceCounts {
+    /// `counts[kernel][backend]`, indexed by [`ChoiceCounts::KERNELS`] and
+    /// [`ChoiceCounts::BACKENDS`] positions.
+    counts: [[usize; 3]; 3],
+}
+
+impl ChoiceCounts {
+    /// The concrete kernel families a run can resolve to, in index order
+    /// (derived from [`BatchAlgorithmKind::fixed`], the single source).
+    pub const KERNELS: [BatchAlgorithmKind; 3] = BatchAlgorithmKind::fixed();
+
+    /// The concrete SPA backends a run can resolve to, in index order
+    /// (derived from [`SpaBackend::concrete`], the single source).
+    pub const BACKENDS: [SpaBackend; 3] = SpaBackend::concrete();
+
+    fn kernel_index(kind: BatchAlgorithmKind) -> Option<usize> {
+        Self::KERNELS.iter().position(|&k| k == kind)
+    }
+
+    fn backend_index(backend: SpaBackend) -> Option<usize> {
+        Self::BACKENDS.iter().position(|&b| b == backend)
+    }
+
+    /// Records one resolved run. Unresolved markers
+    /// ([`BatchAlgorithmKind::Adaptive`], [`SpaBackend::Auto`]) are ignored
+    /// — kernels report what they resolved to, never the marker.
+    pub fn record(&mut self, info: BatchRunInfo) {
+        match (Self::kernel_index(info.kernel), Self::backend_index(info.backend)) {
+            (Some(k), Some(b)) => self.counts[k][b] += 1,
+            _ => debug_assert!(
+                info.kernel == BatchAlgorithmKind::Adaptive || info.backend == SpaBackend::Auto,
+                "unregistered concrete configuration {info}: grow ChoiceCounts' tables \
+                 alongside BatchAlgorithmKind::fixed() / SpaBackend::concrete()"
+            ),
+        }
+    }
+
+    /// How many runs resolved to `(kernel, backend)`.
+    pub fn count(&self, kernel: BatchAlgorithmKind, backend: SpaBackend) -> usize {
+        match (Self::kernel_index(kernel), Self::backend_index(backend)) {
+            (Some(k), Some(b)) => self.counts[k][b],
+            _ => 0,
+        }
+    }
+
+    /// Total recorded runs.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Adds another count table into this one (flush → engine aggregation).
+    pub fn merge(&mut self, other: &ChoiceCounts) {
+        for (row, other_row) in self.counts.iter_mut().zip(other.counts.iter()) {
+            for (slot, &v) in row.iter_mut().zip(other_row.iter()) {
+                *slot += v;
+            }
+        }
+    }
+
+    /// Iterates the non-zero `(kernel, backend, count)` cells.
+    pub fn iter(&self) -> impl Iterator<Item = (BatchAlgorithmKind, SpaBackend, usize)> + '_ {
+        Self::KERNELS.iter().enumerate().flat_map(move |(ki, &kernel)| {
+            Self::BACKENDS.iter().enumerate().filter_map(move |(bi, &backend)| {
+                let n = self.counts[ki][bi];
+                (n > 0).then_some((kernel, backend, n))
+            })
+        })
+    }
+}
+
+impl std::fmt::Display for ChoiceCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.total() == 0 {
+            return f.write_str("no runs recorded");
+        }
+        let mut first = true;
+        for (kernel, backend, n) in self.iter() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{}/{}×{}", kernel.label(), backend.label(), n)?;
+        }
+        Ok(())
+    }
 }
 
 impl EngineStats {
@@ -128,7 +227,11 @@ impl std::fmt::Display for EngineStats {
             self.mean_lanes_per_batch(),
             self.widest_flush,
             self.flush_timings,
-        )
+        )?;
+        if self.choices.total() > 0 {
+            write!(f, "; chose {}", self.choices)?;
+        }
+        Ok(())
     }
 }
 
@@ -203,6 +306,10 @@ pub fn analyze<A: Scalar, X: Scalar>(
             spa_slots_initialized: df,
             threads: t,
         },
+        // The adaptive dispatcher delegates to the bucket kernel except for
+        // tiny frontiers, and both delegates are work-efficient, so the
+        // bucket cost model bounds it.
+        AlgorithmKind::Adaptive => analyze(AlgorithmKind::Bucket, a, x, t),
     }
 }
 

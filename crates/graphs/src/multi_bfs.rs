@@ -21,6 +21,7 @@
 //! batches only carry the still-active sources.
 //! [`MultiBfsResult::active_lanes_per_level`] records that shrinkage.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use sparse_substrate::{CscMatrix, MaskBits, Select2ndMin, SparseVec};
@@ -52,14 +53,17 @@ pub struct MultiBfsResult {
     pub engine_stats: spmspv::stats::EngineStats,
 }
 
-/// Runs BFS from every vertex in `sources` simultaneously with the batched
-/// bucket kernel.
+/// Runs BFS from every vertex in `sources` simultaneously through the
+/// adaptive batched dispatch: each level picks the kernel family (and SPA
+/// backend) from that level's width and frontier density, so early seed
+/// levels, bulk middle levels, and retiring tail levels each run the
+/// configuration that wins for their shape.
 ///
 /// Equivalent to calling [`crate::bfs()`] once per source (the property tests
 /// assert exactly that), but amortizing each level's matrix traversal over
 /// all still-active sources.
 pub fn multi_bfs(a: &CscMatrix<f64>, sources: &[usize], options: SpMSpVOptions) -> MultiBfsResult {
-    multi_bfs_using(a, sources, BatchAlgorithmKind::Bucket, options)
+    multi_bfs_using(a, sources, BatchAlgorithmKind::Adaptive, options)
 }
 
 /// [`multi_bfs`] with an explicit batched algorithm family, so callers (and
@@ -97,7 +101,11 @@ pub fn multi_bfs_using(
     let mut active: Vec<usize> = Vec::with_capacity(k);
     let mut sessions: Vec<Option<Session<'_, '_, f64, usize, Select2ndMin>>> =
         Vec::with_capacity(k);
-    let mut visited: Vec<MaskBits> = vec![MaskBits::new(n); k];
+    // One Arc-shared visited set per source: each level's request carries a
+    // refcount bump instead of an O(n)-bit copy, and between flushes the
+    // engine has dropped its reference, so `Arc::make_mut` updates below
+    // stay zero-copy.
+    let mut visited: Vec<Arc<MaskBits>> = (0..k).map(|_| Arc::new(MaskBits::new(n))).collect();
     let mut frontiers: Vec<SparseVec<usize>> = Vec::with_capacity(k);
     for (s, &src) in sources.iter().enumerate() {
         parents[s][src] = Some(src);
@@ -105,7 +113,7 @@ pub fn multi_bfs_using(
         num_visited[s] = 1;
         active.push(s);
         sessions.push(Some(engine.session()));
-        visited[s].insert(src);
+        Arc::make_mut(&mut visited[s]).insert(src);
         frontiers.push(SparseVec::from_pairs(n, vec![(src, src)]).expect("source index in range"));
     }
 
@@ -123,7 +131,7 @@ pub fn multi_bfs_using(
             .zip(frontiers.iter())
             .map(|(&s, frontier)| {
                 let request = MxvRequest::new(frontier.clone())
-                    .mask(visited[s].clone(), MaskMode::Complement);
+                    .mask(Arc::clone(&visited[s]), MaskMode::Complement);
                 sessions[s].as_ref().expect("active source keeps its session").submit(request)
             })
             .collect();
@@ -140,6 +148,9 @@ pub fn multi_bfs_using(
             // The lane's ¬visited mask already dropped known vertices in the
             // kernel; everything that comes back is a fresh discovery.
             let mut next = SparseVec::new(n);
+            // The engine released its mask references when the flush
+            // returned, so this make_mut never copies the bitmap.
+            let visited_s = Arc::make_mut(&mut visited[s]);
             for (v, &parent) in reached.iter() {
                 debug_assert!(
                     parents[s][v].is_none(),
@@ -149,7 +160,7 @@ pub fn multi_bfs_using(
                 levels[s][v] = Some(level);
                 num_visited[s] += 1;
                 next.push(v, v);
-                visited[s].insert(v);
+                visited_s.insert(v);
             }
             if !next.is_empty() {
                 next_active.push(s);

@@ -19,8 +19,11 @@
 //! * [`BitVec`] — bitmap + rank structure, GraphMat's vector format — and
 //!   [`MaskBits`], the mutable bitmap the masked SpMSpV kernels consult;
 //! * [`Spa`] — the sparse accumulator with generation-based partial
-//!   initialization (Gilbert, Moler & Schreiber) — and [`LaneSpa`], its
-//!   lane-aware variant with one slot per `(index, lane)` pair;
+//!   initialization (Gilbert, Moler & Schreiber) — and the three
+//!   lane-aware [`BatchAccumulator`] backends the batched kernels merge
+//!   through: dense index-major [`LaneSpa`], dense lane-major
+//!   [`LaneMajorSpa`], and the open-addressing [`HashLaneSpa`] (selected by
+//!   [`SpaBackend`]);
 //! * [`semiring`] — GraphBLAS-style `(add, multiply)` abstractions so the
 //!   same SpMSpV kernels drive numerical multiplication, BFS, and other
 //!   graph algorithms;
@@ -62,7 +65,9 @@ pub use dcsc::DcscMatrix;
 pub use dense::DenseVec;
 pub use error::SparseError;
 pub use semiring::{BoolOrAnd, MinPlus, PlusTimes, Select2ndMin, Semiring};
-pub use spa::{LaneSpa, Spa};
+pub use spa::{
+    AccumulatorWindow, BatchAccumulator, HashLaneSpa, LaneMajorSpa, LaneSpa, Spa, SpaBackend,
+};
 pub use spvec::SparseVec;
 
 /// Trait bound shared by every value stored in a sparse object.

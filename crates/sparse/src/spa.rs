@@ -1,4 +1,5 @@
-//! The sparse accumulator (SPA) with partial initialization.
+//! The sparse accumulator (SPA) with partial initialization — single-vector
+//! and batched (lane-aware) variants behind one [`BatchAccumulator`] trait.
 //!
 //! The SPA (Gilbert, Moler & Schreiber, 1992) is a dense array of values plus
 //! a list of the indices that are currently occupied. The paper's key
@@ -7,11 +8,26 @@
 //! actually touched may be initialized, bringing initialization cost down to
 //! `O(nnz(y))`.
 //!
-//! This implementation uses a *generation counter*: the dense `stamp` array
+//! Every accumulator here uses a *generation counter*: a `stamp` array
 //! records the generation at which each slot was last written, so "resetting"
-//! the SPA is a single counter increment. The `O(m)` allocation happens once
-//! and is reused across multiplications and across BFS iterations, exactly as
-//! the paper's pre-allocated workspace does.
+//! is a single counter increment — no backend ever pays an `O(m·k)` clear
+//! between multiplications, and the big allocation is paid once and reused.
+//!
+//! The batched kernels pick between three [`BatchAccumulator`] backends (see
+//! [`SpaBackend`]):
+//!
+//! * [`LaneSpa`] — dense, **index-major** (`slot = index·k + lane`): the `k`
+//!   lane slots of one row are adjacent, so a column that activates many
+//!   lanes merges its run of `(row, lane)` triples into one cache line;
+//! * [`LaneMajorSpa`] — dense, **lane-major** (`slot = lane·m + index`): each
+//!   lane's rows are contiguous, so the per-lane output gather is a
+//!   sequential walk and lanes that never share rows stay out of each
+//!   other's cache lines;
+//! * [`HashLaneSpa`] — open-addressing hash on `(index, lane)` keys: memory
+//!   and initialization proportional to the *occupied* slots (`O(flops)`),
+//!   the work-efficient choice when the output is much sparser than `m × k`.
+
+use std::ops::Range;
 
 use crate::Scalar;
 
@@ -103,18 +119,158 @@ impl<T: Scalar> Spa<T> {
     }
 }
 
+/// Identifier for the batch-accumulator backends the batched kernels can
+/// merge through. See the [module docs](self) for when each wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpaBackend {
+    /// Dense `m × k` accumulator in index-major layout ([`LaneSpa`]).
+    DenseIndexMajor,
+    /// Dense `m × k` accumulator in lane-major layout ([`LaneMajorSpa`]).
+    DenseLaneMajor,
+    /// Open-addressing hashed accumulator ([`HashLaneSpa`]) — `O(flops)`
+    /// memory traffic, for outputs much sparser than `m × k`.
+    Hashed,
+    /// Let the kernel pick per call from the measured triple count, `m`, `k`
+    /// and the mask (the adaptive dispatch this crate layer exists for).
+    Auto,
+}
+
+impl SpaBackend {
+    /// Display name matching the `batch_scaling` bench legends and the
+    /// `BENCH_batch_scaling.json` report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpaBackend::DenseIndexMajor => "dense-index-major",
+            SpaBackend::DenseLaneMajor => "dense-lane-major",
+            SpaBackend::Hashed => "hashed",
+            SpaBackend::Auto => "auto",
+        }
+    }
+
+    /// The three concrete backends (everything but [`SpaBackend::Auto`]),
+    /// in bench-legend order. `const` so downstream telemetry tables derive
+    /// from this single source.
+    pub const fn concrete() -> [SpaBackend; 3] {
+        [SpaBackend::DenseIndexMajor, SpaBackend::DenseLaneMajor, SpaBackend::Hashed]
+    }
+}
+
+impl std::fmt::Display for SpaBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One disjoint mutable window of a [`BatchAccumulator`], covering a
+/// contiguous index range across all lanes. Windows of different ranges may
+/// be merged into from different threads simultaneously.
+pub trait AccumulatorWindow<T: Scalar> {
+    /// Inserts or combines at `(index, lane)` (global index; must fall in
+    /// this window's range). Returns `true` when the slot was freshly
+    /// occupied this generation.
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool;
+}
+
+/// A lane-aware sparse accumulator usable by the batched SpMSpV kernels:
+/// one logical slot per `(index, lane)` pair, generation-stamped so a
+/// logical reset never costs more than `O(1)`.
+///
+/// Two access styles:
+///
+/// * **windowed** ([`BatchAccumulator::split_windows`]) — the fused bucket
+///   kernel hands each bucket a disjoint window over its row range and
+///   merges all buckets in parallel, then gathers through
+///   [`BatchAccumulator::value_at`];
+/// * **direct** ([`BatchAccumulator::accumulate`]) — the row-split baseline
+///   merges into one private accumulator per matrix piece sequentially.
+///
+/// The trait is deliberately not object-safe (`accumulate` takes a closure
+/// generically so semiring adds inline); callers dispatch over the concrete
+/// backends with a `match` on [`SpaBackend`]. `Sync` is required because
+/// the output gather reads `value_at` from many threads after the windows
+/// are dropped.
+pub trait BatchAccumulator<T: Scalar>: Send + Sync {
+    /// The window type [`BatchAccumulator::split_windows`] hands out.
+    type Window<'w>: AccumulatorWindow<T> + Send
+    where
+        Self: 'w;
+
+    /// Which backend this accumulator implements.
+    fn backend(&self) -> SpaBackend;
+
+    /// Reshapes the accumulator to cover `m` indices and `k` lanes and
+    /// logically empties it. Allocation is high-water: shrinking (or
+    /// reshaping within) a previously seen capacity reuses the existing
+    /// arrays, so a serving engine whose batch width varies between flushes
+    /// never reallocates on the narrow ones.
+    fn ensure_shape(&mut self, m: usize, k: usize);
+
+    /// Logically empties every slot in `O(1)`.
+    fn reset(&mut self);
+
+    /// Inserts or combines at `(index, lane)`; returns `true` when the slot
+    /// was freshly occupied this generation.
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool;
+
+    /// Current value at `(index, lane)`, if occupied this generation.
+    fn get(&self, index: usize, lane: usize) -> Option<&T>;
+
+    /// Value at an occupied `(index, lane)` slot — the gather-step read that
+    /// runs after all windows are merged and dropped. Callers must only pass
+    /// slots whose `accumulate` returned `true` this generation.
+    fn value_at(&self, index: usize, lane: usize) -> &T;
+
+    /// [`BatchAccumulator::value_at`] with the window (bucket) id the slot
+    /// was merged through, when the caller knows it — the fused kernel's
+    /// gather walks per-bucket unique lists, so it always does. Dense
+    /// backends ignore the hint; the hashed backend uses it to address the
+    /// bucket's sub-table directly instead of locating it by binary search.
+    fn value_at_window(&self, window: usize, index: usize, lane: usize) -> &T {
+        let _ = window;
+        self.value_at(index, lane)
+    }
+
+    /// Splits the accumulator into disjoint mutable windows, one per index
+    /// range (ranges must be contiguous from 0 and cover `0..m`, like bucket
+    /// row ranges). `max_entries[b]` bounds how many `accumulate` calls
+    /// window `b` will receive — dense backends ignore it, the hashed
+    /// backend sizes each window's table from it.
+    fn split_windows<'w>(
+        &'w mut self,
+        ranges: &[Range<usize>],
+        max_entries: &[usize],
+    ) -> Vec<Self::Window<'w>>;
+}
+
 /// A lane-aware sparse accumulator: one SPA slot per `(index, lane)` pair,
 /// for merging `k` sparse vectors at once.
 ///
-/// Layout is row-major (`slot = index * k + lane`), so the slots of a
+/// Layout is index-major (`slot = index * k + lane`), so the slots of a
 /// contiguous *index* range form a contiguous memory range — exactly what a
 /// bucketed merge needs to hand each bucket a disjoint mutable window via
 /// [`LaneSpa::split_index_ranges`]. Like [`Spa`], initialization is partial:
 /// a per-slot generation stamp makes the `O(m·k)` dense arrays logically
 /// empty again with a single counter bump ([`LaneSpa::reset`]), so the big
 /// allocation is paid once and reused across every batched multiplication.
+///
+/// Allocation is high-water: [`LaneSpa::ensure_shape`] reallocates only when
+/// `m · k` exceeds every shape seen before, so shrinking `k` between flushes
+/// (a serving engine's narrow batch after a wide one) reuses the arrays.
 #[derive(Debug, Clone)]
 pub struct LaneSpa<T> {
+    /// Dense storage; `len()` is the capacity high-water mark (`≥ m·k`).
     values: Vec<T>,
     stamp: Vec<u64>,
     generation: u64,
@@ -148,20 +304,25 @@ impl<T: Scalar> LaneSpa<T> {
         self.k
     }
 
-    /// Grows (never shrinks) the accumulator to cover at least `m` indices
-    /// and `k` lanes, then resets. Reallocates only when the shape actually
-    /// grows, so a batch kernel can serve varying `k` while keeping the
-    /// amortized-allocation property.
+    /// Allocated slots (the high-water mark of every `m · k` seen so far).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Reshapes the accumulator to exactly `m` indices and `k` lanes, then
+    /// resets. The allocation is a high-water mark: it grows only when
+    /// `m · k` exceeds every earlier shape, so shrinking `k` between flushes
+    /// reuses the existing arrays (stale stamps are invalidated by the
+    /// generation bump, never rewritten).
     pub fn ensure_shape(&mut self, m: usize, k: usize) {
-        if m > self.m || k > self.k {
-            let new_m = m.max(self.m);
-            let new_k = k.max(self.k);
-            self.values = vec![T::default(); new_m * new_k];
-            self.stamp = vec![0; new_m * new_k];
-            self.generation = 0;
-            self.m = new_m;
-            self.k = new_k;
+        let needed = m * k;
+        if needed > self.values.len() {
+            self.values.resize(needed, T::default());
+            self.stamp.resize(needed, 0);
         }
+        self.m = m;
+        self.k = k;
         self.reset();
     }
 
@@ -217,10 +378,13 @@ impl<T: Scalar> LaneSpa<T> {
         ranges: &[std::ops::Range<usize>],
     ) -> Vec<LaneSpaWindow<'a, T>> {
         let k = self.k;
+        let live = self.m * k;
         let generation = self.generation;
         let mut out = Vec::with_capacity(ranges.len());
-        let mut values: &'a mut [T] = &mut self.values;
-        let mut stamps: &'a mut [u64] = &mut self.stamp;
+        // Only the logically live prefix is handed out; the high-water tail
+        // beyond m·k stays untouched.
+        let mut values: &'a mut [T] = &mut self.values[..live];
+        let mut stamps: &'a mut [u64] = &mut self.stamp[..live];
         let mut consumed = 0usize;
         for r in ranges {
             assert_eq!(r.start, consumed, "ranges must be contiguous from 0");
@@ -247,6 +411,51 @@ impl<T: Scalar> LaneSpa<T> {
     #[inline]
     pub fn value_at(&self, index: usize, lane: usize) -> &T {
         &self.values[index * self.k + lane]
+    }
+}
+
+impl<T: Scalar> BatchAccumulator<T> for LaneSpa<T> {
+    type Window<'w>
+        = LaneSpaWindow<'w, T>
+    where
+        T: 'w;
+
+    fn backend(&self) -> SpaBackend {
+        SpaBackend::DenseIndexMajor
+    }
+
+    fn ensure_shape(&mut self, m: usize, k: usize) {
+        LaneSpa::ensure_shape(self, m, k);
+    }
+
+    fn reset(&mut self) {
+        LaneSpa::reset(self);
+    }
+
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        LaneSpa::accumulate(self, index, lane, value, add)
+    }
+
+    fn get(&self, index: usize, lane: usize) -> Option<&T> {
+        LaneSpa::get(self, index, lane)
+    }
+
+    fn value_at(&self, index: usize, lane: usize) -> &T {
+        LaneSpa::value_at(self, index, lane)
+    }
+
+    fn split_windows<'w>(
+        &'w mut self,
+        ranges: &[Range<usize>],
+        _max_entries: &[usize],
+    ) -> Vec<Self::Window<'w>> {
+        self.split_index_ranges(ranges)
     }
 }
 
@@ -288,6 +497,562 @@ impl<T: Scalar> LaneSpaWindow<'_, T> {
             self.stamps[s] = self.generation;
             self.values[s] = value;
             true
+        }
+    }
+}
+
+impl<T: Scalar> AccumulatorWindow<T> for LaneSpaWindow<'_, T> {
+    #[inline]
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        LaneSpaWindow::accumulate(self, index, lane, value, add)
+    }
+}
+
+/// The lane-major sibling of [`LaneSpa`]: dense `m × k` storage with
+/// `slot = lane · m + index`, so each lane's rows are contiguous.
+///
+/// Wins over index-major when lanes rarely activate the same rows (each lane
+/// then works a private contiguous strip instead of interleaving with `k−1`
+/// cold neighbors) and in the output gather, which walks one lane's unique
+/// rows in ascending order — a stride-1 scan here versus stride-`k` in the
+/// index-major layout. Index-major wins when many lanes share rows, because
+/// a fused column's run of `(row, lane)` triples lands on one cache line.
+#[derive(Debug, Clone)]
+pub struct LaneMajorSpa<T> {
+    values: Vec<T>,
+    stamp: Vec<u64>,
+    generation: u64,
+    m: usize,
+    k: usize,
+}
+
+impl<T: Scalar> LaneMajorSpa<T> {
+    /// Allocates the accumulator for index space `0..m` with `k` lanes.
+    pub fn new(m: usize, k: usize) -> Self {
+        LaneMajorSpa {
+            values: vec![T::default(); m * k],
+            stamp: vec![0; m * k],
+            generation: 1,
+            m,
+            k,
+        }
+    }
+
+    /// Index-space size `m`.
+    #[inline]
+    pub fn index_len(&self) -> usize {
+        self.m
+    }
+
+    /// Lane count `k`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Allocated slots (high-water mark).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.values.len()
+    }
+
+    #[inline]
+    fn slot(&self, index: usize, lane: usize) -> usize {
+        debug_assert!(index < self.m && lane < self.k);
+        lane * self.m + index
+    }
+}
+
+impl<T: Scalar> BatchAccumulator<T> for LaneMajorSpa<T> {
+    type Window<'w>
+        = LaneMajorWindow<'w, T>
+    where
+        T: 'w;
+
+    fn backend(&self) -> SpaBackend {
+        SpaBackend::DenseLaneMajor
+    }
+
+    fn ensure_shape(&mut self, m: usize, k: usize) {
+        let needed = m * k;
+        if needed > self.values.len() {
+            self.values.resize(needed, T::default());
+            self.stamp.resize(needed, 0);
+        }
+        self.m = m;
+        self.k = k;
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        self.generation += 1;
+    }
+
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        let s = self.slot(index, lane);
+        if self.stamp[s] == self.generation {
+            self.values[s] = add(self.values[s], value);
+            false
+        } else {
+            self.stamp[s] = self.generation;
+            self.values[s] = value;
+            true
+        }
+    }
+
+    fn get(&self, index: usize, lane: usize) -> Option<&T> {
+        let s = self.slot(index, lane);
+        if self.stamp[s] == self.generation {
+            Some(&self.values[s])
+        } else {
+            None
+        }
+    }
+
+    fn value_at(&self, index: usize, lane: usize) -> &T {
+        &self.values[lane * self.m + index]
+    }
+
+    fn split_windows<'w>(
+        &'w mut self,
+        ranges: &[Range<usize>],
+        _max_entries: &[usize],
+    ) -> Vec<Self::Window<'w>> {
+        let mut consumed = 0usize;
+        for r in ranges {
+            assert_eq!(r.start, consumed, "ranges must be contiguous from 0");
+            consumed = r.end;
+        }
+        assert_eq!(consumed, self.m, "ranges must cover the whole index space");
+        let values = self.values.as_mut_ptr();
+        let stamps = self.stamp.as_mut_ptr();
+        ranges
+            .iter()
+            .map(|r| LaneMajorWindow {
+                values,
+                stamps,
+                range: r.clone(),
+                m: self.m,
+                k: self.k,
+                generation: self.generation,
+                _marker: std::marker::PhantomData,
+            })
+            .collect()
+    }
+}
+
+/// A disjoint mutable window of a [`LaneMajorSpa`]. An index range is *not*
+/// contiguous in the lane-major layout (each lane contributes one strip), so
+/// the window carries raw base pointers; disjointness of the ranges makes
+/// the windows' slot sets disjoint, which is what makes concurrent use
+/// sound.
+#[derive(Debug)]
+pub struct LaneMajorWindow<'a, T> {
+    values: *mut T,
+    stamps: *mut u64,
+    range: Range<usize>,
+    m: usize,
+    k: usize,
+    generation: u64,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: a window only dereferences slots `lane·m + index` with `index` in
+// its private range; windows produced by one `split_windows` call have
+// pairwise-disjoint ranges, so no two windows can alias a slot, and the
+// parent accumulator is mutably borrowed for the windows' whole lifetime.
+unsafe impl<T: Send> Send for LaneMajorWindow<'_, T> {}
+
+impl<T: Scalar> AccumulatorWindow<T> for LaneMajorWindow<'_, T> {
+    #[inline]
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        assert!(
+            self.range.contains(&index) && lane < self.k,
+            "(index {index}, lane {lane}) outside window {:?} × {} lanes",
+            self.range,
+            self.k
+        );
+        let s = lane * self.m + index;
+        // SAFETY: `s < m·k` (asserted above via `index < m`, `lane < k`) and
+        // `index` lies in this window's exclusive range — see the `Send`
+        // rationale for why no other window can touch slot `s`.
+        unsafe {
+            if *self.stamps.add(s) == self.generation {
+                let v = &mut *self.values.add(s);
+                *v = add(*v, value);
+                false
+            } else {
+                *self.stamps.add(s) = self.generation;
+                *self.values.add(s) = value;
+                true
+            }
+        }
+    }
+}
+
+/// Multiply-shift spread of an `(index, lane)` key before masking to a
+/// power-of-two table (Fibonacci hashing; the high product bits carry the
+/// mix, so take them before the mask).
+#[inline]
+fn hash_key(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize
+}
+
+/// Per-bucket sub-table of a [`HashLaneSpa`] in windowed mode: the row range
+/// it serves, its offset into the flat slot pool, and its power-of-two
+/// capacity.
+#[derive(Debug, Clone)]
+struct HashTableSpec {
+    rows: Range<usize>,
+    offset: usize,
+    cap: usize,
+}
+
+/// An open-addressing hashed lane-aware accumulator: slots are allocated
+/// per *occupied* `(index, lane)` pair, not per possible pair, so both the
+/// memory footprint and the initialization cost are `O(flops)` — the paper's
+/// work-efficiency argument applied to the accumulator itself.
+///
+/// Keys are `index · k + lane`; tables are power-of-two sized with linear
+/// probing at load factor ≤ ½, and every slot carries a generation stamp so
+/// reset (and even re-layouting the bucket sub-tables between calls) is a
+/// single counter bump — a stale slot from any earlier call simply carries
+/// an old stamp.
+///
+/// Two modes, matching the two [`BatchAccumulator`] access styles:
+///
+/// * **windowed**: [`BatchAccumulator::split_windows`] carves one sub-table
+///   per bucket out of a flat slot pool, sized from the bucket's entry
+///   count (an upper bound on its uniques, so probes always terminate);
+/// * **direct**: a single growable table serving
+///   [`BatchAccumulator::accumulate`], doubling (with rehash) at load ½.
+#[derive(Debug, Clone)]
+pub struct HashLaneSpa<T> {
+    keys: Vec<u64>,
+    stamps: Vec<u64>,
+    values: Vec<T>,
+    generation: u64,
+    m: usize,
+    k: usize,
+    /// Windowed-mode layout; empty means single-table (direct) mode.
+    tables: Vec<HashTableSpec>,
+    /// Single-table capacity (power of two) and live count.
+    cap: usize,
+    live: usize,
+}
+
+/// Initial single-table capacity (power of two).
+const HASH_SPA_MIN_CAP: usize = 64;
+
+impl<T: Scalar> HashLaneSpa<T> {
+    /// Creates an accumulator for index space `0..m` with `k` lanes. No
+    /// `O(m·k)` allocation happens, ever — storage tracks occupancy.
+    pub fn new(m: usize, k: usize) -> Self {
+        HashLaneSpa {
+            keys: Vec::new(),
+            stamps: Vec::new(),
+            values: Vec::new(),
+            generation: 1,
+            m,
+            k,
+            tables: Vec::new(),
+            cap: 0,
+            live: 0,
+        }
+    }
+
+    /// Index-space size `m`.
+    #[inline]
+    pub fn index_len(&self) -> usize {
+        self.m
+    }
+
+    /// Lane count `k`.
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Allocated slots across all tables (high-water mark).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn key_of(&self, index: usize, lane: usize) -> u64 {
+        debug_assert!(index < self.m && lane < self.k);
+        index as u64 * self.k as u64 + lane as u64
+    }
+
+    fn grow_arrays(&mut self, total: usize) {
+        if total > self.keys.len() {
+            self.keys.resize(total, 0);
+            self.stamps.resize(total, 0);
+            self.values.resize(total, T::default());
+        }
+    }
+
+    /// Probes `[offset, offset + cap)` for `key`; returns `Ok(pos)` when the
+    /// key is occupied there this generation, `Err(pos)` with the insertion
+    /// position otherwise.
+    #[inline]
+    fn probe(&self, offset: usize, cap: usize, key: u64) -> Result<usize, usize> {
+        let mask = cap - 1;
+        let mut pos = hash_key(key) & mask;
+        loop {
+            let s = offset + pos;
+            if self.stamps[s] != self.generation {
+                return Err(s);
+            }
+            if self.keys[s] == key {
+                return Ok(s);
+            }
+            pos = (pos + 1) & mask;
+        }
+    }
+
+    /// Doubles the single-mode table and re-inserts the live entries.
+    fn grow_single(&mut self) {
+        let old_cap = self.cap;
+        let old_gen = self.generation;
+        let new_cap = (old_cap * 2).max(HASH_SPA_MIN_CAP);
+        // Collect the live entries before invalidating the old layout.
+        let mut entries: Vec<(u64, T)> = Vec::with_capacity(self.live);
+        for s in 0..old_cap {
+            if self.stamps[s] == old_gen {
+                entries.push((self.keys[s], self.values[s]));
+            }
+        }
+        self.grow_arrays(new_cap);
+        self.cap = new_cap;
+        self.generation += 1;
+        for (key, value) in entries {
+            match self.probe(0, new_cap, key) {
+                // Keys were unique in the old table, so every probe misses.
+                Ok(_) => unreachable!("duplicate key during rehash"),
+                Err(s) => {
+                    self.stamps[s] = self.generation;
+                    self.keys[s] = key;
+                    self.values[s] = value;
+                }
+            }
+        }
+    }
+
+    /// The windowed-mode sub-table covering `index`, found by binary search
+    /// over the (sorted, contiguous) row ranges.
+    fn table_of(&self, index: usize) -> &HashTableSpec {
+        let t = self.tables.partition_point(|spec| spec.rows.end <= index);
+        debug_assert!(t < self.tables.len() && self.tables[t].rows.contains(&index));
+        &self.tables[t]
+    }
+}
+
+impl<T: Scalar> BatchAccumulator<T> for HashLaneSpa<T> {
+    type Window<'w>
+        = HashSpaWindow<'w, T>
+    where
+        T: 'w;
+
+    fn backend(&self) -> SpaBackend {
+        SpaBackend::Hashed
+    }
+
+    fn ensure_shape(&mut self, m: usize, k: usize) {
+        self.m = m;
+        self.k = k;
+        // Back to single-table mode with the high-water capacity.
+        self.tables.clear();
+        self.cap = self.cap.max(HASH_SPA_MIN_CAP);
+        let cap = self.cap;
+        self.grow_arrays(cap);
+        self.reset();
+    }
+
+    fn reset(&mut self) {
+        self.generation += 1;
+        self.live = 0;
+    }
+
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        // Hard assert (one O(1) branch): in windowed mode a direct insert
+        // would land outside the bucket sub-tables and silently vanish from
+        // later probes — misuse of the public trait must panic, not corrupt.
+        assert!(
+            self.tables.is_empty(),
+            "direct accumulate requires single-table mode; call ensure_shape after split_windows"
+        );
+        // Keep load factor ≤ ½ so probes stay short and always terminate.
+        if (self.live + 1) * 2 > self.cap {
+            self.grow_single();
+        }
+        let key = self.key_of(index, lane);
+        match self.probe(0, self.cap, key) {
+            Ok(s) => {
+                self.values[s] = add(self.values[s], value);
+                false
+            }
+            Err(s) => {
+                self.stamps[s] = self.generation;
+                self.keys[s] = key;
+                self.values[s] = value;
+                self.live += 1;
+                true
+            }
+        }
+    }
+
+    fn get(&self, index: usize, lane: usize) -> Option<&T> {
+        let key = self.key_of(index, lane);
+        let (offset, cap) = if self.tables.is_empty() {
+            if self.cap == 0 {
+                return None;
+            }
+            (0, self.cap)
+        } else {
+            let spec = self.table_of(index);
+            (spec.offset, spec.cap)
+        };
+        match self.probe(offset, cap, key) {
+            Ok(s) => Some(&self.values[s]),
+            Err(_) => None,
+        }
+    }
+
+    fn value_at(&self, index: usize, lane: usize) -> &T {
+        self.get(index, lane).expect("value_at requires an occupied (index, lane) slot")
+    }
+
+    fn value_at_window(&self, window: usize, index: usize, lane: usize) -> &T {
+        let spec = &self.tables[window];
+        debug_assert!(spec.rows.contains(&index));
+        let key = self.key_of(index, lane);
+        match self.probe(spec.offset, spec.cap, key) {
+            Ok(s) => &self.values[s],
+            Err(_) => panic!("value_at_window requires an occupied (index, lane) slot"),
+        }
+    }
+
+    fn split_windows<'w>(
+        &'w mut self,
+        ranges: &[Range<usize>],
+        max_entries: &[usize],
+    ) -> Vec<Self::Window<'w>> {
+        assert_eq!(ranges.len(), max_entries.len(), "one entry bound per range");
+        let k = self.k;
+        let mut consumed = 0usize;
+        let mut total = 0usize;
+        self.tables.clear();
+        for (r, &bound) in ranges.iter().zip(max_entries) {
+            assert_eq!(r.start, consumed, "ranges must be contiguous from 0");
+            consumed = r.end;
+            // Uniques in this bucket are bounded both by the entries it will
+            // receive and by its dense slot count; capacity 2× that bound
+            // (min 8) keeps the load factor ≤ ½.
+            let uniques = bound.min((r.end - r.start).saturating_mul(k));
+            let cap = (uniques * 2).next_power_of_two().max(8);
+            self.tables.push(HashTableSpec { rows: r.clone(), offset: total, cap });
+            total += cap;
+        }
+        assert_eq!(consumed, self.m, "ranges must cover the whole index space");
+        self.grow_arrays(total);
+        // One bump invalidates every stale slot, whatever layout wrote it.
+        self.generation += 1;
+        let generation = self.generation;
+
+        let mut out = Vec::with_capacity(self.tables.len());
+        let mut keys: &'w mut [u64] = &mut self.keys[..total];
+        let mut stamps: &'w mut [u64] = &mut self.stamps[..total];
+        let mut values: &'w mut [T] = &mut self.values[..total];
+        for spec in &self.tables {
+            let (k_head, k_tail) = keys.split_at_mut(spec.cap);
+            let (s_head, s_tail) = stamps.split_at_mut(spec.cap);
+            let (v_head, v_tail) = values.split_at_mut(spec.cap);
+            out.push(HashSpaWindow {
+                keys: k_head,
+                stamps: s_head,
+                values: v_head,
+                k: k as u64,
+                generation,
+            });
+            keys = k_tail;
+            stamps = s_tail;
+            values = v_tail;
+        }
+        out
+    }
+}
+
+/// A disjoint window of a [`HashLaneSpa`]: one bucket's private open-
+/// addressing sub-table. The caller guarantees at most the advertised entry
+/// bound is accumulated, which keeps the load factor ≤ ½.
+#[derive(Debug)]
+pub struct HashSpaWindow<'a, T> {
+    keys: &'a mut [u64],
+    stamps: &'a mut [u64],
+    values: &'a mut [T],
+    k: u64,
+    generation: u64,
+}
+
+impl<T: Scalar> AccumulatorWindow<T> for HashSpaWindow<'_, T> {
+    #[inline]
+    fn accumulate(
+        &mut self,
+        index: usize,
+        lane: usize,
+        value: T,
+        add: impl FnOnce(T, T) -> T,
+    ) -> bool {
+        let key = index as u64 * self.k + lane as u64;
+        let mask = self.keys.len() - 1;
+        let start = hash_key(key) & mask;
+        let mut pos = start;
+        loop {
+            if self.stamps[pos] != self.generation {
+                self.stamps[pos] = self.generation;
+                self.keys[pos] = key;
+                self.values[pos] = value;
+                return true;
+            }
+            if self.keys[pos] == key {
+                self.values[pos] = add(self.values[pos], value);
+                return false;
+            }
+            pos = (pos + 1) & mask;
+            // The split sized this window for at most `max_entries` distinct
+            // keys at load ≤ ½; a full wrap means the caller under-declared
+            // the bound — panic instead of probing forever.
+            assert!(
+                pos != start,
+                "hashed SPA window overflow: more distinct (index, lane) keys than the \
+                 max_entries bound it was split with"
+            );
         }
     }
 }
@@ -386,18 +1151,35 @@ mod tests {
     }
 
     #[test]
-    fn lane_spa_ensure_shape_grows_and_resets() {
+    fn lane_spa_ensure_shape_reuses_the_high_water_allocation() {
         let mut spa: LaneSpa<usize> = LaneSpa::new(4, 1);
         spa.accumulate(0, 0, 9, |a, b| a + b);
-        spa.ensure_shape(4, 1); // no growth, just reset
+        spa.ensure_shape(4, 1); // same shape, just reset
         assert_eq!(spa.get(0, 0), None);
-        spa.ensure_shape(6, 3);
+        spa.ensure_shape(6, 3); // grows: capacity becomes 18
         assert_eq!(spa.index_len(), 6);
         assert_eq!(spa.lanes(), 3);
+        assert_eq!(spa.capacity(), 18);
         assert!(spa.accumulate(5, 2, 1, |a, b| a + b));
-        spa.ensure_shape(2, 2); // never shrinks
-        assert_eq!(spa.index_len(), 6);
-        assert_eq!(spa.lanes(), 3);
+        // Shrinking k (and m) keeps the allocation but takes the new
+        // logical shape — the serving-engine narrow-after-wide flush.
+        spa.ensure_shape(2, 2);
+        assert_eq!(spa.index_len(), 2);
+        assert_eq!(spa.lanes(), 2);
+        assert_eq!(spa.capacity(), 18, "shrinking must not reallocate");
+        // Slots remapped by the new k are logically empty (generation bump).
+        for i in 0..2 {
+            for l in 0..2 {
+                assert_eq!(spa.get(i, l), None);
+            }
+        }
+        assert!(spa.accumulate(1, 1, 5, |a, b| a + b));
+        assert_eq!(spa.get(1, 1).copied(), Some(5));
+        // Growing again within capacity still does not reallocate.
+        spa.ensure_shape(9, 2);
+        assert_eq!(spa.capacity(), 18);
+        spa.ensure_shape(10, 2);
+        assert_eq!(spa.capacity(), 20);
     }
 
     #[test]
@@ -422,5 +1204,165 @@ mod tests {
         assert_eq!(spa.get(1, 0).copied(), Some(7.0));
         assert_eq!(spa.get(9, 1).copied(), Some(3.0));
         assert_eq!(spa.get(1, 1), None);
+    }
+
+    /// Drives any backend through the same scripted workload (direct mode).
+    fn exercise_direct<Acc: BatchAccumulator<f64>>(spa: &mut Acc) {
+        spa.ensure_shape(50, 4);
+        assert!(spa.accumulate(10, 0, 1.0, |a, b| a + b));
+        assert!(spa.accumulate(10, 3, 30.0, |a, b| a + b));
+        assert!(!spa.accumulate(10, 0, 2.0, |a, b| a + b));
+        assert!(spa.accumulate(49, 1, 7.0, |a, b| a + b));
+        assert_eq!(spa.get(10, 0).copied(), Some(3.0));
+        assert_eq!(spa.get(10, 3).copied(), Some(30.0));
+        assert_eq!(spa.get(10, 1), None);
+        assert_eq!(spa.get(49, 1).copied(), Some(7.0));
+        assert_eq!(*spa.value_at(10, 0), 3.0);
+        spa.reset();
+        assert_eq!(spa.get(10, 0), None);
+        assert!(spa.accumulate(10, 0, 4.0, |a, b| a + b));
+        assert_eq!(spa.get(10, 0).copied(), Some(4.0));
+        // Reshape narrower: allocation reused, contents gone.
+        spa.ensure_shape(20, 2);
+        assert_eq!(spa.get(10, 0), None);
+        assert!(spa.accumulate(19, 1, 9.0, |a, b| a + b));
+        assert_eq!(*spa.value_at(19, 1), 9.0);
+    }
+
+    #[test]
+    fn every_backend_supports_the_direct_protocol() {
+        exercise_direct(&mut LaneSpa::new(0, 0));
+        exercise_direct(&mut LaneMajorSpa::new(0, 0));
+        exercise_direct(&mut HashLaneSpa::new(0, 0));
+    }
+
+    /// Drives any backend through the windowed (bucketed-merge) protocol
+    /// from two threads, then gathers through `value_at`.
+    fn exercise_windows<Acc: BatchAccumulator<f64>>(spa: &mut Acc) {
+        spa.ensure_shape(10, 2);
+        let ranges = [0..4, 4..10];
+        let counts = [3usize, 2];
+        {
+            let mut windows = spa.split_windows(&ranges, &counts);
+            assert_eq!(windows.len(), 2);
+            std::thread::scope(|s| {
+                let mut it = windows.drain(..);
+                let mut w0 = it.next().unwrap();
+                let mut w1 = it.next().unwrap();
+                s.spawn(move || {
+                    assert!(w0.accumulate(1, 0, 5.0, |a, b| a + b));
+                    assert!(!w0.accumulate(1, 0, 2.0, |a, b| a + b));
+                    assert!(w0.accumulate(3, 1, 1.5, |a, b| a + b));
+                });
+                s.spawn(move || {
+                    assert!(w1.accumulate(9, 1, 3.0, |a, b| a + b));
+                    assert!(w1.accumulate(4, 0, 4.0, |a, b| a + b));
+                });
+            });
+        }
+        assert_eq!(spa.get(1, 0).copied(), Some(7.0));
+        assert_eq!(spa.get(3, 1).copied(), Some(1.5));
+        assert_eq!(spa.get(9, 1).copied(), Some(3.0));
+        assert_eq!(*spa.value_at(4, 0), 4.0);
+        assert_eq!(spa.get(1, 1), None);
+        assert_eq!(spa.get(4, 1), None);
+    }
+
+    #[test]
+    fn every_backend_supports_the_windowed_protocol() {
+        exercise_windows(&mut LaneSpa::new(0, 0));
+        exercise_windows(&mut LaneMajorSpa::new(0, 0));
+        exercise_windows(&mut HashLaneSpa::new(0, 0));
+    }
+
+    #[test]
+    fn hashed_spa_grows_past_its_initial_capacity() {
+        let mut spa: HashLaneSpa<usize> = HashLaneSpa::new(10_000, 3);
+        BatchAccumulator::ensure_shape(&mut spa, 10_000, 3);
+        // Insert far more uniques than HASH_SPA_MIN_CAP to force rehashes.
+        for i in 0..2_000usize {
+            for l in 0..3 {
+                assert!(spa.accumulate(i, l, i * 10 + l, |a, b| a + b));
+            }
+        }
+        for i in 0..2_000usize {
+            for l in 0..3 {
+                assert_eq!(spa.get(i, l).copied(), Some(i * 10 + l), "lost ({i}, {l})");
+            }
+        }
+        // Duplicates combine, not re-insert.
+        assert!(!spa.accumulate(1234, 1, 1, |a, b| a + b));
+        assert_eq!(spa.get(1234, 1).copied(), Some(12341 + 1));
+        // Reset is logical; capacity is retained.
+        let cap = spa.capacity();
+        assert!(cap >= 2 * 6_000);
+        BatchAccumulator::reset(&mut spa);
+        assert_eq!(spa.get(0, 0), None);
+        assert_eq!(spa.capacity(), cap);
+    }
+
+    #[test]
+    fn hashed_spa_relayout_between_windowed_calls_is_clean() {
+        let mut spa: HashLaneSpa<f64> = HashLaneSpa::new(0, 0);
+        spa.ensure_shape(8, 2);
+        {
+            let one_bucket = std::slice::from_ref(&(0..8));
+            let mut w = spa.split_windows(one_bucket, &[4]);
+            w[0].accumulate(7, 1, 1.0, |a, b| a + b);
+            w[0].accumulate(0, 0, 2.0, |a, b| a + b);
+        }
+        assert_eq!(spa.get(7, 1).copied(), Some(1.0));
+        // New call, different bucketing: stale slots must not resurface.
+        spa.ensure_shape(8, 2);
+        {
+            let mut w = spa.split_windows(&[0..3, 3..8], &[2, 2]);
+            assert!(w[1].accumulate(7, 1, 9.0, |a, b| a + b), "stale slot resurfaced");
+            assert!(w[0].accumulate(2, 0, 3.0, |a, b| a + b));
+        }
+        assert_eq!(spa.get(7, 1).copied(), Some(9.0));
+        assert_eq!(spa.get(2, 0).copied(), Some(3.0));
+        assert_eq!(spa.get(0, 0), None, "previous layout's entry leaked");
+    }
+
+    #[test]
+    fn backends_report_their_kind_and_labels() {
+        assert_eq!(LaneSpa::<f64>::new(1, 1).backend(), SpaBackend::DenseIndexMajor);
+        assert_eq!(LaneMajorSpa::<f64>::new(1, 1).backend(), SpaBackend::DenseLaneMajor);
+        assert_eq!(HashLaneSpa::<f64>::new(1, 1).backend(), SpaBackend::Hashed);
+        assert_eq!(SpaBackend::Hashed.label(), "hashed");
+        assert_eq!(SpaBackend::Auto.to_string(), "auto");
+        assert_eq!(SpaBackend::concrete().len(), 3);
+    }
+
+    #[test]
+    fn dense_backends_agree_with_each_other_on_a_random_script() {
+        // A deterministic pseudo-random accumulate script must leave all
+        // three backends with identical logical contents.
+        let m = 97usize;
+        let k = 5usize;
+        let mut a = LaneSpa::new(0, 0);
+        let mut b = LaneMajorSpa::new(0, 0);
+        let mut c = HashLaneSpa::new(0, 0);
+        BatchAccumulator::ensure_shape(&mut a, m, k);
+        BatchAccumulator::ensure_shape(&mut b, m, k);
+        BatchAccumulator::ensure_shape(&mut c, m, k);
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..800 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (state >> 16) as usize % m;
+            let l = (state >> 40) as usize % k;
+            let v = (state % 100) as f64;
+            let fa = BatchAccumulator::accumulate(&mut a, i, l, v, |x, y| x + y);
+            let fb = BatchAccumulator::accumulate(&mut b, i, l, v, |x, y| x + y);
+            let fc = BatchAccumulator::accumulate(&mut c, i, l, v, |x, y| x + y);
+            assert_eq!(fa, fb);
+            assert_eq!(fa, fc);
+        }
+        for i in 0..m {
+            for l in 0..k {
+                assert_eq!(BatchAccumulator::get(&a, i, l), BatchAccumulator::get(&b, i, l));
+                assert_eq!(BatchAccumulator::get(&a, i, l), BatchAccumulator::get(&c, i, l));
+            }
+        }
     }
 }

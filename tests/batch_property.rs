@@ -8,11 +8,18 @@
 //! floating-point addition is exact and results compare exactly regardless
 //! of reduction order.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use sparse_substrate::ops::{spmspv_batch_reference, spmspv_reference};
-use sparse_substrate::{CooMatrix, CscMatrix, PlusTimes, Select2ndMin, SparseVec, SparseVecBatch};
+use sparse_substrate::{
+    CooMatrix, CscMatrix, MaskBits, PlusTimes, Select2ndMin, SparseVec, SparseVecBatch,
+};
 use spmspv::batch::{NaiveBatch, SpMSpVBatch, SpMSpVBucketBatch};
-use spmspv::{SpMSpV, SpMSpVBucket, SpMSpVOptions};
+use spmspv::{
+    build_batch_algorithm, AdaptiveBatch, AdaptiveConfig, BatchMaskView, MaskMode, SpMSpV,
+    SpMSpVBucket, SpMSpVOptions, SpaBackend,
+};
 
 /// Strategy: a random sparse matrix with up to `max_dim` rows/columns and
 /// small-integer entries.
@@ -148,6 +155,99 @@ proptest! {
                 y.lane_vec(l), lane_y,
                 "lane {} not bit-identical to an independent SpMSpVBucket call", l
             );
+        }
+    }
+
+    /// Tentpole property: the three SPA backends are **bit-identical** to
+    /// each other on the fused bucket kernel — any semiring, any
+    /// sortedness, any mask mode, k ∈ {1, 3, 32} — and match the
+    /// [`NaiveBatch`] oracle (bit-identical when sorted, entry-identical
+    /// otherwise). The accumulate order is backend-independent, so storage
+    /// layout must never leak into results.
+    #[test]
+    fn every_spa_backend_matches_the_naive_oracle(
+        (a, x) in batch_operands(40),
+        threads in 1usize..5,
+        sorted in any::<bool>(),
+        mask_case in 0usize..5,
+    ) {
+        let m = a.nrows();
+        let k = x.k();
+        // Mask shapes: none, shared keep/complement, per-lane keep/complement.
+        let shared = MaskBits::from_indices(m, (0..m).step_by(3));
+        let per_lane: Vec<Arc<MaskBits>> = (0..k)
+            .map(|l| Arc::new(MaskBits::from_indices(m, (l % 4..m).step_by(2 + l % 3))))
+            .collect();
+        let view = match mask_case {
+            0 => None,
+            1 => Some(BatchMaskView::Shared(spmspv::MaskView::new(&shared, MaskMode::Keep))),
+            2 => Some(BatchMaskView::Shared(spmspv::MaskView::new(
+                &shared,
+                MaskMode::Complement,
+            ))),
+            3 => Some(BatchMaskView::PerLane { masks: &per_lane, mode: MaskMode::Keep }),
+            _ => Some(BatchMaskView::PerLane { masks: &per_lane, mode: MaskMode::Complement }),
+        };
+
+        let opts = SpMSpVOptions::with_threads(threads).sorted(sorted);
+        let mut naive = NaiveBatch::new(&a, opts.clone());
+        let oracle = naive.multiply_batch_masked(&x, &PlusTimes, view.as_ref());
+
+        let mut first: Option<SparseVecBatch<f64>> = None;
+        for backend in SpaBackend::concrete() {
+            let mut fused =
+                SpMSpVBucketBatch::new(&a, opts.clone().spa_backend(backend));
+            let y = fused.multiply_batch_masked(&x, &PlusTimes, view.as_ref());
+            if sorted {
+                prop_assert_eq!(
+                    &y, &oracle,
+                    "{} not bit-identical to the naive oracle (mask {})",
+                    backend, mask_case
+                );
+            } else {
+                prop_assert!(
+                    y.same_entries(&oracle),
+                    "{} entries diverged from the naive oracle (mask {})",
+                    backend, mask_case
+                );
+            }
+            match &first {
+                None => first = Some(y),
+                Some(reference) => prop_assert_eq!(
+                    reference, &y,
+                    "backends diverged bit-wise at {} (mask {})",
+                    backend, mask_case
+                ),
+            }
+        }
+    }
+
+    /// The adaptive batch dispatcher always produces exactly what its
+    /// resolved `(kernel, backend)` delegate produces — whatever it picks.
+    #[test]
+    fn adaptive_always_matches_its_resolved_delegate(
+        (a, x) in batch_operands(40),
+        threads in 1usize..5,
+        cutoff in prop_oneof![Just(0usize), Just(64), Just(1 << 22)],
+    ) {
+        let opts = SpMSpVOptions::with_threads(threads)
+            .adaptive(AdaptiveConfig::default().rowsplit_flops_cutoff(cutoff));
+        let mut adaptive: AdaptiveBatch<'_, f64, f64, PlusTimes> =
+            AdaptiveBatch::new(&a, opts.clone());
+        let y = adaptive.multiply_batch(&x, &PlusTimes);
+        match adaptive.last_run_info() {
+            // Empty inputs short-circuit before any merge runs, so there is
+            // legitimately nothing to report.
+            None => prop_assert!(x.is_empty(), "run info may only be absent for empty inputs"),
+            Some(info) => {
+                let mut fixed = build_batch_algorithm::<f64, f64, PlusTimes>(
+                    &a,
+                    info.kernel,
+                    opts.spa_backend(info.backend),
+                );
+                let y_fixed = fixed.multiply_batch(&x, &PlusTimes);
+                prop_assert_eq!(y, y_fixed, "adaptive diverged from its {} delegate", info);
+            }
         }
     }
 

@@ -10,6 +10,8 @@
 //! floating-point addition is exact and results compare exactly regardless
 //! of reduction order.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use sparse_substrate::{
     CooMatrix, CscMatrix, MaskBits, PlusTimes, Select2ndMin, SparseVec, SparseVecBatch,
@@ -88,7 +90,7 @@ fn single_operands(
 #[allow(clippy::type_complexity)]
 fn batch_operands(
     max_dim: usize,
-) -> impl Strategy<Value = (CscMatrix<f64>, SparseVecBatch<f64>, Vec<MaskBits>, MaskMode)> {
+) -> impl Strategy<Value = (CscMatrix<f64>, SparseVecBatch<f64>, Vec<Arc<MaskBits>>, MaskMode)> {
     matrix_strategy(max_dim).prop_flat_map(|a| {
         let n = a.ncols();
         let m = a.nrows();
@@ -98,7 +100,7 @@ fn batch_operands(
             k.prop_flat_map(move |k| {
                 (
                     proptest::collection::vec(lane_strategy(n), k..k + 1),
-                    proptest::collection::vec(mask_strategy(m), k..k + 1),
+                    proptest::collection::vec(mask_strategy(m).prop_map(Arc::new), k..k + 1),
                 )
             }),
             mode_strategy(),
