@@ -382,7 +382,7 @@ fn bench_batch_scaling(c: &mut Criterion) {
                 lanes.iter().map(|x| engine.submit(MxvRequest::new(x.clone()))).collect();
             engine.flush();
             for t in tickets {
-                let _ = t.try_take().expect("flush serves every request");
+                let _ = t.try_take().expect("flush serves every request").expect("served");
             }
         });
         let single_total = median_time(|| {

@@ -1,0 +1,341 @@
+//! Closed-loop load generator for the serving engine: bursty mixed traffic,
+//! optional fault injection, measured tail latency.
+//!
+//! Spawns `clients` closed-loop client threads against one [`Engine`] under
+//! its [`serve`] loop. Each client runs `rounds` rounds; per round it
+//! submits a burst of 1–4 requests (a mix of unmasked and masked, most with
+//! a comfortable per-request deadline and some with a deliberately tight
+//! one), then blocks until every ticket of the burst resolves before
+//! starting the next round — the closed loop that makes the measured
+//! latencies back-pressure-honest. The queue is bounded with
+//! [`OverloadPolicy::ShedOldest`], so bursts genuinely collide with the
+//! overload policy.
+//!
+//! With `--features failpoints`, a chaos thread keeps re-arming one-shot
+//! faults while traffic flows — kernel panics in the merge step, injected
+//! execute errors, demux delays — so the report measures the engine
+//! *recovering*, not just cruising.
+//!
+//! Every ticket is claimed with a bounded wait: the bin cannot hang on a
+//! lost request (that would be a bug this harness exists to catch).
+//!
+//! The report — p50/p95/p99/max ticket latency, per-outcome counts, shed
+//! rate, recovery counters — prints to stdout and is written as JSON to
+//! `BENCH_engine_load.json` (override with `BENCH_ENGINE_LOAD_OUT`).
+//!
+//! Usage: `cargo run --release -p spmspv-bench [--features failpoints] --bin engine_load`
+//!
+//! Env knobs: `ENGINE_LOAD_SMOKE=1` (reduced run + shape assertions, the CI
+//! lane), `ENGINE_LOAD_SCALE`, `ENGINE_LOAD_CLIENTS`, `ENGINE_LOAD_ROUNDS`.
+//!
+//! [`Engine`]: spmspv::engine::Engine
+//! [`serve`]: spmspv::engine::Engine::serve
+//! [`OverloadPolicy::ShedOldest`]: spmspv::engine::OverloadPolicy
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
+use sparse_substrate::{MaskBits, PlusTimes, SparseVec};
+use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy};
+use spmspv::{MaskMode, SpMSpVOptions};
+use spmspv_bench::report::Json;
+
+/// Per-client outcome tally; merged across clients at the end.
+#[derive(Default)]
+struct Tally {
+    ok: usize,
+    deadline_exceeded: usize,
+    overloaded: usize,
+    failed: usize,
+    /// Submit→resolution latency of every request, in microseconds.
+    latencies: Vec<u64>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok += other.ok;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.overloaded += other.overloaded;
+        self.failed += other.failed;
+        self.latencies.extend(other.latencies);
+    }
+
+    fn total(&self) -> usize {
+        self.ok + self.deadline_exceeded + self.overloaded + self.failed
+    }
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// `q`-th percentile of an ascending-sorted latency list (nearest rank).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// While traffic flows, keep re-arming short-lived one-shot faults across
+/// the flush path: merge panics (degrade path), execute errors (retry
+/// path), demux delays (deadline races). Guards drop every cycle, so an
+/// unconsumed plan never leaks past the run.
+#[cfg(feature = "failpoints")]
+fn chaos_loop(stop: &AtomicBool) {
+    use spmspv::failpoint::{self, FailAction};
+    let mut cycle = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let _guard = match cycle % 3 {
+            0 => failpoint::arm(
+                "batch.merge",
+                FailAction::Panic("load-gen chaos: merge panic".into()),
+                Some(1),
+            ),
+            1 => failpoint::arm(
+                "engine.flush.execute",
+                FailAction::Error("load-gen chaos: execute error".into()),
+                Some(1),
+            ),
+            _ => failpoint::arm(
+                "engine.flush.demux",
+                FailAction::Delay(Duration::from_millis(2)),
+                Some(2),
+            ),
+        };
+        std::thread::sleep(Duration::from_millis(3));
+        cycle += 1;
+    }
+    failpoint::disarm_all();
+}
+
+fn main() {
+    let smoke = std::env::var_os("ENGINE_LOAD_SMOKE").is_some();
+    let scale = env_usize("ENGINE_LOAD_SCALE", if smoke { 8 } else { 12 }) as u32;
+    let clients = env_usize("ENGINE_LOAD_CLIENTS", if smoke { 4 } else { 8 });
+    let rounds = env_usize("ENGINE_LOAD_ROUNDS", if smoke { 12 } else { 40 });
+    let faults_armed = cfg!(feature = "failpoints");
+
+    println!(
+        "engine_load: closed-loop serving load generator (scale={scale}, {clients} clients × \
+         {rounds} rounds{}{})",
+        if faults_armed {
+            ", faults armed"
+        } else {
+            ", no faults (build with --features failpoints)"
+        },
+        if smoke { ", SMOKE" } else { "" },
+    );
+
+    let a = rmat(scale, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let nrows = a.nrows();
+    let nnz = a.nnz();
+    println!("graph: {n} vertices, {nnz} stored entries");
+
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    // A deliberately tight queue: bursts of `clients × ≤4` requests against
+    // `2 × clients` slots, so ShedOldest genuinely fires under load.
+    let engine = Engine::load_with(
+        a,
+        PlusTimes,
+        EngineConfig::default()
+            .max_lanes(16)
+            .queue_capacity(2 * clients)
+            .overload_policy(OverloadPolicy::ShedOldest)
+            .linger(Duration::from_micros(200))
+            .options(SpMSpVOptions::with_threads(threads)),
+    );
+
+    let stop_chaos = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let tally: Tally = engine.serve(|engine| {
+        std::thread::scope(|scope| {
+            #[cfg(feature = "failpoints")]
+            scope.spawn(|| chaos_loop(&stop_chaos));
+
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    scope.spawn(move || {
+                        let session = engine.session();
+                        let mut tally = Tally::default();
+                        let mut reqno = 0usize;
+                        for round in 0..rounds {
+                            // Bursty arrivals: 1–4 requests, then claim all
+                            // before the next round (closed loop).
+                            let burst = 1 + (c + round) % 4;
+                            let mut inflight = Vec::with_capacity(burst);
+                            for _ in 0..burst {
+                                reqno += 1;
+                                let frontier: SparseVec<f64> = random_sparse_vec(
+                                    n,
+                                    16 + (reqno * 13) % 48,
+                                    (c * 10_007 + reqno) as u64,
+                                );
+                                let mut req = MxvRequest::new(frontier);
+                                if reqno.is_multiple_of(3) {
+                                    let bits = MaskBits::from_indices(
+                                        nrows,
+                                        (c % 3..nrows).step_by(2 + reqno % 3),
+                                    );
+                                    req = req.mask(bits, MaskMode::Complement);
+                                }
+                                // Most deadlines are comfortable; every 5th
+                                // is tight enough for injected delays (and
+                                // plain queueing under overload) to expire.
+                                let deadline = if reqno.is_multiple_of(5) {
+                                    Duration::from_millis(3)
+                                } else {
+                                    Duration::from_millis(500)
+                                };
+                                let submitted = Instant::now();
+                                let ticket = session.submit(req.timeout(deadline));
+                                inflight.push((ticket, submitted));
+                            }
+                            for (ticket, submitted) in inflight {
+                                // Bounded claim with generous slack past the
+                                // request deadline: the harness must never
+                                // hang on a lost ticket.
+                                let resolved = ticket.wait_timeout(Duration::from_secs(10));
+                                tally
+                                    .latencies
+                                    .push(submitted.elapsed().as_micros().min(u64::MAX as u128)
+                                        as u64);
+                                match resolved {
+                                    Ok(_) => tally.ok += 1,
+                                    Err(EngineError::DeadlineExceeded) => {
+                                        tally.deadline_exceeded += 1
+                                    }
+                                    Err(EngineError::Overloaded) => tally.overloaded += 1,
+                                    Err(err) => {
+                                        // KernelFailed past its retry, or a
+                                        // WaitTimeout (which would be the
+                                        // hang this harness hunts).
+                                        assert!(
+                                            !matches!(err, EngineError::WaitTimeout),
+                                            "ticket unresolved after 10s: lost request"
+                                        );
+                                        tally.failed += 1;
+                                    }
+                                }
+                            }
+                        }
+                        session.close();
+                        tally
+                    })
+                })
+                .collect();
+            let mut total = Tally::default();
+            for h in handles {
+                total.absorb(h.join().expect("client thread panicked"));
+            }
+            stop_chaos.store(true, Ordering::Relaxed);
+            total
+        })
+    });
+    let wall = t0.elapsed();
+
+    let stats = engine.stats();
+    let mut sorted = tally.latencies.clone();
+    sorted.sort_unstable();
+    let (p50, p95, p99) =
+        (percentile(&sorted, 0.50), percentile(&sorted, 0.95), percentile(&sorted, 0.99));
+    let max = sorted.last().copied().unwrap_or(0);
+    let requests = tally.total();
+    let shed_rate =
+        if requests == 0 { 0.0 } else { (stats.shed + stats.rejected) as f64 / requests as f64 };
+
+    println!(
+        "\nserved {requests} requests in {:.1} ms: {} ok, {} deadline-exceeded, {} overloaded, \
+         {} failed",
+        wall.as_secs_f64() * 1e3,
+        tally.ok,
+        tally.deadline_exceeded,
+        tally.overloaded,
+        tally.failed,
+    );
+    println!(
+        "latency (µs): p50 {p50}, p95 {p95}, p99 {p99}, max {max}; shed rate {:.1}%",
+        shed_rate * 100.0
+    );
+    println!(
+        "recovery: {} kernel failures survived, {} groups degraded to the oracle kernel",
+        stats.panics_recovered, stats.degraded_flushes
+    );
+    println!("engine telemetry: {stats}");
+
+    let report = Json::obj([
+        ("bench", Json::str("engine_load")),
+        ("smoke", Json::Bool(smoke)),
+        ("faults_armed", Json::Bool(faults_armed)),
+        (
+            "graph",
+            Json::obj([
+                ("generator", Json::str("rmat-graph500")),
+                ("scale", Json::Int(scale as i64)),
+                ("n", Json::Int(n as i64)),
+                ("nnz", Json::Int(nnz as i64)),
+            ]),
+        ),
+        ("clients", Json::Int(clients as i64)),
+        ("rounds", Json::Int(rounds as i64)),
+        ("requests", Json::Int(requests as i64)),
+        ("wall_micros", Json::micros(wall)),
+        (
+            "outcomes",
+            Json::obj([
+                ("ok", Json::Int(tally.ok as i64)),
+                ("deadline_exceeded", Json::Int(tally.deadline_exceeded as i64)),
+                ("overloaded", Json::Int(tally.overloaded as i64)),
+                ("failed", Json::Int(tally.failed as i64)),
+            ]),
+        ),
+        (
+            "latency_micros",
+            Json::obj([
+                ("p50", Json::Int(p50 as i64)),
+                ("p95", Json::Int(p95 as i64)),
+                ("p99", Json::Int(p99 as i64)),
+                ("max", Json::Int(max as i64)),
+            ]),
+        ),
+        ("shed_rate", Json::Num(shed_rate)),
+        (
+            "engine",
+            Json::obj([
+                ("shed", Json::Int(stats.shed as i64)),
+                ("rejected", Json::Int(stats.rejected as i64)),
+                ("timeouts", Json::Int(stats.timeouts as i64)),
+                ("panics_recovered", Json::Int(stats.panics_recovered as i64)),
+                ("degraded_flushes", Json::Int(stats.degraded_flushes as i64)),
+                ("fused_batches", Json::Int(stats.fused_batches as i64)),
+                ("lanes_executed", Json::Int(stats.lanes_executed as i64)),
+                ("mean_lanes_per_batch", Json::Num(stats.mean_lanes_per_batch())),
+            ]),
+        ),
+    ]);
+    let out = std::env::var("BENCH_ENGINE_LOAD_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine_load.json").to_string()
+    });
+    std::fs::write(&out, report.render() + "\n").expect("write JSON report");
+    println!("\nwrote {out}");
+
+    // Smoke-lane shape assertions: the CI chaos lane runs this bin and then
+    // validates the JSON, but the cheap invariants are asserted here too so
+    // a broken run fails loudly at the source.
+    assert_eq!(requests, tally.latencies.len(), "one latency sample per request");
+    assert!(requests > 0 && tally.ok > 0, "a load run must serve something");
+    assert!(p50 <= p95 && p95 <= p99 && p99 <= max, "percentiles must be monotone");
+    if faults_armed {
+        assert!(
+            stats.panics_recovered > 0 || stats.timeouts > 0 || stats.shed > 0,
+            "with faults armed, the chaos thread should have left a mark \
+             (panics_recovered={}, timeouts={}, shed={})",
+            stats.panics_recovered,
+            stats.timeouts,
+            stats.shed,
+        );
+    }
+}

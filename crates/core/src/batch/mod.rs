@@ -429,6 +429,14 @@ where
         unsafe { ws.entries.set_len(total) };
         timings.bucketing = t1.elapsed();
 
+        // Chaos-testing hook, consulted at the last sequential point before
+        // the merge fans out across the pool (a panic here unwinds on the
+        // calling thread, never inside a worker). No-op unless a test armed
+        // the site under the `failpoints` feature.
+        if let Err(msg) = crate::failpoint::act("batch.merge") {
+            panic!("failpoint batch.merge: {msg}");
+        }
+
         // ---------------- Merge + Output (pluggable SPA backend) ----------
         // The backend decision runs *after* estimate, when the exact triple
         // count is known: fill = triples / (m·k) (scaled by the mask's keep

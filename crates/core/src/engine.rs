@@ -1,5 +1,6 @@
 //! The serving front door: an [`Engine`] that coalesces many clients'
-//! single-frontier requests into fused batched multiplications.
+//! single-frontier requests into fused batched multiplications — and keeps
+//! serving when requests misbehave.
 //!
 //! The paper's batched kernel amortizes workspace setup and matrix traffic
 //! across `k` frontiers — but a library caller had to hand-assemble a
@@ -14,8 +15,8 @@
 //!   algorithm family, instantiated lazily, workspaces reused across every
 //!   flush;
 //! * clients open [`Session`]s and submit [`MxvRequest`]s (frontier +
-//!   optional output mask + optional algorithm hint), receiving a [`Ticket`]
-//!   per request;
+//!   optional output mask + optional algorithm hint + optional deadline),
+//!   receiving a [`Ticket`] per request;
 //! * the **coalescer** ([`Engine::flush`]) drains the queue, groups
 //!   compatible requests (same algorithm family, same mask mode — the
 //!   semiring is fixed by the engine's type), fuses each group into
@@ -23,8 +24,51 @@
 //!   budget, executes **one** masked batched multiplication per group chunk,
 //!   and demultiplexes the per-lane results back to the tickets;
 //! * requests retired mid-flight — a cancelled [`Ticket`], a closed
-//!   [`Session`] — leave the batch before lanes are assembled, so a slow
-//!   client that gave up never costs kernel time.
+//!   [`Session`], an expired deadline — leave the batch before lanes are
+//!   assembled, so a slow client that gave up never costs kernel time.
+//!
+//! # Ticket lifecycle
+//!
+//! Every submitted request resolves to **exactly one** terminal state; no
+//! code path leaves a client blocked forever:
+//!
+//! ```text
+//!            submit
+//!              │
+//!           Pending ──────── flush demux ───────▶ Ready ──▶ Taken
+//!              │
+//!              ├─ Ticket::cancel / Session drop ▶ Failed(Cancelled)
+//!              ├─ deadline passes               ▶ Failed(DeadlineExceeded)
+//!              ├─ queue policy sheds/rejects    ▶ Failed(Overloaded)
+//!              ├─ kernel panics / errors        ▶ Failed(KernelFailed)
+//!              └─ Engine dropped                ▶ Failed(Disconnected)
+//! ```
+//!
+//! [`Ticket::wait`] blocks until the terminal state and returns
+//! `Result<SparseVec, EngineError>`; [`Ticket::wait_timeout`] /
+//! [`Ticket::wait_deadline`] bound the block (an [`EngineError::WaitTimeout`]
+//! leaves the ticket live — the request may still complete);
+//! [`Ticket::try_take`] polls. Once a result is claimed, later claims report
+//! [`EngineError::AlreadyTaken`].
+//!
+//! # Failure semantics
+//!
+//! A panic inside a fused kernel is **isolated to its flush group**: the
+//! execution runs under [`crate::ops::PreparedMxv::try_run_batch`]
+//! (`catch_unwind`), the panicking group's pooled descriptor is evicted
+//! (its workspaces may be mid-mutation), and the group is retried **once**
+//! on the [`crate::NaiveBatch`] oracle kernel — graceful degradation,
+//! recorded as `degraded_flushes` in [`crate::stats::EngineStats`]. Only if
+//! the retry also fails do the group's tickets resolve as
+//! [`EngineError::KernelFailed`]; every other group of the same flush, and
+//! every later flush, is unaffected. Internal locks are acquired
+//! poison-tolerantly, so an unwound flush cannot wedge other sessions.
+//!
+//! When the queue is bounded ([`EngineConfig::queue_capacity`]), the
+//! [`OverloadPolicy`] decides what a full queue does to a new submission:
+//! block the submitter (default), reject the newcomer, or shed the oldest
+//! queued requests — shed and rejected tickets resolve as
+//! [`EngineError::Overloaded`].
 //!
 //! Two execution styles share this pipeline:
 //!
@@ -34,8 +78,8 @@
 //! * **thread-driven**: [`Engine::serve`] runs a background flush loop that
 //!   fires when [`EngineConfig::max_lanes`] lanes are pending or after
 //!   [`EngineConfig::linger`] of quiet, while client threads block on
-//!   [`Ticket::wait`]. The queue is bounded by
-//!   [`EngineConfig::queue_capacity`] for backpressure.
+//!   [`Ticket::wait`]. A flush that panics past its own isolation fails only
+//!   the requests it had drained; the loop restarts and keeps serving.
 //!
 //! ```
 //! use sparse_substrate::{fixtures, PlusTimes, SparseVec};
@@ -50,7 +94,7 @@
 //!     (0..3).map(|_| engine.submit(MxvRequest::new(x.clone()))).collect();
 //! engine.flush();
 //! for t in tickets {
-//!     let y: SparseVec<f64> = t.wait().expect("not cancelled");
+//!     let y: SparseVec<f64> = t.wait().expect("served");
 //!     assert!(!y.is_empty());
 //! }
 //! assert_eq!(engine.stats().fused_batches, 1);
@@ -64,17 +108,97 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use sparse_substrate::{CscMatrix, MaskBits, Scalar, Semiring, SparseVec, SparseVecBatch};
 
 use crate::algorithm::SpMSpVOptions;
-use crate::batch::BatchAlgorithmKind;
+use crate::batch::{BatchAlgorithmKind, BatchRunInfo};
+use crate::failpoint;
 use crate::masked::MaskMode;
 use crate::ops::{Mxv, PreparedMxv};
 use crate::stats::{ChoiceCounts, EngineStats};
 use crate::timing::FlushTimings;
+
+/// Poison-tolerant lock: a panic while holding an engine lock (an unwound
+/// kernel, an injected failpoint) must not wedge every other session, so the
+/// engine treats a poisoned mutex as still usable — its invariants are
+/// re-established by the flush path's resolution guard, not by the lock.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Why a request did not (or cannot yet) produce a result. Carried by the
+/// ticket's `Failed` terminal state and returned by every [`Ticket`]
+/// accessor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request was retired before execution: [`Ticket::cancel`] was
+    /// called, or its [`Session`] closed / was dropped.
+    Cancelled,
+    /// The request's [`MxvRequest::deadline`] passed before a flush could
+    /// serve it (checked both before fusing and again at demux time).
+    DeadlineExceeded,
+    /// The bounded queue was full and the [`OverloadPolicy`] shed this
+    /// request (oldest-first) or rejected it outright.
+    Overloaded,
+    /// Kernel execution failed — a caught panic or an injected failpoint
+    /// error — and the one-shot retry on the oracle kernel failed too. The
+    /// string is the panic/error message.
+    KernelFailed(String),
+    /// The engine went away (dropped, or its serve loop died) before the
+    /// request was served.
+    Disconnected,
+    /// [`Ticket::wait_timeout`] / [`Ticket::wait_deadline`] gave up before
+    /// the request resolved. Not terminal: the ticket stays live and the
+    /// request may still complete.
+    WaitTimeout,
+    /// The result was already claimed by an earlier
+    /// [`Ticket::wait`] / [`Ticket::try_take`].
+    AlreadyTaken,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Cancelled => f.write_str("request cancelled before it was served"),
+            EngineError::DeadlineExceeded => f.write_str("request deadline exceeded"),
+            EngineError::Overloaded => {
+                f.write_str("engine overloaded: request shed or rejected by the queue policy")
+            }
+            EngineError::KernelFailed(msg) => write!(f, "kernel execution failed: {msg}"),
+            EngineError::Disconnected => {
+                f.write_str("engine disconnected before the request was served")
+            }
+            EngineError::WaitTimeout => {
+                f.write_str("timed out waiting for the result (the request may still complete)")
+            }
+            EngineError::AlreadyTaken => {
+                f.write_str("result already claimed by an earlier wait/try_take")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// What a full bounded queue does to a new submission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the submitter until the queue drains (backpressure) — the
+    /// classic closed-loop behavior, and the default.
+    #[default]
+    Block,
+    /// Fail the **new** request immediately with [`EngineError::Overloaded`]
+    /// (its ticket is returned already failed; nothing queues). Counted in
+    /// [`EngineStats::rejected`].
+    Reject,
+    /// Fail the **oldest** queued requests with [`EngineError::Overloaded`]
+    /// until the newcomer fits — freshest-first serving for workloads where
+    /// a stale answer is worthless. Counted in [`EngineStats::shed`].
+    ShedOldest,
+}
 
 /// Tuning knobs of an [`Engine`].
 #[derive(Debug, Clone)]
@@ -85,9 +209,12 @@ pub struct EngineConfig {
     /// keeps the batched kernel's `m × k` lane-SPA within cache reach — the
     /// ROADMAP's batch-perf observation.
     pub max_lanes: usize,
-    /// Bound on queued requests; `submit` blocks (backpressure) while the
-    /// queue is full. `0` = unbounded (the synchronous style's default).
+    /// Bound on queued requests; what happens when it is reached is the
+    /// [`EngineConfig::overload`] policy's call. `0` = unbounded (the
+    /// synchronous style's default).
     pub queue_capacity: usize,
+    /// What a full bounded queue does to a new submission.
+    pub overload: OverloadPolicy,
     /// How long the [`Engine::serve`] loop waits for more requests to
     /// coalesce before flushing a partially filled batch.
     pub linger: Duration,
@@ -102,6 +229,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_lanes: 64,
             queue_capacity: 0,
+            overload: OverloadPolicy::Block,
             linger: Duration::from_micros(200),
             // Adaptive: each flush resolves the kernel family and SPA
             // backend from the coalesced batch's width and density, so
@@ -126,6 +254,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder-style setter for [`EngineConfig::overload`].
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = policy;
+        self
+    }
+
     /// Builder-style setter for [`EngineConfig::linger`].
     pub fn linger(mut self, d: Duration) -> Self {
         self.linger = d;
@@ -145,21 +279,23 @@ impl EngineConfig {
     }
 }
 
-/// One client request: a frontier, an optional in-kernel output mask, and an
-/// optional batched-algorithm hint. Requests with the same mask *mode* and
-/// algorithm family coalesce into one fused multiplication; each request's
-/// mask becomes its lane's mask.
+/// One client request: a frontier, an optional in-kernel output mask, an
+/// optional batched-algorithm hint, and an optional deadline. Requests with
+/// the same mask *mode* and algorithm family coalesce into one fused
+/// multiplication; each request's mask becomes its lane's mask.
 #[derive(Debug, Clone)]
 pub struct MxvRequest<X> {
     frontier: SparseVec<X>,
     mask: Option<(Arc<MaskBits>, MaskMode)>,
     algorithm: Option<BatchAlgorithmKind>,
+    deadline: Option<Instant>,
 }
 
 impl<X: Scalar> MxvRequest<X> {
-    /// A plain unmasked request under the engine's default algorithm.
+    /// A plain unmasked request under the engine's default algorithm, with
+    /// no deadline.
     pub fn new(frontier: SparseVec<X>) -> Self {
-        MxvRequest { frontier, mask: None, algorithm: None }
+        MxvRequest { frontier, mask: None, algorithm: None, deadline: None }
     }
 
     /// Attaches this request's own output mask (the BFS `¬visited` idiom:
@@ -179,8 +315,22 @@ impl<X: Scalar> MxvRequest<X> {
     /// Pins the batched algorithm family for this request; requests with
     /// different families never fuse.
     pub fn algorithm(mut self, kind: BatchAlgorithmKind) -> Self {
-        self.algorithm = Some(kind);
+        self.algorithm = kind.into();
         self
+    }
+
+    /// Sets an absolute deadline: a flush retires the request with
+    /// [`EngineError::DeadlineExceeded`] instead of fusing it once the
+    /// deadline has passed, and re-checks at demux time so a result computed
+    /// too late is never delivered as if it were fresh.
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// [`MxvRequest::deadline`] expressed as a duration from now.
+    pub fn timeout(self, after: Duration) -> Self {
+        self.deadline(Instant::now() + after)
     }
 }
 
@@ -189,7 +339,7 @@ enum TicketState<Y> {
     Pending,
     Ready(SparseVec<Y>),
     Taken,
-    Cancelled,
+    Failed(EngineError),
 }
 
 struct TicketShared<Y> {
@@ -197,20 +347,22 @@ struct TicketShared<Y> {
     ready: Condvar,
 }
 
-impl<Y: Scalar> TicketShared<Y> {
+impl<Y> TicketShared<Y> {
     fn fulfil(&self, y: SparseVec<Y>) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock(&self.state);
         if matches!(*st, TicketState::Pending) {
             *st = TicketState::Ready(y);
             self.ready.notify_all();
         }
     }
 
-    /// Marks a pending ticket cancelled; returns whether it was pending.
-    fn cancel(&self) -> bool {
-        let mut st = self.state.lock().unwrap();
+    /// Moves a pending ticket to `Failed(err)` and wakes its waiters;
+    /// returns whether the ticket was still pending (a resolved ticket
+    /// keeps its result — failure never overwrites success).
+    fn fail(&self, err: EngineError) -> bool {
+        let mut st = lock(&self.state);
         if matches!(*st, TicketState::Pending) {
-            *st = TicketState::Cancelled;
+            *st = TicketState::Failed(err);
             self.ready.notify_all();
             true
         } else {
@@ -218,69 +370,113 @@ impl<Y: Scalar> TicketShared<Y> {
         }
     }
 
-    fn is_cancelled(&self) -> bool {
-        matches!(*self.state.lock().unwrap(), TicketState::Cancelled)
+    fn is_pending(&self) -> bool {
+        matches!(*lock(&self.state), TicketState::Pending)
     }
 }
 
 /// A claim on one request's result.
 ///
 /// In the synchronous style, call [`Engine::flush`] and then
-/// [`Ticket::try_take`]; under [`Engine::serve`], block on [`Ticket::wait`].
-/// [`Ticket::cancel`] retires the request mid-flight: if it has not been
-/// fused into a batch yet, it never will be.
+/// [`Ticket::try_take`]; under [`Engine::serve`], block on [`Ticket::wait`]
+/// (or its bounded variants). Every ticket **resolves** — to a value or an
+/// [`EngineError`] — even when the request is cancelled, shed, expired, its
+/// kernel panics, or the engine is dropped; see the
+/// [module docs](self#ticket-lifecycle).
 pub struct Ticket<Y> {
     shared: Arc<TicketShared<Y>>,
 }
 
-impl<Y: Scalar> Ticket<Y> {
-    /// Blocks until the request is served (or cancelled), consuming the
-    /// ticket. Returns `None` when the request was cancelled, or when the
-    /// result was already claimed by an earlier [`Ticket::try_take`].
-    ///
-    /// Only sensible when something will flush — the [`Engine::serve`] loop,
-    /// or another thread calling [`Engine::flush`].
-    pub fn wait(self) -> Option<SparseVec<Y>> {
-        let mut st = self.shared.state.lock().unwrap();
+impl<Y> Ticket<Y> {
+    /// Blocks until `deadline` (forever when `None`) for the terminal state.
+    fn wait_until(&self, deadline: Option<Instant>) -> Result<SparseVec<Y>, EngineError> {
+        let mut st = lock(&self.shared.state);
         loop {
             match std::mem::replace(&mut *st, TicketState::Taken) {
-                TicketState::Ready(y) => return Some(y),
-                TicketState::Cancelled => {
-                    *st = TicketState::Cancelled;
-                    return None;
+                TicketState::Ready(y) => return Ok(y),
+                TicketState::Failed(err) => {
+                    *st = TicketState::Failed(err.clone());
+                    return Err(err);
                 }
+                TicketState::Taken => return Err(EngineError::AlreadyTaken),
                 TicketState::Pending => {
                     *st = TicketState::Pending;
-                    st = self.shared.ready.wait(st).unwrap();
+                    match deadline {
+                        None => {
+                            st = self.shared.ready.wait(st).unwrap_or_else(PoisonError::into_inner)
+                        }
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                return Err(EngineError::WaitTimeout);
+                            }
+                            let (guard, _) = self
+                                .shared
+                                .ready
+                                .wait_timeout(st, d - now)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            st = guard;
+                        }
+                    }
                 }
-                TicketState::Taken => return None,
             }
         }
     }
 
-    /// Takes the result if it is ready; `None` while pending, after
-    /// cancellation, or if already taken.
-    pub fn try_take(&self) -> Option<SparseVec<Y>> {
-        let mut st = self.shared.state.lock().unwrap();
+    /// Blocks until the request resolves, consuming the ticket. Every
+    /// request does resolve — served, cancelled, expired, shed, failed, or
+    /// disconnected — so this cannot hang on a dead engine (dropping the
+    /// [`Engine`] fails all pending tickets).
+    ///
+    /// Only sensible when something will flush — the [`Engine::serve`] loop,
+    /// or another thread calling [`Engine::flush`].
+    pub fn wait(self) -> Result<SparseVec<Y>, EngineError> {
+        self.wait_until(None)
+    }
+
+    /// [`Ticket::wait`] bounded by a duration. On [`EngineError::WaitTimeout`]
+    /// the ticket is untouched and still live: the caller may wait again,
+    /// poll [`Ticket::try_take`], or [`Ticket::cancel`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<SparseVec<Y>, EngineError> {
+        self.wait_until(Some(Instant::now() + timeout))
+    }
+
+    /// [`Ticket::wait_timeout`] against an absolute deadline — the natural
+    /// companion of [`MxvRequest::deadline`].
+    pub fn wait_deadline(&self, deadline: Instant) -> Result<SparseVec<Y>, EngineError> {
+        self.wait_until(Some(deadline))
+    }
+
+    /// Polls the terminal state: `None` while the request is still pending,
+    /// `Some(Ok(_))` exactly once for a served result, `Some(Err(_))` for a
+    /// failed request (repeatable) or an already-claimed result.
+    pub fn try_take(&self) -> Option<Result<SparseVec<Y>, EngineError>> {
+        let mut st = lock(&self.shared.state);
         match std::mem::replace(&mut *st, TicketState::Taken) {
-            TicketState::Ready(y) => Some(y),
-            other => {
-                *st = other;
+            TicketState::Ready(y) => Some(Ok(y)),
+            TicketState::Failed(err) => {
+                *st = TicketState::Failed(err.clone());
+                Some(Err(err))
+            }
+            TicketState::Taken => Some(Err(EngineError::AlreadyTaken)),
+            TicketState::Pending => {
+                *st = TicketState::Pending;
                 None
             }
         }
     }
 
     /// Retires the request: a still-queued request is dropped from the next
-    /// flush (its lane is never assembled); a request already served keeps
-    /// its result. Returns whether the request was still pending.
+    /// flush (its lane is never assembled) and resolves as
+    /// [`EngineError::Cancelled`]; a request already served keeps its
+    /// result. Returns whether the request was still pending.
     pub fn cancel(&self) -> bool {
-        self.shared.cancel()
+        self.shared.fail(EngineError::Cancelled)
     }
 
-    /// Whether the request has neither been served nor cancelled yet.
+    /// Whether the request has not resolved yet.
     pub fn is_pending(&self) -> bool {
-        matches!(*self.shared.state.lock().unwrap(), TicketState::Pending)
+        self.shared.is_pending()
     }
 }
 
@@ -290,6 +486,7 @@ struct QueueEntry<X, Y> {
     frontier: SparseVec<X>,
     mask: Option<(Arc<MaskBits>, MaskMode)>,
     algorithm: BatchAlgorithmKind,
+    deadline: Option<Instant>,
     ticket: Arc<TicketShared<Y>>,
 }
 
@@ -310,12 +507,31 @@ enum MatrixSource<'m, A> {
 /// The engine's pool of prepared descriptors, one per batched family.
 type DescriptorPool<'m, A, X, S> = Vec<(BatchAlgorithmKind, PreparedMxv<'m, A, X, S>)>;
 
+/// Fails every still-pending ticket of a drained flush when dropped. On a
+/// normal flush this is a no-op (the flush resolved them all); on unwind —
+/// a kernel panic that escaped isolation, an armed `engine.flush.assemble`
+/// failpoint — it is the difference between a failed flush and a client
+/// stranded on a [`Condvar`] forever.
+struct ResolveOnDrop<Y> {
+    tickets: Vec<Arc<TicketShared<Y>>>,
+}
+
+impl<Y> Drop for ResolveOnDrop<Y> {
+    fn drop(&mut self) {
+        for t in &self.tickets {
+            t.fail(EngineError::KernelFailed("flush aborted by panic".to_string()));
+        }
+    }
+}
+
 /// The serving engine. See the [module docs](self).
 ///
 /// Generic over the matrix element `A`, the input element `X` and the
 /// semiring `S` — one engine serves one operation type, many clients. The
 /// engine is `Sync`: sessions on any thread may submit while the serve loop
-/// (or any thread) flushes.
+/// (or any thread) flushes. Dropping the engine fails every still-queued
+/// request with [`EngineError::Disconnected`], so no client waits on a dead
+/// engine.
 pub struct Engine<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> {
     /// One prepared descriptor per batched algorithm family, created lazily,
     /// reused across flushes (the amortization the engine exists for).
@@ -330,6 +546,53 @@ pub struct Engine<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> {
     semiring: S,
     next_session: AtomicU64,
     source: MatrixSource<'m, A>,
+}
+
+/// Methods available under the struct's own bounds — shared by the `Drop`
+/// impls (which may not add bounds) and the main serving impl below.
+impl<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> Engine<'m, A, X, S> {
+    /// Drains the queue, failing every still-pending ticket with `err`.
+    /// Returns how many tickets were failed.
+    fn fail_queue(&self, err: EngineError) -> usize {
+        let drained: Vec<QueueEntry<X, S::Output>> = {
+            let mut q = lock(&self.queue.entries);
+            q.drain(..).collect()
+        };
+        self.queue.shrank.notify_all();
+        drained.iter().filter(|e| e.ticket.fail(err.clone())).count()
+    }
+
+    /// Retires every still-queued request of `session`: entries leave the
+    /// queue and their tickets resolve as [`EngineError::Cancelled`].
+    fn retire_session(&self, session: u64) -> usize {
+        let retired = {
+            let mut q = lock(&self.queue.entries);
+            let before = q.len();
+            q.retain(|e| {
+                if e.session == session {
+                    e.ticket.fail(EngineError::Cancelled);
+                    false
+                } else {
+                    true
+                }
+            });
+            before - q.len()
+        };
+        if retired > 0 {
+            self.queue.shrank.notify_all();
+            lock(&self.stats).retired += retired;
+        }
+        retired
+    }
+}
+
+impl<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> Drop for Engine<'m, A, X, S> {
+    fn drop(&mut self) {
+        // Clients may hold tickets beyond the engine's life (tickets are
+        // `Arc`-shared): resolve everything still queued so no waiter blocks
+        // on an engine that will never flush again.
+        self.fail_queue(EngineError::Disconnected);
+    }
 }
 
 impl<'m, A, X, S> Engine<'m, A, X, S>
@@ -402,14 +665,14 @@ where
         &self.config
     }
 
-    /// Cumulative coalescing telemetry.
+    /// Cumulative coalescing and failure telemetry.
     pub fn stats(&self) -> EngineStats {
-        *self.stats.lock().unwrap()
+        *lock(&self.stats)
     }
 
     /// Requests currently queued (submitted, not yet flushed).
     pub fn pending(&self) -> usize {
-        self.queue.entries.lock().unwrap().len()
+        lock(&self.queue.entries).len()
     }
 
     /// Opens a session: a handle for one logical client, whose queued
@@ -450,19 +713,47 @@ where
             frontier: request.frontier,
             mask: request.mask,
             algorithm: request.algorithm.unwrap_or(self.config.batch_algorithm),
+            deadline: request.deadline,
             ticket: Arc::clone(&shared),
         };
         // Count the request before it becomes flushable, so a concurrent
         // `stats()` snapshot always sees `requests ≥ lanes_executed`.
-        self.stats.lock().unwrap().requests += 1;
+        lock(&self.stats).requests += 1;
+        let capacity = self.config.queue_capacity;
+        let mut shed = 0usize;
+        let mut rejected = false;
         {
-            let mut q = self.queue.entries.lock().unwrap();
-            if self.config.queue_capacity > 0 {
-                while q.len() >= self.config.queue_capacity {
-                    q = self.queue.shrank.wait(q).unwrap();
+            let mut q = lock(&self.queue.entries);
+            if capacity > 0 && q.len() >= capacity {
+                match self.config.overload {
+                    OverloadPolicy::Block => {
+                        while q.len() >= capacity {
+                            q = self.queue.shrank.wait(q).unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    OverloadPolicy::Reject => rejected = true,
+                    OverloadPolicy::ShedOldest => {
+                        while q.len() >= capacity {
+                            let victim = q.pop_front().expect("len ≥ capacity > 0");
+                            victim.ticket.fail(EngineError::Overloaded);
+                            shed += 1;
+                        }
+                    }
                 }
             }
-            q.push_back(entry);
+            if !rejected {
+                q.push_back(entry);
+            }
+        }
+        if rejected {
+            shared.fail(EngineError::Overloaded);
+        }
+        if shed > 0 || rejected {
+            let mut stats = lock(&self.stats);
+            stats.shed += shed;
+            if rejected {
+                stats.rejected += 1;
+            }
         }
         self.queue.grew.notify_all();
         Ticket { shared }
@@ -470,17 +761,28 @@ where
 
     /// Drains the queue and serves every live request: groups compatible
     /// requests, fuses each group into at most [`EngineConfig::max_lanes`]
-    /// lanes per batched multiplication, executes, and demultiplexes results
-    /// to the tickets. Returns what happened (all zeros when the queue was
-    /// empty).
+    /// lanes per batched multiplication, executes (with panic isolation and
+    /// a one-shot [`crate::NaiveBatch`] retry per failed group), and
+    /// demultiplexes results to the tickets. Every drained request resolves
+    /// before this returns — even if a kernel panics. Returns what happened
+    /// (all zeros when the queue was empty).
     pub fn flush(&self) -> FlushOutcome {
         let drained: Vec<QueueEntry<X, S::Output>> = {
-            let mut q = self.queue.entries.lock().unwrap();
+            let mut q = lock(&self.queue.entries);
             q.drain(..).collect()
         };
         self.queue.shrank.notify_all();
         if drained.is_empty() {
             return FlushOutcome::default();
+        }
+
+        // From here on, an unwind out of this function resolves every
+        // drained ticket on the way out (normal completion resolves them
+        // all itself, making the guard a no-op).
+        let _resolve_guard =
+            ResolveOnDrop { tickets: drained.iter().map(|e| Arc::clone(&e.ticket)).collect() };
+        if let Err(msg) = failpoint::act("engine.flush.assemble") {
+            panic!("failpoint engine.flush.assemble: {msg}");
         }
 
         let mut outcome = FlushOutcome { requests: drained.len(), ..FlushOutcome::default() };
@@ -489,9 +791,18 @@ where
         // within each group — the demux order clients observe.
         type Key = (BatchAlgorithmKind, Option<MaskMode>);
         type Group<X, Y> = (Key, Vec<QueueEntry<X, Y>>);
+        let now = Instant::now();
         let mut groups: Vec<Group<X, S::Output>> = Vec::new();
         for entry in drained {
-            if entry.ticket.is_cancelled() {
+            if entry.deadline.is_some_and(|d| now >= d) {
+                if entry.ticket.fail(EngineError::DeadlineExceeded) {
+                    outcome.timeouts += 1;
+                } else {
+                    outcome.retired += 1;
+                }
+                continue;
+            }
+            if !entry.ticket.is_pending() {
                 outcome.retired += 1;
                 continue;
             }
@@ -504,7 +815,7 @@ where
         outcome.timings.assemble += t_group.elapsed();
 
         let width = if self.config.max_lanes == 0 { usize::MAX } else { self.config.max_lanes };
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock(&self.pool);
         for ((kind, mode), members) in groups {
             let mut members = members.into_iter().peekable();
             while members.peek().is_some() {
@@ -515,7 +826,7 @@ where
                     .by_ref()
                     .take(width)
                     .filter(|e| {
-                        let live = !e.ticket.is_cancelled();
+                        let live = e.ticket.is_pending();
                         if !live {
                             outcome.retired += 1;
                         }
@@ -527,12 +838,16 @@ where
                 }
                 // Disassemble the entries: frontiers fuse into the batch,
                 // masks move into the pooled descriptor, tickets stay for
-                // the demux — no per-request copies.
+                // the demux — no per-request copies. The masks are kept as
+                // `Arc`s here too, so a degraded retry re-installs them by
+                // refcount.
                 let mut tickets = Vec::with_capacity(chunk.len());
+                let mut deadlines = Vec::with_capacity(chunk.len());
                 let mut lanes = Vec::with_capacity(chunk.len());
                 let mut masks = mode.map(|_| Vec::with_capacity(chunk.len()));
                 for entry in chunk {
                     tickets.push(entry.ticket);
+                    deadlines.push(entry.deadline);
                     lanes.push(entry.frontier);
                     if let Some(masks) = masks.as_mut() {
                         masks.push(entry.mask.expect("grouped as masked").0);
@@ -540,32 +855,86 @@ where
                 }
                 let x = SparseVecBatch::from_lanes(&lanes)
                     .expect("request dimensions are validated at submit");
-                let prepared = Self::pool_entry(
+                let mask_arg = || match (&masks, mode) {
+                    (Some(m), Some(mode)) => Some((m.as_slice(), mode)),
+                    _ => None,
+                };
+                outcome.timings.assemble += t_assemble.elapsed();
+
+                let t_execute = Instant::now();
+                let first = Self::run_group(
                     &mut pool,
                     kind,
                     self.matrix_ref(),
                     &self.semiring,
                     &self.config.options,
+                    &x,
+                    mask_arg(),
                 );
-                match (mode, masks) {
-                    (Some(mode), Some(masks)) => prepared.set_lane_masks(masks, mode),
-                    _ => prepared.unmask(),
-                }
-                outcome.timings.assemble += t_assemble.elapsed();
-
-                let t_execute = Instant::now();
-                let y = prepared.run_batch(&x);
                 outcome.timings.execute += t_execute.elapsed();
-                if let Some(info) = prepared.last_batch_run_info() {
+                let served = match first {
+                    Ok(ok) => Some(ok),
+                    Err(err) => {
+                        outcome.panics_recovered += 1;
+                        if kind == BatchAlgorithmKind::Naive {
+                            // Already on the oracle kernel: nothing simpler
+                            // to degrade to.
+                            for t in &tickets {
+                                t.fail(err.clone());
+                            }
+                            None
+                        } else {
+                            // Graceful degradation: one retry on the naive
+                            // oracle kernel (independent per-lane runs — the
+                            // most conservative path we have).
+                            let t_recover = Instant::now();
+                            let retry = Self::run_group(
+                                &mut pool,
+                                BatchAlgorithmKind::Naive,
+                                self.matrix_ref(),
+                                &self.semiring,
+                                &self.config.options,
+                                &x,
+                                mask_arg(),
+                            );
+                            outcome.timings.recover += t_recover.elapsed();
+                            match retry {
+                                Ok(ok) => {
+                                    outcome.degraded_flushes += 1;
+                                    Some(ok)
+                                }
+                                Err(retry_err) => {
+                                    outcome.panics_recovered += 1;
+                                    for t in &tickets {
+                                        t.fail(retry_err.clone());
+                                    }
+                                    None
+                                }
+                            }
+                        }
+                    }
+                };
+                let Some((y, info)) = served else { continue };
+                if let Some(info) = info {
                     outcome.choices.record(info);
                 }
 
                 let t_demux = Instant::now();
-                for (lane, ticket) in tickets.iter().enumerate() {
+                if let Err(msg) = failpoint::act("engine.flush.demux") {
+                    panic!("failpoint engine.flush.demux: {msg}");
+                }
+                // Deadline re-check at demux: a result computed too late is
+                // dropped, not delivered as if it were fresh.
+                let now = Instant::now();
+                for (lane, (ticket, deadline)) in tickets.iter().zip(&deadlines).enumerate() {
+                    if deadline.is_some_and(|d| now >= d) {
+                        if ticket.fail(EngineError::DeadlineExceeded) {
+                            outcome.timeouts += 1;
+                        }
+                        continue;
+                    }
                     ticket.fulfil(y.lane_vec(lane));
                 }
-                // Release this chunk's masks; the kernels stay pooled.
-                prepared.unmask();
                 outcome.batches += 1;
                 outcome.lanes += tickets.len();
                 outcome.timings.demux += t_demux.elapsed();
@@ -573,17 +942,41 @@ where
         }
         drop(pool);
 
-        let mut stats = self.stats.lock().unwrap();
-        stats.retired += outcome.retired;
-        if outcome.batches > 0 {
-            stats.flushes += 1;
-        }
-        stats.fused_batches += outcome.batches;
-        stats.lanes_executed += outcome.lanes;
-        stats.widest_flush = stats.widest_flush.max(outcome.lanes);
-        stats.flush_timings += outcome.timings;
-        stats.choices.merge(&outcome.choices);
+        lock(&self.stats).record_flush(&outcome);
         outcome
+    }
+
+    /// Executes one fused group on `kind`'s pooled descriptor with panic
+    /// isolation. On failure the descriptor is evicted from the pool — its
+    /// workspaces may be mid-mutation from the unwound kernel — so the next
+    /// flush rebuilds it cleanly.
+    fn run_group(
+        pool: &mut DescriptorPool<'m, A, X, S>,
+        kind: BatchAlgorithmKind,
+        matrix: &'m CscMatrix<A>,
+        semiring: &S,
+        options: &SpMSpVOptions,
+        x: &SparseVecBatch<X>,
+        mask: Option<(&[Arc<MaskBits>], MaskMode)>,
+    ) -> Result<(SparseVecBatch<S::Output>, Option<BatchRunInfo>), EngineError> {
+        failpoint::act("engine.flush.execute").map_err(EngineError::KernelFailed)?;
+        let prepared = Self::pool_entry(pool, kind, matrix, semiring, options);
+        match mask {
+            Some((masks, mode)) => prepared.set_lane_masks(masks.to_vec(), mode),
+            None => prepared.unmask(),
+        }
+        match prepared.try_run_batch(x) {
+            Ok(y) => {
+                let info = prepared.last_batch_run_info();
+                // Release this chunk's masks; the kernels stay pooled.
+                prepared.unmask();
+                Ok((y, info))
+            }
+            Err(err) => {
+                pool.retain(|(k, _)| *k != kind);
+                Err(err)
+            }
+        }
     }
 
     fn pool_entry<'p>(
@@ -612,19 +1005,48 @@ where
     ///
     /// Client threads spawned inside `body` submit through [`Session`]s and
     /// block on [`Ticket::wait`].
+    ///
+    /// The loop is **self-healing**: a flush that panics past its own
+    /// isolation (every drained ticket is still resolved on the way out) is
+    /// caught here and the loop restarts, so one poisoned flush cannot stop
+    /// the engine from serving later requests. A server-thread failure never
+    /// becomes a panic in the caller: if the loop cannot be recovered, the
+    /// remaining queued requests resolve as [`EngineError::Disconnected`].
     pub fn serve<R: Send>(&self, body: impl FnOnce(&Self) -> R + Send) -> R
     where
         S::Output: Scalar,
     {
         let shutdown = AtomicBool::new(false);
         std::thread::scope(|scope| {
-            let server = scope.spawn(|| self.serve_loop(&shutdown));
+            let server = scope.spawn(|| loop {
+                let loop_run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.serve_loop(&shutdown)
+                }));
+                match loop_run {
+                    Ok(()) => break,
+                    // The panicking flush already resolved the tickets it
+                    // had drained (ResolveOnDrop); whatever is still queued
+                    // is intact — go back to serving it.
+                    Err(_) if !shutdown.load(Ordering::SeqCst) => continue,
+                    Err(_) => {
+                        // Shutting down: no more flushes are coming, so
+                        // resolve the stragglers instead of stranding them.
+                        self.fail_queue(EngineError::Disconnected);
+                        break;
+                    }
+                }
+            });
             // Raise the shutdown flag even when `body` unwinds, so the
             // scope's implicit join cannot deadlock on a still-running loop.
             let guard = ShutdownGuard { flag: &shutdown, queue: &self.queue };
             let out = body(self);
             drop(guard);
-            server.join().expect("engine serve loop panicked");
+            if server.join().is_err() {
+                // Unreachable in practice (the loop catches panics), but if
+                // the server thread dies anyway the clients must not: fail
+                // the leftovers instead of propagating the panic.
+                self.fail_queue(EngineError::Disconnected);
+            }
             out
         })
     }
@@ -638,7 +1060,7 @@ where
         loop {
             let mut deadline: Option<Instant> = None;
             {
-                let mut entries = self.queue.entries.lock().unwrap();
+                let mut entries = lock(&self.queue.entries);
                 loop {
                     if shutdown.load(Ordering::SeqCst) || entries.len() >= width {
                         break;
@@ -652,13 +1074,22 @@ where
                             if now >= d {
                                 break;
                             }
-                            let (guard, _) =
-                                self.queue.grew.wait_timeout(entries, d - now).unwrap();
+                            let (guard, _) = self
+                                .queue
+                                .grew
+                                .wait_timeout(entries, d - now)
+                                .unwrap_or_else(PoisonError::into_inner);
                             entries = guard;
                         }
                         // Empty queue: block until a submit (or the shutdown
                         // guard) signals `grew` — no periodic wakeups.
-                        None => entries = self.queue.grew.wait(entries).unwrap(),
+                        None => {
+                            entries = self
+                                .queue
+                                .grew
+                                .wait(entries)
+                                .unwrap_or_else(PoisonError::into_inner)
+                        }
                     }
                 }
                 if entries.is_empty() && shutdown.load(Ordering::SeqCst) {
@@ -667,29 +1098,6 @@ where
             }
             self.flush();
         }
-    }
-
-    /// Retires every still-queued request of `session`: entries leave the
-    /// queue and their tickets report cancelled.
-    fn retire_session(&self, session: u64) -> usize {
-        let retired = {
-            let mut q = self.queue.entries.lock().unwrap();
-            let before = q.len();
-            q.retain(|e| {
-                if e.session == session {
-                    e.ticket.cancel();
-                    false
-                } else {
-                    true
-                }
-            });
-            before - q.len()
-        };
-        if retired > 0 {
-            self.queue.shrank.notify_all();
-            self.stats.lock().unwrap().retired += retired;
-        }
-        retired
     }
 }
 
@@ -707,7 +1115,7 @@ impl<X, Y> Drop for ShutdownGuard<'_, X, Y> {
         // flag and parks on `grew` under this same mutex, so the notify
         // cannot land in the gap between its check and its wait (a lost
         // wakeup would hang the untimed empty-queue wait forever).
-        let _entries = self.queue.entries.lock().unwrap();
+        let _entries = lock(&self.queue.entries);
         self.queue.grew.notify_all();
     }
 }
@@ -717,13 +1125,32 @@ impl<X, Y> Drop for ShutdownGuard<'_, X, Y> {
 pub struct FlushOutcome {
     /// Requests drained from the queue.
     pub requests: usize,
-    /// Requests dropped because their ticket was cancelled (or their session
-    /// closed) before their lane was assembled.
+    /// Requests dropped because their ticket had already resolved —
+    /// cancelled, session closed, shed — before their lane was assembled.
     pub retired: usize,
     /// Fused batched multiplications executed.
     pub batches: usize,
-    /// Lanes executed across those batches (= requests served).
+    /// Lanes executed across those batches (= requests served, including
+    /// the rare lane whose deadline expired between execute and demux).
     pub lanes: usize,
+    /// Requests failed with [`EngineError::DeadlineExceeded`] — expired
+    /// before fusing or between execution and demux.
+    pub timeouts: usize,
+    /// Requests rejected by [`OverloadPolicy::Reject`]. Always zero in a
+    /// flush's own outcome (rejection happens at submit time); present so
+    /// one [`crate::stats::EngineStats::record_flush`] merge covers every
+    /// counter.
+    pub rejected: usize,
+    /// Requests shed by [`OverloadPolicy::ShedOldest`]. Always zero in a
+    /// flush's own outcome (shedding happens at submit time); see
+    /// [`FlushOutcome::rejected`].
+    pub shed: usize,
+    /// Kernel failures (caught panics or injected errors) this flush
+    /// survived — one per failed execution attempt.
+    pub panics_recovered: usize,
+    /// Groups that were served by the one-shot [`crate::NaiveBatch`] retry
+    /// after their preferred kernel failed.
+    pub degraded_flushes: usize,
     /// Wall-clock breakdown of this flush.
     pub timings: FlushTimings,
     /// The concrete `(kernel family, SPA backend)` each fused batch of this
@@ -735,11 +1162,20 @@ pub struct FlushOutcome {
 ///
 /// Sessions are cheap (an id plus a borrow) and independent: many sessions
 /// submit concurrently, and the coalescer fuses across session boundaries.
-/// [`Session::close`] retires the session's still-queued requests — the
-/// serving-side counterpart of multi-source BFS lane retirement.
+/// [`Session::close`] — or simply dropping the session — retires the
+/// session's still-queued requests, resolving their tickets as
+/// [`EngineError::Cancelled`]: the serving-side counterpart of multi-source
+/// BFS lane retirement, and the guarantee that a client that disappears
+/// takes its pending work with it.
 pub struct Session<'e, 'm, A: Scalar, X: Scalar, S: Semiring<A, X>> {
     engine: &'e Engine<'m, A, X, S>,
     id: u64,
+}
+
+impl<'e, 'm, A: Scalar, X: Scalar, S: Semiring<A, X>> Drop for Session<'e, 'm, A, X, S> {
+    fn drop(&mut self) {
+        self.engine.retire_session(self.id);
+    }
 }
 
 impl<'e, 'm, A, X, S> Session<'e, 'm, A, X, S>
@@ -753,16 +1189,18 @@ where
         self.id
     }
 
-    /// Submits a request on behalf of this session. Blocks for backpressure
-    /// when the engine's queue is bounded and full.
+    /// Submits a request on behalf of this session. When the engine's queue
+    /// is bounded and full, the [`EngineConfig::overload`] policy decides:
+    /// block for backpressure, reject this request, or shed the oldest.
     pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
         self.engine.submit_tagged(self.id, request)
     }
 
     /// Closes the session, retiring its still-queued requests mid-flight:
-    /// their lanes are never assembled and their tickets report cancelled.
-    /// Requests already served keep their results. Returns how many requests
-    /// were retired.
+    /// their lanes are never assembled and their tickets resolve as
+    /// [`EngineError::Cancelled`]. Requests already served keep their
+    /// results. Returns how many requests were retired. (Dropping the
+    /// session without calling this does the same, minus the count.)
     pub fn close(self) -> usize {
         self.engine.retire_session(self.id)
     }
@@ -805,7 +1243,7 @@ mod tests {
         assert_eq!(outcome.lanes, 6);
         assert_eq!(outcome.batches, 1, "six compatible requests must fuse into one batch");
         for (ticket, x) in tickets.into_iter().zip(frontiers.iter()) {
-            let y = ticket.try_take().expect("flushed");
+            let y = ticket.try_take().expect("flushed").expect("served");
             assert_eq!(y, independent_run(&a, x, None), "engine lane diverged");
         }
         let stats = engine.stats();
@@ -823,7 +1261,7 @@ mod tests {
         let engine = Engine::load(a, PlusTimes);
         let t = engine.submit(MxvRequest::new(x));
         engine.flush();
-        assert_eq!(t.wait().expect("not cancelled"), expected);
+        assert_eq!(t.wait().expect("served"), expected);
         assert_eq!(engine.matrix().nrows(), 8);
     }
 
@@ -844,7 +1282,7 @@ mod tests {
         let outcome = engine.flush();
         assert_eq!(outcome.batches, 1, "same mask mode must coalesce");
         for ((ticket, x), bits) in tickets.into_iter().zip(&frontiers).zip(&masks) {
-            let y = ticket.try_take().expect("flushed");
+            let y = ticket.try_take().expect("flushed").expect("served");
             assert_eq!(y, independent_run(&a, x, Some((bits, MaskMode::Complement))));
         }
     }
@@ -874,7 +1312,10 @@ mod tests {
         let outcome = engine.flush();
         assert_eq!(outcome.batches, 3, "5 lanes under a width budget of 2 → 3 batches");
         for (ticket, x) in tickets.into_iter().zip(&xs) {
-            assert_eq!(ticket.try_take().expect("flushed"), independent_run(&a, x, None));
+            assert_eq!(
+                ticket.try_take().expect("flushed").expect("served"),
+                independent_run(&a, x, None)
+            );
         }
     }
 
@@ -891,9 +1332,15 @@ mod tests {
         let outcome = engine.flush();
         assert_eq!(outcome.retired, 1);
         assert_eq!(outcome.lanes, 2);
-        assert!(dropped.try_take().is_none());
-        assert_eq!(keep0.try_take().expect("served"), independent_run(&a, &xs[0], None));
-        assert_eq!(keep1.try_take().expect("served"), independent_run(&a, &xs[2], None));
+        assert_eq!(dropped.try_take(), Some(Err(EngineError::Cancelled)));
+        assert_eq!(
+            keep0.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[0], None)
+        );
+        assert_eq!(
+            keep1.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[2], None)
+        );
         assert_eq!(engine.stats().retired, 1);
     }
 
@@ -911,9 +1358,129 @@ mod tests {
         assert_eq!(closing.close(), 2);
         let outcome = engine.flush();
         assert_eq!(outcome.lanes, 1);
-        assert!(dead.wait().is_none());
-        assert!(dead2.try_take().is_none());
-        assert_eq!(live.try_take().expect("served"), independent_run(&a, &xs[1], None));
+        assert_eq!(dead.wait(), Err(EngineError::Cancelled));
+        assert_eq!(dead2.try_take(), Some(Err(EngineError::Cancelled)));
+        assert_eq!(
+            live.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[1], None)
+        );
+    }
+
+    #[test]
+    fn dropping_a_session_retires_like_close() {
+        let a = erdos_renyi(60, 4.0, 15);
+        let engine = Engine::over(&a, PlusTimes);
+        let xs = requests(60, 2, 21);
+        let orphan = {
+            let session = engine.session();
+            session.submit(MxvRequest::new(xs[0].clone()))
+            // Session dropped here without close(): its queued request must
+            // still resolve, not linger pending forever.
+        };
+        let live = engine.submit(MxvRequest::new(xs[1].clone()));
+        let outcome = engine.flush();
+        assert_eq!(outcome.lanes, 1);
+        assert_eq!(orphan.wait(), Err(EngineError::Cancelled));
+        assert_eq!(
+            live.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[1], None)
+        );
+    }
+
+    #[test]
+    fn dropping_the_engine_fails_pending_tickets() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let engine = Engine::load(a, PlusTimes);
+        let never_flushed = engine.submit(MxvRequest::new(x));
+        drop(engine);
+        // No deadlock: the drop resolved the ticket, so an untimed wait
+        // returns immediately.
+        assert_eq!(never_flushed.wait(), Err(EngineError::Disconnected));
+    }
+
+    #[test]
+    fn wait_timeout_leaves_the_ticket_live() {
+        let a = fixtures::figure1_matrix();
+        let x = fixtures::figure1_vector();
+        let engine = Engine::over(&a, PlusTimes);
+        let ticket = engine.submit(MxvRequest::new(x.clone()));
+        // Nothing flushes: the bounded wait must give up, not hang.
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(10)), Err(EngineError::WaitTimeout));
+        assert!(ticket.is_pending(), "a wait timeout must not consume the request");
+        engine.flush();
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(5)).expect("served after flush"),
+            independent_run(&a, &x, None)
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_retired_before_fusing() {
+        let a = erdos_renyi(80, 4.0, 3);
+        let engine = Engine::over(&a, PlusTimes);
+        let xs = requests(80, 2, 7);
+        let expired = engine.submit(MxvRequest::new(xs[0].clone()).timeout(Duration::ZERO));
+        let fresh = engine.submit(
+            MxvRequest::new(xs[1].clone()).deadline(Instant::now() + Duration::from_secs(60)),
+        );
+        let outcome = engine.flush();
+        assert_eq!(outcome.timeouts, 1);
+        assert_eq!(outcome.lanes, 1, "the expired request must never cost a lane");
+        assert_eq!(expired.wait(), Err(EngineError::DeadlineExceeded));
+        assert_eq!(
+            fresh.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[1], None)
+        );
+        assert_eq!(engine.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn reject_policy_fails_the_newcomer_when_full() {
+        let a = erdos_renyi(50, 4.0, 5);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default().queue_capacity(1).overload_policy(OverloadPolicy::Reject),
+        );
+        let xs = requests(50, 2, 13);
+        let queued = engine.submit(MxvRequest::new(xs[0].clone()));
+        let refused = engine.submit(MxvRequest::new(xs[1].clone()));
+        assert_eq!(refused.try_take(), Some(Err(EngineError::Overloaded)));
+        assert_eq!(engine.pending(), 1, "the rejected request must not occupy the queue");
+        engine.flush();
+        assert_eq!(
+            queued.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[0], None)
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn shed_oldest_policy_prefers_the_freshest_requests() {
+        let a = erdos_renyi(50, 4.0, 19);
+        let engine = Engine::over_with(
+            &a,
+            PlusTimes,
+            EngineConfig::default().queue_capacity(2).overload_policy(OverloadPolicy::ShedOldest),
+        );
+        let xs = requests(50, 3, 29);
+        let oldest = engine.submit(MxvRequest::new(xs[0].clone()));
+        let middle = engine.submit(MxvRequest::new(xs[1].clone()));
+        let newest = engine.submit(MxvRequest::new(xs[2].clone()));
+        assert_eq!(oldest.wait(), Err(EngineError::Overloaded), "oldest is shed, not the newcomer");
+        engine.flush();
+        assert_eq!(
+            middle.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[1], None)
+        );
+        assert_eq!(
+            newest.try_take().expect("served").expect("succeeded"),
+            independent_run(&a, &xs[2], None)
+        );
+        assert_eq!(engine.stats().shed, 1);
     }
 
     #[test]
@@ -994,15 +1561,19 @@ mod tests {
     }
 
     #[test]
-    fn wait_after_try_take_returns_none_instead_of_panicking() {
+    fn takes_after_the_first_report_already_taken() {
         let a = fixtures::figure1_matrix();
         let x = fixtures::figure1_vector();
         let engine = Engine::over(&a, PlusTimes);
         let ticket = engine.submit(MxvRequest::new(x));
         engine.flush();
-        assert!(ticket.try_take().is_some());
-        assert!(ticket.try_take().is_none(), "second take sees nothing");
-        assert!(ticket.wait().is_none(), "wait after take must not panic");
+        assert!(ticket.try_take().expect("served").is_ok());
+        assert_eq!(
+            ticket.try_take(),
+            Some(Err(EngineError::AlreadyTaken)),
+            "second take must report the claim, not hang or panic"
+        );
+        assert_eq!(ticket.wait(), Err(EngineError::AlreadyTaken));
     }
 
     #[test]
@@ -1044,7 +1615,7 @@ mod tests {
         let t = engine
             .submit(MxvRequest::new(frontier.clone()).mask(visited.clone(), MaskMode::Complement));
         engine.flush();
-        let y = t.try_take().expect("served");
+        let y = t.try_take().expect("served").expect("succeeded");
         let mut op =
             Mxv::over(&a).semiring(&Select2ndMin).mask(&visited, MaskMode::Complement).prepare();
         assert_eq!(y, op.run(&frontier));
@@ -1058,6 +1629,27 @@ mod tests {
         assert_eq!(engine.flush(), FlushOutcome::default());
         assert_eq!(engine.pending(), 0);
         assert_eq!(engine.stats().flushes, 0);
+    }
+
+    #[test]
+    fn engine_error_displays_are_distinct_and_informative() {
+        let errors = [
+            EngineError::Cancelled,
+            EngineError::DeadlineExceeded,
+            EngineError::Overloaded,
+            EngineError::KernelFailed("lane SPA index out of range".to_string()),
+            EngineError::Disconnected,
+            EngineError::WaitTimeout,
+            EngineError::AlreadyTaken,
+        ];
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b, "two error variants render identically");
+            }
+        }
+        assert!(rendered[3].contains("lane SPA index out of range"), "message must survive");
     }
 
     #[test]

@@ -98,8 +98,12 @@
 //! [`engine::Engine`] turns the descriptor into a serving front door: many
 //! logical clients submit [`engine::MxvRequest`]s through
 //! [`engine::Session`] handles, and a coalescer fuses compatible requests
-//! into one batched multiplication per flush. See the [`engine`] module
-//! docs.
+//! into one batched multiplication per flush. The engine has full failure
+//! semantics — per-request deadlines, [`engine::OverloadPolicy`] queue
+//! policies, panic-isolated flushes with graceful degradation, and tickets
+//! that always resolve (to a value or an [`engine::EngineError`], never a
+//! hang). See the [`engine`] module docs; the [`failpoint`] module is the
+//! deterministic fault-injection harness the chaos tests drive it with.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -112,6 +116,7 @@ pub mod bucket;
 pub mod disjoint;
 pub mod engine;
 pub mod executor;
+pub mod failpoint;
 pub mod masked;
 pub mod ops;
 pub mod stats;
@@ -124,7 +129,7 @@ pub use batch::{
     SpMSpVBatch, SpMSpVBucketBatch,
 };
 pub use bucket::SpMSpVBucket;
-pub use engine::{Engine, EngineConfig, MxvRequest, Session, Ticket};
+pub use engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy, Session, Ticket};
 pub use executor::Executor;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
 pub use ops::{Mxv, MxvOp, PreparedMxv};

@@ -51,7 +51,20 @@ use sparse_substrate::{CscMatrix, MaskBits, Scalar, Semiring, SparseVec, SparseV
 
 use crate::algorithm::{build_algorithm, AlgorithmKind, SpMSpV, SpMSpVOptions};
 use crate::batch::{build_batch_algorithm, BatchAlgorithmKind, BatchRunInfo, SpMSpVBatch};
+use crate::engine::EngineError;
 use crate::masked::{BatchMaskView, MaskMode, MaskView};
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// formatted message boxes a `String`; a literal boxes a `&'static str`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "kernel panicked with a non-string payload".to_string()
+    }
+}
 
 /// Entry point of the unified operation API. See the [module docs](self).
 pub struct Mxv;
@@ -278,6 +291,23 @@ where
         let y = batch.multiply_batch_masked(x, &self.semiring, mask.as_ref());
         self.last_batch_info = batch.last_run_info();
         y
+    }
+
+    /// [`PreparedMxv::run_batch`] with panic isolation: a kernel panic is
+    /// caught and surfaced as [`EngineError::KernelFailed`] carrying the
+    /// panic message, instead of unwinding into the caller.
+    ///
+    /// This is the serving engine's execution entry point — a malformed
+    /// request that trips a kernel assertion must fail *its* flush group,
+    /// not the process. After an `Err` the descriptor's workspaces may be
+    /// mid-mutation; callers that reuse descriptors should discard this one
+    /// (the engine evicts it from its pool and rebuilds lazily).
+    pub fn try_run_batch(
+        &mut self,
+        x: &SparseVecBatch<X>,
+    ) -> Result<SparseVecBatch<S::Output>, EngineError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_batch(x)))
+            .map_err(|payload| EngineError::KernelFailed(panic_message(payload.as_ref())))
     }
 
     /// The concrete `(kernel family, SPA backend)` the most recent
@@ -534,6 +564,32 @@ mod tests {
         for kind in BatchAlgorithmKind::all().into_iter().skip(1) {
             assert_eq!(fused, run(kind), "{kind} disagrees with the fused batch under a mask");
         }
+    }
+
+    #[test]
+    fn try_run_batch_catches_kernel_panics_as_errors() {
+        use crate::engine::EngineError;
+        let a = fixtures::tridiagonal(6);
+        let x = SparseVec::from_pairs(6, vec![(0, 1.0)]).unwrap();
+        let batch = SparseVecBatch::from_lanes(&[x.clone(), x.clone()]).unwrap();
+        // 3 lane masks against a 2-lane batch trips a kernel assertion; the
+        // fallible entry point must surface it, not unwind.
+        let mut op = Mxv::over(&a)
+            .semiring(&PlusTimes)
+            .batch_algorithm(BatchAlgorithmKind::Naive)
+            .lane_masks(3, MaskMode::Keep)
+            .prepare();
+        let err = op.try_run_batch(&batch).map(drop).expect_err("mismatched lane masks must fail");
+        match err {
+            EngineError::KernelFailed(msg) => {
+                assert!(msg.contains("lanes"), "panic message lost: {msg}")
+            }
+            other => panic!("expected KernelFailed, got {other:?}"),
+        }
+        // A healthy call through the same entry point still succeeds.
+        let mut ok = Mxv::over(&a).semiring(&PlusTimes).prepare();
+        let y = ok.try_run_batch(&batch).expect("healthy batch run");
+        assert_eq!(y.lane_vec(0), ok.run(&x));
     }
 
     #[test]

@@ -90,6 +90,22 @@ pub struct EngineStats {
     pub lanes_executed: usize,
     /// Widest single flush observed (lanes).
     pub widest_flush: usize,
+    /// Requests failed with
+    /// [`EngineError::DeadlineExceeded`](crate::engine::EngineError) —
+    /// expired before fusing or between execution and demux.
+    pub timeouts: usize,
+    /// Requests failed at submit time by
+    /// [`OverloadPolicy::Reject`](crate::engine::OverloadPolicy).
+    pub rejected: usize,
+    /// Queued requests evicted by
+    /// [`OverloadPolicy::ShedOldest`](crate::engine::OverloadPolicy).
+    pub shed: usize,
+    /// Kernel failures (caught panics or injected errors) the engine
+    /// survived — one per failed execution attempt.
+    pub panics_recovered: usize,
+    /// Flush groups served by the one-shot oracle-kernel retry after their
+    /// preferred kernel failed.
+    pub degraded_flushes: usize,
     /// Accumulated wall-clock breakdown across every flush.
     pub flush_timings: FlushTimings,
     /// Which concrete `(kernel family, SPA backend)` each fused batch
@@ -193,6 +209,34 @@ impl std::fmt::Display for ChoiceCounts {
 }
 
 impl EngineStats {
+    /// Folds one flush's [`FlushOutcome`](crate::engine::FlushOutcome) into
+    /// the cumulative counters. Deliberately does **not** touch
+    /// [`EngineStats::requests`] (counted at submit time, so snapshots never
+    /// under-report) nor the submit-side [`EngineStats::rejected`] /
+    /// [`EngineStats::shed`] beyond what the outcome carries (zero from a
+    /// real flush; non-zero only in synthetic round-trip tests).
+    pub fn record_flush(&mut self, outcome: &crate::engine::FlushOutcome) {
+        self.retired += outcome.retired;
+        if outcome.batches > 0 {
+            self.flushes += 1;
+        }
+        self.fused_batches += outcome.batches;
+        self.lanes_executed += outcome.lanes;
+        self.widest_flush = self.widest_flush.max(outcome.lanes);
+        self.timeouts += outcome.timeouts;
+        self.rejected += outcome.rejected;
+        self.shed += outcome.shed;
+        self.panics_recovered += outcome.panics_recovered;
+        self.degraded_flushes += outcome.degraded_flushes;
+        self.flush_timings += outcome.timings;
+        self.choices.merge(&outcome.choices);
+    }
+
+    /// Requests that resolved as failures (any cause the engine counts).
+    pub fn failures(&self) -> usize {
+        self.timeouts + self.rejected + self.shed
+    }
+
     /// Mean lanes per fused multiplication — the amortization factor the
     /// engine exists to maximize (1.0 means no coalescing happened).
     pub fn mean_lanes_per_batch(&self) -> f64 {
@@ -228,6 +272,18 @@ impl std::fmt::Display for EngineStats {
             self.widest_flush,
             self.flush_timings,
         )?;
+        if self.failures() > 0 || self.panics_recovered > 0 {
+            write!(
+                f,
+                "; failures: {} timed out, {} rejected, {} shed, \
+                 {} kernel failures survived ({} degraded)",
+                self.timeouts,
+                self.rejected,
+                self.shed,
+                self.panics_recovered,
+                self.degraded_flushes,
+            )?;
+        }
         if self.choices.total() > 0 {
             write!(f, "; chose {}", self.choices)?;
         }
@@ -358,6 +414,66 @@ mod tests {
         );
         let wb = analyze(AlgorithmKind::Bucket, &a, &x, 4);
         assert!(wb.work_ratio(lb) < 10.0);
+    }
+
+    #[test]
+    fn flush_outcome_round_trips_into_engine_stats() {
+        use crate::engine::FlushOutcome;
+        use std::time::Duration;
+
+        let mut choices = ChoiceCounts::default();
+        choices.record(BatchRunInfo {
+            kernel: BatchAlgorithmKind::Bucket,
+            backend: SpaBackend::DenseIndexMajor,
+        });
+        let outcome = FlushOutcome {
+            requests: 9,
+            retired: 2,
+            batches: 3,
+            lanes: 7,
+            timeouts: 1,
+            rejected: 4,
+            shed: 5,
+            panics_recovered: 2,
+            degraded_flushes: 1,
+            timings: FlushTimings {
+                assemble: Duration::from_millis(1),
+                execute: Duration::from_millis(8),
+                demux: Duration::from_millis(1),
+                recover: Duration::from_millis(3),
+            },
+            choices,
+        };
+        let mut stats = EngineStats::default();
+        stats.record_flush(&outcome);
+        stats.record_flush(&outcome);
+        // Every counter of the outcome must land in the stats, accumulated.
+        assert_eq!(stats.retired, 4);
+        assert_eq!(stats.flushes, 2);
+        assert_eq!(stats.fused_batches, 6);
+        assert_eq!(stats.lanes_executed, 14);
+        assert_eq!(stats.widest_flush, 7);
+        assert_eq!(stats.timeouts, 2);
+        assert_eq!(stats.rejected, 8);
+        assert_eq!(stats.shed, 10);
+        assert_eq!(stats.panics_recovered, 4);
+        assert_eq!(stats.degraded_flushes, 2);
+        assert_eq!(stats.failures(), 20);
+        assert_eq!(stats.flush_timings.execute, Duration::from_millis(16));
+        assert_eq!(stats.flush_timings.recover, Duration::from_millis(6));
+        assert_eq!(stats.choices.count(BatchAlgorithmKind::Bucket, SpaBackend::DenseIndexMajor), 2);
+        // `requests` is submit-side: a flush must never touch it.
+        assert_eq!(stats.requests, 0);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("2 timed out"), "display misses failures: {rendered}");
+        assert!(rendered.contains("10 shed"), "display misses shed: {rendered}");
+
+        // A batch-less flush (all requests retired/expired) accumulates its
+        // counters but is not counted as a serving flush.
+        let mut quiet = EngineStats::default();
+        quiet.record_flush(&FlushOutcome { requests: 2, retired: 2, ..FlushOutcome::default() });
+        assert_eq!(quiet.flushes, 0);
+        assert_eq!(quiet.retired, 2);
     }
 
     #[test]

@@ -71,12 +71,14 @@ impl std::fmt::Display for StepTimings {
 /// Wall-clock breakdown of one (or several accumulated) serving-engine
 /// flushes — the coalescer's counterpart of [`StepTimings`].
 ///
-/// A flush has three phases: *assemble* (draining the request queue,
+/// A flush has three regular phases: *assemble* (draining the request queue,
 /// grouping compatible requests, building the fused [`sparse_substrate::SparseVecBatch`] and
 /// installing per-lane masks), *execute* (the fused batched
 /// multiplications), and *demux* (scattering per-lane results back to the
-/// tickets). `execute` dominating is the designed-for regime: it means the
-/// serving layer's bookkeeping is amortized away by the fused kernel.
+/// tickets) — plus *recover*, the time spent re-running failed groups on the
+/// oracle kernel, zero on every healthy flush. `execute` dominating is the
+/// designed-for regime: it means the serving layer's bookkeeping is
+/// amortized away by the fused kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlushTimings {
     /// Queue drain, request grouping, batch assembly, mask installation.
@@ -85,25 +87,29 @@ pub struct FlushTimings {
     pub execute: Duration,
     /// Per-lane result scatter back to the waiting tickets.
     pub demux: Duration,
+    /// Degraded retries: re-running a failed group on the oracle kernel.
+    pub recover: Duration,
 }
 
 impl FlushTimings {
-    /// Total time across the three phases.
+    /// Total time across all phases.
     pub fn total(&self) -> Duration {
-        self.assemble + self.execute + self.demux
+        self.assemble + self.execute + self.demux + self.recover
     }
 
     /// Fraction of the total spent in each phase, in the order
-    /// (assemble, execute, demux). Returns zeros for an empty timing.
-    pub fn fractions(&self) -> [f64; 3] {
+    /// (assemble, execute, demux, recover). Returns zeros for an empty
+    /// timing.
+    pub fn fractions(&self) -> [f64; 4] {
         let total = self.total().as_secs_f64();
         if total == 0.0 {
-            return [0.0; 3];
+            return [0.0; 4];
         }
         [
             self.assemble.as_secs_f64() / total,
             self.execute.as_secs_f64() / total,
             self.demux.as_secs_f64() / total,
+            self.recover.as_secs_f64() / total,
         ]
     }
 }
@@ -113,6 +119,7 @@ impl AddAssign for FlushTimings {
         self.assemble += rhs.assemble;
         self.execute += rhs.execute;
         self.demux += rhs.demux;
+        self.recover += rhs.recover;
     }
 }
 
@@ -124,7 +131,11 @@ impl std::fmt::Display for FlushTimings {
             self.assemble.as_secs_f64() * 1e3,
             self.execute.as_secs_f64() * 1e3,
             self.demux.as_secs_f64() * 1e3,
-        )
+        )?;
+        if !self.recover.is_zero() {
+            write!(f, " | recover {:.3} ms", self.recover.as_secs_f64() * 1e3)?;
+        }
+        Ok(())
     }
 }
 
@@ -138,16 +149,27 @@ mod tests {
             assemble: Duration::from_millis(10),
             execute: Duration::from_millis(80),
             demux: Duration::from_millis(10),
+            recover: Duration::ZERO,
         };
         assert_eq!(t.total(), Duration::from_millis(100));
         let f = t.fractions();
         assert!((f[1] - 0.8).abs() < 1e-9);
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        assert_eq!(FlushTimings::default().fractions(), [0.0; 3]);
+        assert_eq!(FlushTimings::default().fractions(), [0.0; 4]);
         let mut acc = t;
         acc += t;
         assert_eq!(acc.execute, Duration::from_millis(160));
         assert!(t.to_string().contains("execute 80.000 ms"), "unexpected display: {t}");
+        assert!(
+            !t.to_string().contains("recover"),
+            "a healthy flush must not advertise recovery time: {t}"
+        );
+        let degraded = FlushTimings { recover: Duration::from_millis(5), ..t };
+        assert_eq!(degraded.total(), Duration::from_millis(105));
+        assert!(
+            degraded.to_string().contains("recover 5.000 ms"),
+            "unexpected display: {degraded}"
+        );
     }
 
     #[test]

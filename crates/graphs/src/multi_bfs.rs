@@ -144,7 +144,10 @@ pub fn multi_bfs_using(
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_frontiers = Vec::with_capacity(active.len());
         for (&s, ticket) in active.iter().zip(tickets) {
-            let reached = ticket.try_take().expect("flush served every live request");
+            let reached = ticket
+                .try_take()
+                .expect("flush served every live request")
+                .expect("in-process BFS requests cannot fail");
             // The lane's ¬visited mask already dropped known vertices in the
             // kernel; everything that comes back is a fresh discovery.
             let mut next = SparseVec::new(n);

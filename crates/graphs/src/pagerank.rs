@@ -233,7 +233,10 @@ pub fn pagerank_personalized_batch(
         let mut next_active = Vec::with_capacity(active.len());
         let mut next_contribs = Vec::with_capacity(active.len());
         for (&s, ticket) in active.iter().zip(tickets) {
-            let propagated = ticket.try_take().expect("flush served every live request");
+            let propagated = ticket
+                .try_take()
+                .expect("flush served every live request")
+                .expect("in-process PageRank requests cannot fail");
             let mut next = SparseVec::new(n);
             for (u, &c) in propagated.iter() {
                 let scaled = alpha * c;

@@ -70,7 +70,7 @@ fn main() {
                         let mut results = Vec::with_capacity(per_client);
                         for r in 0..per_client {
                             let ticket = session.submit(MxvRequest::new(frontier_for(c, r)));
-                            let y = ticket.wait().expect("request not cancelled");
+                            let y = ticket.wait().expect("request served, not failed");
                             results.push((c, r, y));
                         }
                         results
@@ -121,7 +121,7 @@ fn main() {
         (0..burst).map(|r| engine.submit(MxvRequest::new(frontier_for(0, r)))).collect();
     let outcome = engine.flush();
     for t in tickets {
-        let _ = t.try_take().expect("flushed burst request");
+        let _ = t.try_take().expect("flushed burst request").expect("burst request served");
     }
     assert_eq!(outcome.lanes, burst);
     assert_eq!(

@@ -1,0 +1,324 @@
+//! Chaos suite for the serving engine, driven by the `spmspv::failpoint`
+//! harness (run with `--features failpoints`): inject kernel panics, delays,
+//! injected errors, and forced overload, then assert the two invariants the
+//! robustness layer promises:
+//!
+//! 1. **every ticket resolves** — a value or an `EngineError`, never a hang
+//!    (all waits here are bounded by `wait_timeout`, so a violation fails
+//!    the test instead of wedging the suite);
+//! 2. **successful results are unaffected by the chaos** — bit-identical to
+//!    an independent single-vector `PreparedMxv::run` of the same request.
+//!
+//! The failpoint registry is process-global, so every test takes `FP_LOCK`
+//! for its whole body and relies on `FailGuard` drops to disarm on all exit
+//! paths.
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use sparse_substrate::gen::{erdos_renyi, random_sparse_vec};
+use sparse_substrate::{CscMatrix, MaskBits, PlusTimes, SparseVec};
+use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy};
+use spmspv::failpoint::{self, FailAction};
+use spmspv::ops::Mxv;
+use spmspv::{BatchAlgorithmKind, MaskMode};
+
+/// Serializes every test in this file: failpoint sites are process-global.
+static FP_LOCK: Mutex<()> = Mutex::new(());
+
+fn fp_lock() -> std::sync::MutexGuard<'static, ()> {
+    FP_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Bounded claim: every ticket in this suite is collected through this, so
+/// a ticket that never resolves fails the assertion instead of hanging.
+fn claim(ticket: &spmspv::engine::Ticket<f64>) -> Result<SparseVec<f64>, EngineError> {
+    ticket.wait_timeout(Duration::from_secs(10))
+}
+
+fn independent_run(
+    a: &CscMatrix<f64>,
+    x: &SparseVec<f64>,
+    mask: Option<(&MaskBits, MaskMode)>,
+) -> SparseVec<f64> {
+    let op = Mxv::over(a).semiring(&PlusTimes);
+    let mut op = match mask {
+        Some((bits, mode)) => op.mask(bits, mode).prepare(),
+        None => op.prepare(),
+    };
+    op.run(x)
+}
+
+/// A panic inside the fused kernel's merge step must not take the flush
+/// down: the engine catches it, retries the group on the naive oracle, and
+/// every ticket still gets its bit-exact result.
+#[test]
+fn merge_panic_degrades_to_oracle_and_still_serves_exactly() {
+    let _fp = fp_lock();
+    let a = erdos_renyi(150, 5.0, 21);
+    let engine = Engine::over(&a, PlusTimes);
+    let xs: Vec<SparseVec<f64>> = (0..5).map(|i| random_sparse_vec(150, 30, 60 + i)).collect();
+    let _g =
+        failpoint::arm("batch.merge", FailAction::Panic("chaos: merge blew up".into()), Some(1));
+    // Pin the bucket family so the flush is guaranteed to reach the armed
+    // merge step (the adaptive dispatcher might pick it anyway; pinning
+    // removes the maybe).
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| engine.submit(MxvRequest::new(x.clone()).algorithm(BatchAlgorithmKind::Bucket)))
+        .collect();
+    let outcome = engine.flush();
+    assert!(failpoint::hits("batch.merge") >= 1, "the fault plan must have fired");
+    assert_eq!(outcome.panics_recovered, 1, "exactly one kernel failure survived");
+    assert_eq!(outcome.degraded_flushes, 1, "the group was served by the oracle retry");
+    assert_eq!(outcome.lanes, 5, "every lane still served");
+    for (ticket, x) in tickets.iter().zip(&xs) {
+        let y = claim(ticket).expect("degraded flush must still serve");
+        assert_eq!(y, independent_run(&a, x, None), "degraded result diverged from oracle");
+    }
+    // The engine keeps serving cleanly after recovery: the evicted
+    // descriptor is rebuilt lazily and the spent failpoint stays dormant.
+    let again = engine.submit(MxvRequest::new(xs[0].clone()).algorithm(BatchAlgorithmKind::Bucket));
+    let outcome = engine.flush();
+    assert_eq!(outcome.panics_recovered, 0);
+    assert_eq!(claim(&again).expect("healthy flush"), independent_run(&a, &xs[0], None));
+    let stats = engine.stats();
+    assert_eq!(stats.panics_recovered, 1);
+    assert_eq!(stats.degraded_flushes, 1);
+}
+
+/// When the retry fails too (two consecutive injected errors), only the
+/// doomed group's tickets fail — a different group in the same flush is
+/// served untouched, and the third group in the next flush is healthy.
+#[test]
+fn double_execute_failure_fails_only_its_group() {
+    let _fp = fp_lock();
+    let a = erdos_renyi(120, 5.0, 33);
+    let engine = Engine::over(&a, PlusTimes);
+    let xs: Vec<SparseVec<f64>> = (0..4).map(|i| random_sparse_vec(120, 25, 90 + i)).collect();
+    // Two shots: the doomed group's first attempt AND its oracle retry.
+    // Submission order makes the Bucket group run first, so both shots land
+    // on it; the Naive group's attempt comes third and finds the site spent.
+    let _g = failpoint::arm(
+        "engine.flush.execute",
+        FailAction::Error("chaos: executor unavailable".into()),
+        Some(2),
+    );
+    let doomed: Vec<_> = xs[..2]
+        .iter()
+        .map(|x| engine.submit(MxvRequest::new(x.clone()).algorithm(BatchAlgorithmKind::Bucket)))
+        .collect();
+    let healthy: Vec<_> = xs[2..]
+        .iter()
+        .map(|x| engine.submit(MxvRequest::new(x.clone()).algorithm(BatchAlgorithmKind::Naive)))
+        .collect();
+    let outcome = engine.flush();
+    assert_eq!(outcome.panics_recovered, 2, "first attempt + failed retry");
+    assert_eq!(outcome.degraded_flushes, 0, "the retry never succeeded");
+    assert_eq!(outcome.lanes, 2, "only the healthy group's lanes executed");
+    for t in &doomed {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => {
+                assert!(msg.contains("executor unavailable"), "error message lost: {msg}")
+            }
+            other => panic!("doomed ticket must fail with KernelFailed, got {other:?}"),
+        }
+    }
+    for (t, x) in healthy.iter().zip(&xs[2..]) {
+        let y = claim(t).expect("healthy group must be served");
+        assert_eq!(y, independent_run(&a, x, None));
+    }
+}
+
+/// A delay injected between execution and demux pushes an in-flight request
+/// past its deadline: the engine must drop the stale result and fail the
+/// ticket rather than deliver it as fresh.
+#[test]
+fn demux_delay_expires_in_flight_deadlines() {
+    let _fp = fp_lock();
+    let a = erdos_renyi(100, 4.0, 8);
+    let engine = Engine::over(&a, PlusTimes);
+    let x = random_sparse_vec(100, 20, 5);
+    let _g =
+        failpoint::arm("engine.flush.demux", FailAction::Delay(Duration::from_millis(30)), Some(1));
+    let stale = engine.submit(MxvRequest::new(x.clone()).timeout(Duration::from_millis(5)));
+    let outcome = engine.flush();
+    assert_eq!(outcome.timeouts, 1, "the delayed lane must expire at demux");
+    assert_eq!(outcome.lanes, 1, "the lane was executed, then dropped");
+    assert_eq!(claim(&stale), Err(EngineError::DeadlineExceeded));
+    assert_eq!(engine.stats().timeouts, 1);
+    // Without the delay the same deadline is comfortable.
+    let fresh = engine.submit(MxvRequest::new(x.clone()).timeout(Duration::from_secs(30)));
+    engine.flush();
+    assert_eq!(claim(&fresh).expect("served"), independent_run(&a, &x, None));
+}
+
+/// A panic before any group runs (queue drained, nothing resolved yet) is
+/// the worst case for waiters: the resolution guard must fail every drained
+/// ticket on the way out so no client is stranded.
+#[test]
+fn assemble_panic_resolves_every_drained_ticket() {
+    let _fp = fp_lock();
+    let a = erdos_renyi(80, 4.0, 14);
+    let engine = Engine::over(&a, PlusTimes);
+    let xs: Vec<SparseVec<f64>> = (0..2).map(|i| random_sparse_vec(80, 15, 40 + i)).collect();
+    let tickets: Vec<_> = xs.iter().map(|x| engine.submit(MxvRequest::new(x.clone()))).collect();
+    let _g = failpoint::arm(
+        "engine.flush.assemble",
+        FailAction::Panic("chaos: assembler down".into()),
+        Some(1),
+    );
+    let flushed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.flush()));
+    assert!(flushed.is_err(), "the armed assemble panic must escape flush itself");
+    for t in &tickets {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => {
+                assert!(msg.contains("aborted by panic"), "unexpected failure: {msg}")
+            }
+            other => panic!("drained ticket must resolve as KernelFailed, got {other:?}"),
+        }
+    }
+    // The engine itself is not poisoned: the next flush serves normally.
+    let after = engine.submit(MxvRequest::new(xs[0].clone()));
+    engine.flush();
+    assert_eq!(claim(&after).expect("served"), independent_run(&a, &xs[0], None));
+}
+
+/// Same panic under the `serve` loop: the loop catches the crashed flush,
+/// restarts, and keeps serving — clients after the crash succeed, clients
+/// drained into the crashed flush get an error, nobody hangs.
+#[test]
+fn serve_loop_restarts_after_a_crashed_flush() {
+    let _fp = fp_lock();
+    let a = erdos_renyi(80, 4.0, 27);
+    let engine =
+        Engine::over_with(&a, PlusTimes, EngineConfig::default().linger(Duration::from_millis(1)));
+    let x = random_sparse_vec(80, 15, 71);
+    let _g = failpoint::arm(
+        "engine.flush.assemble",
+        FailAction::Panic("chaos: flush crashed mid-serve".into()),
+        Some(1),
+    );
+    let (first, second) = engine.serve(|engine| {
+        let t1 = engine.submit(MxvRequest::new(x.clone()));
+        let first = claim(&t1);
+        // By now the armed shot is spent (that flush crashed); the restarted
+        // loop must serve this one.
+        let t2 = engine.submit(MxvRequest::new(x.clone()));
+        let second = claim(&t2);
+        (first, second)
+    });
+    assert!(
+        matches!(first, Err(EngineError::KernelFailed(_))),
+        "crashed flush's client must get an error, got {first:?}"
+    );
+    assert_eq!(second.expect("restarted loop must keep serving"), independent_run(&a, &x, None));
+    assert!(failpoint::hits("engine.flush.assemble") >= 1);
+}
+
+/// The generated fault plan for the chaos property.
+#[derive(Debug, Clone)]
+enum Fault {
+    None,
+    MergePanic,
+    ExecuteError,
+    ExecuteDelay,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline chaos property: random traffic + a random fault plan +
+    /// forced shedding, and still (1) every ticket resolves within a bounded
+    /// wait and (2) every successful ticket is bit-identical to its
+    /// independent run.
+    #[test]
+    fn chaos_never_hangs_and_successes_are_exact(
+        seed in 0u64..1000,
+        nreq in 3usize..10,
+        fault in prop_oneof![
+            Just(Fault::None),
+            Just(Fault::MergePanic),
+            Just(Fault::ExecuteError),
+            Just(Fault::ExecuteDelay),
+        ],
+        shed in any::<bool>(),
+    ) {
+        let _fp = fp_lock();
+        let a = erdos_renyi(90, 4.0, seed);
+        let config = if shed {
+            // A queue smaller than the traffic forces Overloaded outcomes.
+            EngineConfig::default()
+                .queue_capacity(nreq.saturating_sub(2).max(1))
+                .overload_policy(OverloadPolicy::ShedOldest)
+        } else {
+            EngineConfig::default()
+        };
+        let engine = Engine::over_with(&a, PlusTimes, config);
+        let _guard = match fault {
+            Fault::None => None,
+            Fault::MergePanic => Some(failpoint::arm(
+                "batch.merge",
+                FailAction::Panic("chaos property: merge panic".into()),
+                Some(1),
+            )),
+            Fault::ExecuteError => Some(failpoint::arm(
+                "engine.flush.execute",
+                FailAction::Error("chaos property: execute error".into()),
+                Some(1),
+            )),
+            Fault::ExecuteDelay => Some(failpoint::arm(
+                "engine.flush.execute",
+                FailAction::Delay(Duration::from_millis(2)),
+                Some(1),
+            )),
+        };
+        let xs: Vec<SparseVec<f64>> =
+            (0..nreq).map(|i| random_sparse_vec(90, 20, seed * 31 + i as u64)).collect();
+        let tickets: Vec<_> = xs
+            .iter()
+            .map(|x| {
+                // Pin Bucket so MergePanic plans actually reach their site.
+                engine.submit(MxvRequest::new(x.clone()).algorithm(BatchAlgorithmKind::Bucket))
+            })
+            .collect();
+        engine.flush();
+        let mut successes = 0usize;
+        for (ticket, x) in tickets.iter().zip(&xs) {
+            // The bounded claim IS invariant (1): no hang, ever.
+            match claim(ticket) {
+                Ok(y) => {
+                    successes += 1;
+                    prop_assert_eq!(
+                        y,
+                        independent_run(&a, x, None),
+                        "a chaos survivor diverged from its oracle"
+                    );
+                }
+                Err(
+                    EngineError::Overloaded
+                    | EngineError::KernelFailed(_)
+                    | EngineError::DeadlineExceeded,
+                ) => {}
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!("unexpected failure: {other:?}")));
+                }
+            }
+        }
+        // Every single-shot fault plan is lossless: a panic or error costs
+        // the first attempt but the oracle retry serves the group, and a
+        // delay merely slows the flush. Only forced shedding loses requests.
+        if !shed {
+            prop_assert_eq!(successes, nreq, "single-shot fault plans must serve everything");
+        }
+        // And the engine must still be healthy afterwards.
+        let again = engine.submit(MxvRequest::new(xs[0].clone()));
+        engine.flush();
+        prop_assert_eq!(
+            claim(&again).expect("post-chaos flush must serve"),
+            independent_run(&a, &xs[0], None)
+        );
+    }
+}

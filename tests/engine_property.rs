@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use sparse_substrate::{CooMatrix, CscMatrix, MaskBits, PlusTimes, Select2ndMin, SparseVec};
-use spmspv::engine::{Engine, EngineConfig, MxvRequest};
+use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest};
 use spmspv::ops::Mxv;
 use spmspv::{BatchAlgorithmKind, MaskMode, SpMSpVOptions};
 
@@ -130,10 +130,15 @@ proptest! {
         for (r, ticket) in requests.iter().zip(tickets) {
             let served = ticket.try_take();
             if r.cancel {
-                prop_assert!(served.is_none(), "cancelled ticket must not be served");
+                prop_assert!(
+                    matches!(served, Some(Err(EngineError::Cancelled))),
+                    "cancelled ticket must resolve as Cancelled, not be served"
+                );
                 continue;
             }
-            let y = served.expect("surviving request must be served by the flush");
+            let y = served
+                .expect("surviving request must be served by the flush")
+                .expect("surviving request must succeed");
             let oracle = independent_run(&a, r, &options);
             if sorted {
                 prop_assert_eq!(
@@ -179,7 +184,7 @@ proptest! {
                 .collect();
             engine.flush();
             for (r, ticket) in requests.iter().zip(tickets) {
-                let y = ticket.try_take().expect("served");
+                let y = ticket.try_take().expect("served").expect("succeeded");
                 prop_assert_eq!(
                     y,
                     independent_run(&a, r, &options),
@@ -222,10 +227,13 @@ proptest! {
         prop_assert_eq!(outcome.lanes, requests.len() - doomed_count);
         for (r, ticket) in requests.iter().zip(tickets) {
             if r.cancel {
-                prop_assert!(ticket.try_take().is_none());
+                prop_assert!(
+                    matches!(ticket.try_take(), Some(Err(EngineError::Cancelled))),
+                    "closed session's request must resolve as Cancelled"
+                );
             } else {
                 prop_assert_eq!(
-                    ticket.try_take().expect("survivor served"),
+                    ticket.try_take().expect("survivor served").expect("survivor succeeded"),
                     independent_run(&a, r, &options)
                 );
             }
@@ -266,7 +274,7 @@ proptest! {
             .collect();
         engine.flush();
         for ((r, frontier), ticket) in requests.iter().zip(&frontiers).zip(tickets) {
-            let y = ticket.try_take().expect("served");
+            let y = ticket.try_take().expect("served").expect("succeeded");
             let op = Mxv::over(&a).semiring(&Select2ndMin).options(options.clone());
             let mut op = match &r.mask {
                 Some((bits, _)) => op.mask(bits, MaskMode::Complement).prepare(),
@@ -315,7 +323,7 @@ fn chunked_flush_on_rmat_is_bit_identical() {
     let outcome = engine.flush();
     assert!(outcome.batches > 3, "width budget 3 over 10 mixed requests must chunk");
     for (r, ticket) in requests.iter().zip(tickets) {
-        let y = ticket.try_take().expect("served");
+        let y = ticket.try_take().expect("served").expect("succeeded");
         assert_eq!(y, independent_run(&a, r, &options));
     }
 }
