@@ -22,6 +22,13 @@
 //! The report — p50/p95/p99/max ticket latency, per-outcome counts, shed
 //! rate, recovery counters — prints to stdout and is written as JSON to
 //! `BENCH_engine_load.json` (override with `BENCH_ENGINE_LOAD_OUT`).
+//! Latency percentiles come from per-client [`Histogram`]s (log-linear,
+//! relative error ≤ 1/16) merged lock-free at the end, the same machinery
+//! the serving stack's own metrics use — not from sorting raw sample
+//! vectors. The report also carries an `obs_overhead` section: the same
+//! small closed-loop workload timed with observability enabled and with
+//! [`ObsConfig::disabled`], so regressions in the telemetry hot path show
+//! up in the artifact.
 //!
 //! Usage: `cargo run --release -p spmspv-bench [--features failpoints] --bin engine_load`
 //!
@@ -31,6 +38,8 @@
 //! [`Engine`]: spmspv::engine::Engine
 //! [`serve`]: spmspv::engine::Engine::serve
 //! [`OverloadPolicy::ShedOldest`]: spmspv::engine::OverloadPolicy
+//! [`Histogram`]: spmspv::obs::Histogram
+//! [`ObsConfig::disabled`]: spmspv::ObsConfig::disabled
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -38,7 +47,8 @@ use std::time::{Duration, Instant};
 use sparse_substrate::gen::{random_sparse_vec, rmat, RmatParams};
 use sparse_substrate::{MaskBits, PlusTimes, SparseVec};
 use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy};
-use spmspv::{MaskMode, SpMSpVOptions};
+use spmspv::obs::Histogram;
+use spmspv::{MaskMode, ObsConfig, SpMSpVOptions};
 use spmspv_bench::report::Json;
 
 /// Per-client outcome tally; merged across clients at the end.
@@ -48,8 +58,11 @@ struct Tally {
     deadline_exceeded: usize,
     overloaded: usize,
     failed: usize,
-    /// Submit→resolution latency of every request, in microseconds.
-    latencies: Vec<u64>,
+    /// Submit→resolution latency of every request, in microseconds — the
+    /// obs layer's log-linear histogram, so clients merge lock-free and
+    /// percentiles come from the same estimator the engine's own telemetry
+    /// uses.
+    latency: Histogram,
 }
 
 impl Tally {
@@ -58,7 +71,7 @@ impl Tally {
         self.deadline_exceeded += other.deadline_exceeded;
         self.overloaded += other.overloaded;
         self.failed += other.failed;
-        self.latencies.extend(other.latencies);
+        self.latency.merge(&other.latency);
     }
 
     fn total(&self) -> usize {
@@ -70,13 +83,43 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
-/// `q`-th percentile of an ascending-sorted latency list (nearest rank).
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+/// Times the same small closed-loop workload twice — observability enabled
+/// vs. [`ObsConfig::disabled`] — so the report carries the telemetry
+/// layer's measured overhead. Each configuration runs one untimed warm-up
+/// pass (thread pool + pooled descriptor construction) and then best-of-3
+/// timed passes on the warm engine, the usual micro-benchmark estimator,
+/// because a single sub-millisecond pass is at the mercy of one scheduler
+/// hiccup.
+fn obs_overhead_probe(rounds: usize) -> (Duration, Duration) {
+    let run = |obs: ObsConfig| -> Duration {
+        let a = rmat(8, 8, RmatParams::graph500(), 11);
+        let n = a.ncols();
+        let engine =
+            Engine::load_with(a, PlusTimes, EngineConfig::default().max_lanes(16).obs(obs));
+        let one_pass = |pass: usize| -> Duration {
+            let t0 = Instant::now();
+            for round in 0..rounds {
+                let tickets: Vec<_> = (0..8)
+                    .map(|i| {
+                        let x: SparseVec<f64> = random_sparse_vec(
+                            n,
+                            16 + (round * 7 + i) % 32,
+                            (pass * 31 + round * 97 + i) as u64,
+                        );
+                        engine.submit(MxvRequest::new(x))
+                    })
+                    .collect();
+                engine.flush();
+                for t in tickets {
+                    t.wait_timeout(Duration::from_secs(10)).expect("overhead probe must serve");
+                }
+            }
+            t0.elapsed()
+        };
+        one_pass(0); // warm-up, untimed
+        (1..=3).map(one_pass).min().expect("three timed passes")
+    };
+    (run(ObsConfig::default()), run(ObsConfig::disabled()))
 }
 
 /// While traffic flows, keep re-arming short-lived one-shot faults across
@@ -200,8 +243,8 @@ fn main() {
                                 // hang on a lost ticket.
                                 let resolved = ticket.wait_timeout(Duration::from_secs(10));
                                 tally
-                                    .latencies
-                                    .push(submitted.elapsed().as_micros().min(u64::MAX as u128)
+                                    .latency
+                                    .record(submitted.elapsed().as_micros().min(u64::MAX as u128)
                                         as u64);
                                 match resolved {
                                     Ok(_) => tally.ok += 1,
@@ -238,11 +281,9 @@ fn main() {
     let wall = t0.elapsed();
 
     let stats = engine.stats();
-    let mut sorted = tally.latencies.clone();
-    sorted.sort_unstable();
-    let (p50, p95, p99) =
-        (percentile(&sorted, 0.50), percentile(&sorted, 0.95), percentile(&sorted, 0.99));
-    let max = sorted.last().copied().unwrap_or(0);
+    let latency = tally.latency.snapshot();
+    let (p50, p95, p99) = (latency.quantile(0.50), latency.quantile(0.95), latency.quantile(0.99));
+    let max = latency.max;
     let requests = tally.total();
     let shed_rate =
         if requests == 0 { 0.0 } else { (stats.shed + stats.rejected) as f64 / requests as f64 };
@@ -265,6 +306,16 @@ fn main() {
         stats.panics_recovered, stats.degraded_flushes
     );
     println!("engine telemetry: {stats}");
+
+    let (obs_on, obs_off) = obs_overhead_probe(if smoke { 10 } else { 40 });
+    let obs_ratio =
+        if obs_off.is_zero() { 1.0 } else { obs_on.as_secs_f64() / obs_off.as_secs_f64() };
+    println!(
+        "obs overhead probe: enabled {:.2} ms vs disabled {:.2} ms ({:+.1}%)",
+        obs_on.as_secs_f64() * 1e3,
+        obs_off.as_secs_f64() * 1e3,
+        (obs_ratio - 1.0) * 100.0,
+    );
 
     let report = Json::obj([
         ("bench", Json::str("engine_load")),
@@ -303,6 +354,14 @@ fn main() {
         ),
         ("shed_rate", Json::Num(shed_rate)),
         (
+            "obs_overhead",
+            Json::obj([
+                ("enabled_micros", Json::micros(obs_on)),
+                ("disabled_micros", Json::micros(obs_off)),
+                ("ratio", Json::Num(obs_ratio)),
+            ]),
+        ),
+        (
             "engine",
             Json::obj([
                 ("shed", Json::Int(stats.shed as i64)),
@@ -325,7 +384,7 @@ fn main() {
     // Smoke-lane shape assertions: the CI chaos lane runs this bin and then
     // validates the JSON, but the cheap invariants are asserted here too so
     // a broken run fails loudly at the source.
-    assert_eq!(requests, tally.latencies.len(), "one latency sample per request");
+    assert_eq!(requests as u64, latency.count, "one latency sample per request");
     assert!(requests > 0 && tally.ok > 0, "a load run must serve something");
     assert!(p50 <= p95 && p95 <= p99 && p99 <= max, "percentiles must be monotone");
     if faults_armed {

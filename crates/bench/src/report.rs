@@ -1,109 +1,12 @@
 //! Small helpers for running thread sweeps, printing figure-style tables,
-//! and emitting machine-readable JSON reports (the workspace builds offline,
-//! so [`Json`] is a minimal hand-rolled value type instead of a serde
-//! dependency).
+//! and emitting machine-readable JSON reports. The JSON value type lives in
+//! [`spmspv::obs::json`] (the observability layer exports snapshots through
+//! it); it is re-exported here so bench binaries keep importing
+//! `spmspv_bench::report::Json`.
 
 use std::time::{Duration, Instant};
 
-/// A JSON value for bench reports. Build with the constructors, serialize
-/// with [`Json::render`]; objects preserve insertion order so reports diff
-/// cleanly across PRs.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept separate from floats so counts render exactly).
-    Int(i64),
-    /// A float; non-finite values render as `null` (JSON has no NaN).
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object as ordered key–value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object from `(key, value)` pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Convenience constructor for a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Microseconds of a [`Duration`] as a JSON number (the unit every
-    /// timing in the reports uses).
-    pub fn micros(d: Duration) -> Json {
-        Json::Num(d.as_secs_f64() * 1e6)
-    }
-
-    /// Serializes to a compact JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
-    }
-
-    fn write(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::Num(x) => {
-                if x.is_finite() {
-                    // `{:?}` keeps a decimal point / exponent, so the value
-                    // stays a float on round-trip.
-                    out.push_str(&format!("{x:?}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\r' => out.push_str("\\r"),
-                        '\t' => out.push_str("\\t"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.write(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).write(out);
-                    out.push(':');
-                    v.write(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
+pub use spmspv::obs::json::Json;
 
 /// One named series of `(x, milliseconds)` points, e.g. one line of a
 /// figure ("SpMSpV-bucket" runtime vs. core count).
@@ -207,31 +110,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_renders_every_variant() {
-        let j = Json::obj([
-            ("name", Json::str("batch_scaling")),
-            ("smoke", Json::Bool(false)),
-            ("k", Json::Int(64)),
-            ("micros", Json::Num(12.5)),
-            ("nan", Json::Num(f64::NAN)),
-            ("none", Json::Null),
-            ("tags", Json::Arr(vec![Json::str("a\"b"), Json::Int(-3)])),
-        ]);
-        assert_eq!(
-            j.render(),
-            r#"{"name":"batch_scaling","smoke":false,"k":64,"micros":12.5,"nan":null,"none":null,"tags":["a\"b",-3]}"#
-        );
-    }
-
-    #[test]
-    fn json_escapes_control_characters() {
-        assert_eq!(Json::str("a\nb\t\u{1}").render(), "\"a\\nb\\t\\u0001\"");
-    }
-
-    #[test]
-    fn json_micros_and_floats_round_trip_as_numbers() {
+    fn json_reexport_is_the_obs_type() {
+        // The real Json tests live in `spmspv::obs::json`; this guards the
+        // re-export path bench binaries rely on.
         assert_eq!(Json::micros(Duration::from_micros(250)).render(), "250.0");
-        assert_eq!(Json::Num(3.0).render(), "3.0", "floats must keep a decimal point");
     }
 
     #[test]

@@ -253,6 +253,7 @@ pub struct Calibration {
 pub fn calibration() -> &'static Calibration {
     static CAL: OnceLock<Calibration> = OnceLock::new();
     CAL.get_or_init(|| {
+        crate::obs::record_calibration();
         // 8 MiB of stamps + 8 MiB of values: larger than typical L2/L3
         // slices, so the dense probe is miss-dominated like the real
         // sparse-output regime.
@@ -500,6 +501,7 @@ where
     ) -> SparseVec<S::Output> {
         let choice = self.choose(x);
         self.last = Some(choice);
+        crate::obs::record_adaptive_single(choice);
         match choice {
             AlgorithmKind::Sequential => {
                 let seq = self
@@ -631,6 +633,7 @@ where
         mask: Option<&BatchMaskView<'_>>,
     ) -> SparseVecBatch<S::Output> {
         let kernel = self.choose(x.total_nnz(), x.k());
+        crate::obs::record_adaptive_batch_kernel(kernel);
         let (y, info) = match kernel {
             BatchAlgorithmKind::Naive => {
                 let naive = self

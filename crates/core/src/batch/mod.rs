@@ -482,6 +482,8 @@ where
         };
         timings.merge = merge_time;
         timings.output = output_time;
+        crate::obs::record_batch_phases(&timings);
+        crate::obs::record_backend_choice(backend);
 
         (y, timings)
     }

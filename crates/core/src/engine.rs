@@ -81,6 +81,18 @@
 //!   [`Ticket::wait`]. A flush that panics past its own isolation fails only
 //!   the requests it had drained; the loop restarts and keeps serving.
 //!
+//! # Observability
+//!
+//! Every engine owns a metrics [`Registry`] ([`Engine::obs`]) holding the
+//! `engine.*` counters, queue-depth/widest-flush gauges, per-phase flush
+//! latency histograms, queue-wait distribution, and a bounded trace ring of
+//! flush decisions (`flush.begin`, `group.fused`, `adaptive.choice`,
+//! `degrade.retry`, `kernel.failure`, `overload`, `deadline.expired`).
+//! [`Engine::stats`] is a *view* reconstructed from that registry — there is
+//! no parallel bookkeeping. Configure (or disable) collection through
+//! [`EngineConfig::obs`]; see the [`crate::obs`] module docs for the full
+//! metric taxonomy.
+//!
 //! ```
 //! use sparse_substrate::{fixtures, PlusTimes, SparseVec};
 //! use spmspv::engine::{Engine, MxvRequest};
@@ -111,12 +123,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use sparse_substrate::{CscMatrix, MaskBits, Scalar, Semiring, SparseVec, SparseVecBatch};
+use sparse_substrate::{
+    CscMatrix, MaskBits, Scalar, Semiring, SpaBackend, SparseVec, SparseVecBatch,
+};
 
 use crate::algorithm::SpMSpVOptions;
 use crate::batch::{BatchAlgorithmKind, BatchRunInfo};
 use crate::failpoint;
 use crate::masked::MaskMode;
+use crate::obs::{self, Counter, Gauge, Histogram, ObsConfig, Registry, Span, TraceKind};
 use crate::ops::{Mxv, PreparedMxv};
 use crate::stats::{ChoiceCounts, EngineStats};
 use crate::timing::FlushTimings;
@@ -222,6 +237,11 @@ pub struct EngineConfig {
     pub batch_algorithm: BatchAlgorithmKind,
     /// Kernel tuning options shared by every pooled descriptor.
     pub options: SpMSpVOptions,
+    /// Observability configuration for the engine's own [`Registry`]
+    /// (reachable via [`Engine::obs`]). Disabling it skips latency
+    /// histograms and trace events; the `engine.*` counters keep running so
+    /// [`Engine::stats`] stays exact either way.
+    pub obs: ObsConfig,
 }
 
 impl Default for EngineConfig {
@@ -237,6 +257,7 @@ impl Default for EngineConfig {
             // flush chose is recorded in [`EngineStats::choices`].
             batch_algorithm: BatchAlgorithmKind::Adaptive,
             options: SpMSpVOptions::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -275,6 +296,12 @@ impl EngineConfig {
     /// Builder-style setter for [`EngineConfig::options`].
     pub fn options(mut self, options: SpMSpVOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Builder-style setter for [`EngineConfig::obs`].
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 }
@@ -482,6 +509,11 @@ impl<Y> Ticket<Y> {
 
 /// One queued request, tagged with the session that submitted it.
 struct QueueEntry<X, Y> {
+    /// Engine-unique request id — ties `group.fused` trace events back to
+    /// individual submissions.
+    id: u64,
+    /// When the request was admitted, for the `engine.queue.wait` histogram.
+    submitted: Instant,
     session: u64,
     frontier: SparseVec<X>,
     mask: Option<(Arc<MaskBits>, MaskMode)>,
@@ -524,6 +556,94 @@ impl<Y> Drop for ResolveOnDrop<Y> {
     }
 }
 
+/// Index of each flush phase in [`EngineMetrics::flush_phase`].
+const PHASE_ASSEMBLE: usize = 0;
+const PHASE_EXECUTE: usize = 1;
+const PHASE_DEMUX: usize = 2;
+const PHASE_RECOVER: usize = 3;
+
+/// The engine's bookkeeping: one per-engine [`Registry`] plus `Arc` handles
+/// to every `engine.*` metric, resolved once at construction so the hot
+/// paths never touch the registry's name table. [`Engine::stats`]
+/// reconstructs [`EngineStats`] as a view over these handles; the registry
+/// itself is the export surface ([`Engine::obs`]).
+struct EngineMetrics {
+    registry: Registry,
+    requests: Arc<Counter>,
+    retired: Arc<Counter>,
+    flushes: Arc<Counter>,
+    fused_batches: Arc<Counter>,
+    lanes_executed: Arc<Counter>,
+    timeouts: Arc<Counter>,
+    rejected: Arc<Counter>,
+    shed: Arc<Counter>,
+    panics_recovered: Arc<Counter>,
+    degraded_flushes: Arc<Counter>,
+    /// `engine.choice.<kernel>.<backend>`, indexed like
+    /// [`ChoiceCounts::KERNELS`] × [`ChoiceCounts::BACKENDS`].
+    choice: [[Arc<Counter>; 3]; 3],
+    queue_depth: Arc<Gauge>,
+    widest_flush: Arc<Gauge>,
+    queue_wait: Arc<Histogram>,
+    /// assemble / execute / demux / recover, see the `PHASE_*` indices.
+    flush_phase: [Arc<Histogram>; 4],
+}
+
+impl EngineMetrics {
+    fn new(config: &ObsConfig) -> Self {
+        let registry = Registry::new(config.clone());
+        let choice = ChoiceCounts::KERNELS.map(|k| {
+            ChoiceCounts::BACKENDS.map(|b| {
+                registry.counter(&format!(
+                    "engine.choice.{}.{}",
+                    obs::kernel_slug(k),
+                    obs::backend_slug(b)
+                ))
+            })
+        });
+        EngineMetrics {
+            requests: registry.counter("engine.requests"),
+            retired: registry.counter("engine.retired"),
+            flushes: registry.counter("engine.flushes"),
+            fused_batches: registry.counter("engine.fused_batches"),
+            lanes_executed: registry.counter("engine.lanes_executed"),
+            timeouts: registry.counter("engine.timeouts"),
+            rejected: registry.counter("engine.rejected"),
+            shed: registry.counter("engine.shed"),
+            panics_recovered: registry.counter("engine.panics_recovered"),
+            degraded_flushes: registry.counter("engine.degraded_flushes"),
+            choice,
+            queue_depth: registry.gauge("engine.queue.depth"),
+            widest_flush: registry.gauge("engine.widest_flush"),
+            queue_wait: registry.histogram("engine.queue.wait"),
+            flush_phase: [
+                "engine.flush.assemble",
+                "engine.flush.execute",
+                "engine.flush.demux",
+                "engine.flush.recover",
+            ]
+            .map(|name| registry.histogram(name)),
+            registry,
+        }
+    }
+
+    /// A span over one flush phase — recording when enabled, a plain timer
+    /// otherwise, so the `FlushOutcome` timings stay exact either way.
+    fn phase_span(&self, phase: usize) -> Span<'_> {
+        if self.registry.enabled() {
+            Span::enter(&self.flush_phase[phase])
+        } else {
+            Span::disabled()
+        }
+    }
+
+    fn choice_counter(&self, kernel: BatchAlgorithmKind, backend: SpaBackend) -> Option<&Counter> {
+        let k = ChoiceCounts::KERNELS.iter().position(|&x| x == kernel)?;
+        let b = ChoiceCounts::BACKENDS.iter().position(|&x| x == backend)?;
+        Some(&self.choice[k][b])
+    }
+}
+
 /// The serving engine. See the [module docs](self).
 ///
 /// Generic over the matrix element `A`, the input element `X` and the
@@ -541,10 +661,11 @@ pub struct Engine<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> {
     /// fields drop in declaration order.
     pool: Mutex<DescriptorPool<'m, A, X, S>>,
     queue: RequestQueue<X, S::Output>,
-    stats: Mutex<EngineStats>,
+    metrics: EngineMetrics,
     config: EngineConfig,
     semiring: S,
     next_session: AtomicU64,
+    next_request: AtomicU64,
     source: MatrixSource<'m, A>,
 }
 
@@ -556,7 +677,9 @@ impl<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> Engine<'m, A, X, S> {
     fn fail_queue(&self, err: EngineError) -> usize {
         let drained: Vec<QueueEntry<X, S::Output>> = {
             let mut q = lock(&self.queue.entries);
-            q.drain(..).collect()
+            let drained = q.drain(..).collect();
+            self.metrics.queue_depth.set(q.len() as u64);
+            drained
         };
         self.queue.shrank.notify_all();
         drained.iter().filter(|e| e.ticket.fail(err.clone())).count()
@@ -576,11 +699,12 @@ impl<'m, A: Scalar, X: Scalar, S: Semiring<A, X>> Engine<'m, A, X, S> {
                     true
                 }
             });
+            self.metrics.queue_depth.set(q.len() as u64);
             before - q.len()
         };
         if retired > 0 {
             self.queue.shrank.notify_all();
-            lock(&self.stats).retired += retired;
+            self.metrics.retired.add(retired as u64);
         }
         retired
     }
@@ -625,6 +749,7 @@ where
     }
 
     fn from_source(source: MatrixSource<'m, A>, semiring: S, config: EngineConfig) -> Self {
+        let metrics = EngineMetrics::new(&config.obs);
         Engine {
             pool: Mutex::new(Vec::new()),
             queue: RequestQueue {
@@ -632,10 +757,11 @@ where
                 grew: Condvar::new(),
                 shrank: Condvar::new(),
             },
-            stats: Mutex::new(EngineStats::default()),
+            metrics,
             config,
             semiring,
             next_session: AtomicU64::new(1),
+            next_request: AtomicU64::new(0),
             source,
         }
     }
@@ -665,9 +791,72 @@ where
         &self.config
     }
 
-    /// Cumulative coalescing and failure telemetry.
+    /// Cumulative coalescing and failure telemetry — a view reconstructed
+    /// from the engine's metrics [`Registry`] (see [`Engine::obs`]). The
+    /// counters are exact regardless of [`ObsConfig`]; the
+    /// [`EngineStats::flush_timings`] breakdown comes from the
+    /// `engine.flush.*` histograms' exact nanosecond sums and is therefore
+    /// all-zero when observability is disabled.
     pub fn stats(&self) -> EngineStats {
-        *lock(&self.stats)
+        let m = &self.metrics;
+        let mut counts = [[0usize; 3]; 3];
+        for (row, handles) in counts.iter_mut().zip(m.choice.iter()) {
+            for (cell, counter) in row.iter_mut().zip(handles.iter()) {
+                *cell = counter.get() as usize;
+            }
+        }
+        EngineStats {
+            requests: m.requests.get() as usize,
+            retired: m.retired.get() as usize,
+            flushes: m.flushes.get() as usize,
+            fused_batches: m.fused_batches.get() as usize,
+            lanes_executed: m.lanes_executed.get() as usize,
+            widest_flush: m.widest_flush.get() as usize,
+            timeouts: m.timeouts.get() as usize,
+            rejected: m.rejected.get() as usize,
+            shed: m.shed.get() as usize,
+            panics_recovered: m.panics_recovered.get() as usize,
+            degraded_flushes: m.degraded_flushes.get() as usize,
+            flush_timings: FlushTimings {
+                assemble: Duration::from_nanos(m.flush_phase[PHASE_ASSEMBLE].sum()),
+                execute: Duration::from_nanos(m.flush_phase[PHASE_EXECUTE].sum()),
+                demux: Duration::from_nanos(m.flush_phase[PHASE_DEMUX].sum()),
+                recover: Duration::from_nanos(m.flush_phase[PHASE_RECOVER].sum()),
+            },
+            choices: ChoiceCounts::from_counts(counts),
+        }
+    }
+
+    /// This engine's observability registry: every `engine.*` counter,
+    /// gauge, and latency histogram plus the flush trace ring. Snapshot it
+    /// (and merge with [`crate::obs::global`]'s snapshot) for a full report.
+    pub fn obs(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
+    /// Folds one flush's outcome into the registry counters. Submit-side
+    /// counters (`requests`, `rejected`, `shed`) are recorded at submit
+    /// time, never here; phase durations are recorded by the flush's spans.
+    fn record_flush_outcome(&self, outcome: &FlushOutcome) {
+        let m = &self.metrics;
+        m.retired.add(outcome.retired as u64);
+        if outcome.batches > 0 {
+            m.flushes.inc();
+        }
+        m.fused_batches.add(outcome.batches as u64);
+        m.lanes_executed.add(outcome.lanes as u64);
+        m.widest_flush.record_max(outcome.lanes as u64);
+        m.timeouts.add(outcome.timeouts as u64);
+        m.panics_recovered.add(outcome.panics_recovered as u64);
+        m.degraded_flushes.add(outcome.degraded_flushes as u64);
+        for (kernel, backend, n) in outcome.choices.iter() {
+            if let Some(counter) = m.choice_counter(kernel, backend) {
+                counter.add(n as u64);
+            }
+        }
+        if outcome.timeouts > 0 {
+            m.registry.trace(TraceKind::DeadlineExpired { lanes: outcome.timeouts });
+        }
     }
 
     /// Requests currently queued (submitted, not yet flushed).
@@ -709,6 +898,8 @@ where
             ready: Condvar::new(),
         });
         let entry = QueueEntry {
+            id: self.next_request.fetch_add(1, Ordering::Relaxed),
+            submitted: Instant::now(),
             session,
             frontier: request.frontier,
             mask: request.mask,
@@ -718,7 +909,7 @@ where
         };
         // Count the request before it becomes flushable, so a concurrent
         // `stats()` snapshot always sees `requests ≥ lanes_executed`.
-        lock(&self.stats).requests += 1;
+        self.metrics.requests.inc();
         let capacity = self.config.queue_capacity;
         let mut shed = 0usize;
         let mut rejected = false;
@@ -744,16 +935,19 @@ where
             if !rejected {
                 q.push_back(entry);
             }
+            self.metrics.queue_depth.set(q.len() as u64);
         }
         if rejected {
             shared.fail(EngineError::Overloaded);
         }
         if shed > 0 || rejected {
-            let mut stats = lock(&self.stats);
-            stats.shed += shed;
+            self.metrics.shed.add(shed as u64);
             if rejected {
-                stats.rejected += 1;
+                self.metrics.rejected.inc();
             }
+            self.metrics
+                .registry
+                .trace(TraceKind::Overload { shed, rejected: usize::from(rejected) });
         }
         self.queue.grew.notify_all();
         Ticket { shared }
@@ -769,11 +963,22 @@ where
     pub fn flush(&self) -> FlushOutcome {
         let drained: Vec<QueueEntry<X, S::Output>> = {
             let mut q = lock(&self.queue.entries);
-            q.drain(..).collect()
+            let drained = q.drain(..).collect();
+            self.metrics.queue_depth.set(q.len() as u64);
+            drained
         };
         self.queue.shrank.notify_all();
         if drained.is_empty() {
             return FlushOutcome::default();
+        }
+        if self.metrics.registry.enabled() {
+            let now = Instant::now();
+            for entry in &drained {
+                self.metrics
+                    .queue_wait
+                    .record_duration(now.saturating_duration_since(entry.submitted));
+            }
+            self.metrics.registry.trace(TraceKind::FlushBegin { requests: drained.len() });
         }
 
         // From here on, an unwind out of this function resolves every
@@ -786,7 +991,7 @@ where
         }
 
         let mut outcome = FlushOutcome { requests: drained.len(), ..FlushOutcome::default() };
-        let t_group = Instant::now();
+        let sp_group = self.metrics.phase_span(PHASE_ASSEMBLE);
         // Group by (algorithm family, mask mode), preserving arrival order
         // within each group — the demux order clients observe.
         type Key = (BatchAlgorithmKind, Option<MaskMode>);
@@ -812,14 +1017,14 @@ where
                 None => groups.push((key, vec![entry])),
             }
         }
-        outcome.timings.assemble += t_group.elapsed();
+        outcome.timings.assemble += sp_group.stop();
 
         let width = if self.config.max_lanes == 0 { usize::MAX } else { self.config.max_lanes };
         let mut pool = lock(&self.pool);
         for ((kind, mode), members) in groups {
             let mut members = members.into_iter().peekable();
             while members.peek().is_some() {
-                let t_assemble = Instant::now();
+                let sp_assemble = self.metrics.phase_span(PHASE_ASSEMBLE);
                 // Mid-flight retirement check once more at assembly time: a
                 // ticket cancelled after the drain still leaves the batch.
                 let chunk: Vec<QueueEntry<X, S::Output>> = members
@@ -834,8 +1039,10 @@ where
                     })
                     .collect();
                 if chunk.is_empty() {
+                    outcome.timings.assemble += sp_assemble.stop();
                     continue;
                 }
+                let first_id = chunk[0].id;
                 // Disassemble the entries: frontiers fuse into the batch,
                 // masks move into the pooled descriptor, tickets stay for
                 // the demux — no per-request copies. The masks are kept as
@@ -859,9 +1066,15 @@ where
                     (Some(m), Some(mode)) => Some((m.as_slice(), mode)),
                     _ => None,
                 };
-                outcome.timings.assemble += t_assemble.elapsed();
+                outcome.timings.assemble += sp_assemble.stop();
+                self.metrics.registry.trace(TraceKind::GroupFused {
+                    kernel: kind,
+                    lanes: lanes.len(),
+                    masked: mode.is_some(),
+                    first_id,
+                });
 
-                let t_execute = Instant::now();
+                let sp_execute = self.metrics.phase_span(PHASE_EXECUTE);
                 let first = Self::run_group(
                     &mut pool,
                     kind,
@@ -871,11 +1084,12 @@ where
                     &x,
                     mask_arg(),
                 );
-                outcome.timings.execute += t_execute.elapsed();
+                outcome.timings.execute += sp_execute.stop();
                 let served = match first {
                     Ok(ok) => Some(ok),
                     Err(err) => {
                         outcome.panics_recovered += 1;
+                        self.metrics.registry.trace(TraceKind::KernelFailure(err.to_string()));
                         if kind == BatchAlgorithmKind::Naive {
                             // Already on the oracle kernel: nothing simpler
                             // to degrade to.
@@ -887,7 +1101,8 @@ where
                             // Graceful degradation: one retry on the naive
                             // oracle kernel (independent per-lane runs — the
                             // most conservative path we have).
-                            let t_recover = Instant::now();
+                            self.metrics.registry.trace(TraceKind::DegradeRetry { from: kind });
+                            let sp_recover = self.metrics.phase_span(PHASE_RECOVER);
                             let retry = Self::run_group(
                                 &mut pool,
                                 BatchAlgorithmKind::Naive,
@@ -897,7 +1112,7 @@ where
                                 &x,
                                 mask_arg(),
                             );
-                            outcome.timings.recover += t_recover.elapsed();
+                            outcome.timings.recover += sp_recover.stop();
                             match retry {
                                 Ok(ok) => {
                                     outcome.degraded_flushes += 1;
@@ -905,6 +1120,9 @@ where
                                 }
                                 Err(retry_err) => {
                                     outcome.panics_recovered += 1;
+                                    self.metrics
+                                        .registry
+                                        .trace(TraceKind::KernelFailure(retry_err.to_string()));
                                     for t in &tickets {
                                         t.fail(retry_err.clone());
                                     }
@@ -917,9 +1135,10 @@ where
                 let Some((y, info)) = served else { continue };
                 if let Some(info) = info {
                     outcome.choices.record(info);
+                    self.metrics.registry.trace(TraceKind::AdaptiveChoice(info));
                 }
 
-                let t_demux = Instant::now();
+                let sp_demux = self.metrics.phase_span(PHASE_DEMUX);
                 if let Err(msg) = failpoint::act("engine.flush.demux") {
                     panic!("failpoint engine.flush.demux: {msg}");
                 }
@@ -937,12 +1156,12 @@ where
                 }
                 outcome.batches += 1;
                 outcome.lanes += tickets.len();
-                outcome.timings.demux += t_demux.elapsed();
+                outcome.timings.demux += sp_demux.stop();
             }
         }
         drop(pool);
 
-        lock(&self.stats).record_flush(&outcome);
+        self.record_flush_outcome(&outcome);
         outcome
     }
 

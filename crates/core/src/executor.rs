@@ -31,6 +31,7 @@ impl Executor {
             .thread_name(|i| format!("spmspv-{i}"))
             .build()
             .expect("failed to build thread pool");
+        crate::obs::executor_gauges().0.record_max(threads as u64);
         Executor { pool: Arc::new(pool), threads }
     }
 
@@ -43,13 +44,33 @@ impl Executor {
     /// Runs `f` inside the pool so nested Rayon parallelism uses exactly
     /// this pool's workers.
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        let _depth = InflightGuard::enter();
         self.pool.install(f)
     }
 
     /// Runs a scope inside the pool; used for the "one task per logical
     /// thread" pattern Algorithm 1/2 needs.
     pub fn scope<'scope, R: Send>(&self, f: impl FnOnce(&rayon::Scope<'scope>) -> R + Send) -> R {
+        let _depth = InflightGuard::enter();
         self.pool.scope(f)
+    }
+}
+
+/// Keeps the `executor.inflight` gauge equal to the number of
+/// `install`/`scope` calls currently inside a pool — decrements on drop, so
+/// an unwinding kernel cannot leave the gauge stuck high.
+struct InflightGuard;
+
+impl InflightGuard {
+    fn enter() -> Self {
+        crate::obs::executor_gauges().1.add(1);
+        InflightGuard
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        crate::obs::executor_gauges().1.sub(1);
     }
 }
 

@@ -127,6 +127,9 @@ mod imp {
             // The registry lock drops HERE, before any panic/sleep below —
             // an injected fault must never hold the registry hostage.
         };
+        if fired.is_some() {
+            crate::obs::record_failpoint_hit(site);
+        }
         match fired {
             None => Ok(()),
             Some(FailAction::Delay(d)) => {

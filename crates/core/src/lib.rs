@@ -104,6 +104,18 @@
 //! that always resolve (to a value or an [`engine::EngineError`], never a
 //! hang). See the [`engine`] module docs; the [`failpoint`] module is the
 //! deterministic fault-injection harness the chaos tests drive it with.
+//!
+//! ## Observability: the `obs` layer
+//!
+//! Everything above is instrumented through [`obs`]: each engine owns a
+//! metrics [`Registry`] (atomic counters/gauges plus log-linear latency
+//! histograms per flush phase and a structured trace ring), the kernel,
+//! adaptive, executor, and failpoint layers record into the process-wide
+//! [`obs::global`] registry, and [`stats::EngineStats`] is a *view* over
+//! the engine's registry rather than parallel bookkeeping.
+//! [`obs::Snapshot`] exports the whole thing as JSON or a human dashboard;
+//! [`ObsConfig`] is the off switch. The module docs list every metric name
+//! and its unit.
 
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -118,6 +130,7 @@ pub mod engine;
 pub mod executor;
 pub mod failpoint;
 pub mod masked;
+pub mod obs;
 pub mod ops;
 pub mod stats;
 pub mod timing;
@@ -132,6 +145,7 @@ pub use bucket::SpMSpVBucket;
 pub use engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy, Session, Ticket};
 pub use executor::Executor;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
+pub use obs::{ObsConfig, Registry};
 pub use ops::{Mxv, MxvOp, PreparedMxv};
 pub use sparse_substrate::SpaBackend;
 pub use stats::{ChoiceCounts, WorkStats};

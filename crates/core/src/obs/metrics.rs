@@ -1,0 +1,453 @@
+//! Atomic metric primitives: [`Counter`], [`Gauge`], and the log-linear
+//! [`Histogram`]. All three are lock-free on the write path — a record is a
+//! handful of `Relaxed` atomic operations — and readable at any time from
+//! any thread. Readers see each atomic individually consistent but the set
+//! is not snapshotted under a lock; a concurrent recorder can make `count`
+//! and the bucket array disagree by the in-flight sample, which is fine for
+//! observability.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// An instantaneous level (queue depth, in-flight work, high-water marks).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Lowers the level by `n`, saturating at zero (concurrent raisers and
+    /// lowerers can interleave; a gauge must never wrap to `u64::MAX`).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if n != 0 {
+            let _ = self.0.fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
+        }
+    }
+
+    /// Raises the level to `v` if it is above the current value
+    /// (high-water-mark semantics).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `2^SUB_BITS = 16` linear sub-buckets, bounding the relative error of any
+/// reconstructed value by `1/16` (midpoint representatives halve that).
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Values below `SUB_COUNT` get one exact bucket each (indices `0..16`);
+/// each magnitude `m = 4..=63` above that contributes 16 buckets, so the
+/// largest index is `16 + 59*16 + 15 = 975`.
+pub const NUM_BUCKETS: usize = 976;
+
+/// HDR-style log-linear histogram over `u64` values.
+///
+/// Recording is lock-free (five `Relaxed` atomic ops: bucket, count, sum,
+/// min, max) and never allocates; the full `u64` range is covered by
+/// [`NUM_BUCKETS`] buckets (~7.6 KiB). `sum`, `count`, `min`, and `max` are
+/// exact; quantiles are estimated from bucket midpoints with relative error
+/// bounded by `1/16` (exact for values below 16, and clamped into
+/// `[min, max]` so single-value histograms report exactly).
+///
+/// The unit of recorded values is a convention of the metric name — see the
+/// [`crate::obs`] module docs (registry histograms in this workspace record
+/// nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; NUM_BUCKETS]> =
+            buckets.into_boxed_slice().try_into().expect("NUM_BUCKETS-sized allocation");
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket a value lands in: values below 16 map to themselves; a
+    /// value with most-significant bit `m ≥ 4` maps to
+    /// `16 + (m-4)·16 + ((v >> (m-4)) & 15)`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v < SUB_COUNT {
+            v as usize
+        } else {
+            let m = 63 - v.leading_zeros();
+            let shift = m - SUB_BITS;
+            (SUB_COUNT as u32 + (m - SUB_BITS) * SUB_COUNT as u32) as usize
+                + ((v >> shift) & (SUB_COUNT - 1)) as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `idx`
+    /// (the inverse of [`Histogram::bucket_index`]).
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        assert!(idx < NUM_BUCKETS, "bucket index {idx} out of range");
+        if idx < SUB_COUNT as usize {
+            (idx as u64, idx as u64)
+        } else {
+            let g = (idx - SUB_COUNT as usize) / SUB_COUNT as usize; // magnitude − SUB_BITS
+            let s = ((idx - SUB_COUNT as usize) % SUB_COUNT as usize) as u64;
+            let lo = (SUB_COUNT + s) << g;
+            let width = 1u64 << g;
+            (lo, lo + (width - 1))
+        }
+    }
+
+    /// Records one value (lock-free, five `Relaxed` atomics).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`, ~584
+    /// years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Exact sum of recorded values (wraps past `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Relaxed);
+        if v == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Relaxed)
+    }
+
+    /// Folds another histogram into this one (bucket-wise atomic adds), so
+    /// per-thread histograms can be combined without locking.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Relaxed);
+            if n != 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Relaxed), Relaxed);
+        self.sum.fetch_add(other.sum.load(Relaxed), Relaxed);
+        self.min.fetch_min(other.min.load(Relaxed), Relaxed);
+        self.max.fetch_max(other.max.load(Relaxed), Relaxed);
+    }
+
+    /// Estimated `q`-quantile (`q` clamped to `[0, 1]`): the midpoint of the
+    /// bucket holding the nearest-rank sample, clamped into `[min, max]`.
+    /// Relative error ≤ 1/16; exact when the histogram holds one distinct
+    /// value or only values below 16. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.snapshot().quantile(q)
+    }
+
+    /// A point-in-time copy of the histogram for quantile math, merging,
+    /// and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u16, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Relaxed);
+                (n != 0).then_some((i as u16, n))
+            })
+            .collect();
+        // Recompute count from the buckets so the snapshot is internally
+        // consistent even if a concurrent `record` raced us between loads.
+        let count: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 { 0 } else { self.min.load(Relaxed) },
+            max: self.max.load(Relaxed),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: sparse non-empty buckets plus the
+/// exact `count`/`sum`/`min`/`max`. Supports the same quantile math and
+/// merging, and is what [`crate::obs::Snapshot`] exports.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bucket index, samples)`, ascending by index.
+    pub buckets: Vec<(u16, u64)>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated `q`-quantile; see [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank: the ceil(q·n)-th smallest sample, clamped to [1, n].
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(idx as usize);
+                let mid = lo + (hi - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds `other` into this snapshot. Merging is commutative and
+    /// associative: the result carries the union of the samples.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        let mut merged: Vec<(u16, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, na)), Some(&&(ib, nb))) => {
+                    if ia < ib {
+                        merged.push((ia, na));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, nb));
+                        b.next();
+                    } else {
+                        merged.push((ia, na + nb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&p), None) => {
+                    merged.push(p);
+                    a.next();
+                }
+                (None, Some(&&p)) => {
+                    merged.push(p);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        self.min = if self.count == 0 { other.min } else { self.min.min(other.min) };
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "gauge saturates instead of wrapping");
+        g.record_max(7);
+        g.record_max(5);
+        assert_eq!(g.get(), 7);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn bucket_index_and_bounds_are_inverse() {
+        for v in (0u64..4096).chain([u64::MAX, u64::MAX - 1, 1 << 63, (1 << 63) - 1]) {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx < NUM_BUCKETS, "v={v} idx={idx}");
+            let (lo, hi) = Histogram::bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} not in [{lo}, {hi}] (idx {idx})");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Bucket ranges tile the axis: each bucket starts where the previous
+        // ended.
+        for idx in 1..NUM_BUCKETS {
+            let (_, prev_hi) = Histogram::bucket_bounds(idx - 1);
+            let (lo, _) = Histogram::bucket_bounds(idx);
+            assert_eq!(lo, prev_hi + 1, "seam between buckets {} and {idx}", idx - 1);
+        }
+    }
+
+    #[test]
+    fn exact_aggregates_survive_bucketing() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 15, 16, 17, 1000, 123_456_789] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 123_457_838);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (0, 0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 37);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let e = h.quantile(q);
+            assert!(e >= last, "quantiles must be monotone in q");
+            assert!(e >= h.min() && e <= h.max());
+            last = e;
+        }
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(500);
+        b.record(50_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 50_505);
+        assert_eq!((a.min(), a.max()), (5, 50_000));
+        let mut sa = a.snapshot();
+        let direct = {
+            let h = Histogram::new();
+            for v in [5, 500, 50_000] {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        assert_eq!(sa, direct);
+        sa.merge(&HistogramSnapshot::default());
+        assert_eq!(sa, direct, "merging an empty snapshot is a no-op");
+    }
+}

@@ -1,0 +1,690 @@
+//! Unified observability: a dependency-free metrics registry, RAII phase
+//! spans, and a bounded structured-event ring for flush-level traces.
+//!
+//! The serving stack grew four disconnected telemetry surfaces —
+//! [`crate::stats::EngineStats`], [`crate::timing::FlushTimings`], [`crate::ChoiceCounts`],
+//! [`crate::BatchRunInfo`] — all manually threaded and none with
+//! distributions. This module replaces the bookkeeping underneath them: the
+//! engine records into a [`Registry`] of atomic [`Counter`]s, [`Gauge`]s,
+//! and log-linear [`Histogram`]s, and `EngineStats` becomes a *view* over
+//! that registry. The paper's own evaluation method (per-step breakdowns of
+//! the SpMSpV pipeline) is mirrored by per-phase histograms for both the
+//! kernel steps and the flush phases.
+//!
+//! Two registries exist:
+//!
+//! * **per-engine** — every [`crate::engine::Engine`] owns one (reachable
+//!   via `Engine::obs()`); all `engine.*` metrics live there, so two engines
+//!   in one process never mix their numbers;
+//! * **process-global** — [`global()`]; kernel-, adaptive-, executor-, and
+//!   failpoint-level metrics live there because those layers are shared
+//!   below the engine boundary.
+//!
+//! # Metric taxonomy
+//!
+//! Histograms record **nanoseconds** unless noted; counters are unitless
+//! event counts; gauges are instantaneous levels. `<kernel>` ranges over
+//! `bucket` | `naive` | `rowsplit` (the fixed batch families, see
+//! [`kernel_slug`]) and `<backend>` over `dense` | `lanemajor` | `hashed`
+//! (the concrete SPA backends, see [`backend_slug`]).
+//!
+//! **Per-engine registry**
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `engine.requests` | counter | requests admitted by `submit` |
+//! | `engine.retired` | counter | lanes retired unserved (deadline, shed, session close) |
+//! | `engine.flushes` | counter | flushes that executed ≥ 1 batch |
+//! | `engine.fused_batches` | counter | fused batches executed |
+//! | `engine.lanes_executed` | counter | lanes across all fused batches |
+//! | `engine.timeouts` | counter | lanes failed with `DeadlineExceeded` |
+//! | `engine.rejected` | counter | admissions refused under `OverloadPolicy::Reject` |
+//! | `engine.shed` | counter | queued lanes dropped under `OverloadPolicy::ShedOldest` |
+//! | `engine.panics_recovered` | counter | kernel panics/failures contained by the flush |
+//! | `engine.degraded_flushes` | counter | flushes that served a group via the naive degrade retry |
+//! | `engine.choice.<kernel>.<backend>` | counter | lanes executed per resolved `(kernel, backend)` |
+//! | `engine.queue.depth` | gauge | requests currently queued |
+//! | `engine.widest_flush` | gauge | high-water mark of lanes in one flush |
+//! | `engine.queue.wait` | histogram | ns from `submit` to flush drain, one sample per request |
+//! | `engine.flush.assemble` | histogram | ns grouping + assembling frontiers (per flush segment) |
+//! | `engine.flush.execute` | histogram | ns inside the batched kernel (per fused group) |
+//! | `engine.flush.demux` | histogram | ns scattering lanes back to tickets (per fused group) |
+//! | `engine.flush.recover` | histogram | ns in the naive degrade retry (only on failure) |
+//!
+//! **Process-global registry** ([`global()`])
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `batch.estimate` | histogram | ns in the bucket kernel's estimate/plan step |
+//! | `batch.bucketing` | histogram | ns scattering triples into buckets |
+//! | `batch.merge` | histogram | ns merging buckets through the SPA backend |
+//! | `batch.output` | histogram | ns emitting the output lanes |
+//! | `batch.backend.<backend>` | counter | batched merges per concrete SPA backend |
+//! | `adaptive.batch.<kernel>` | counter | batched calls per family the dispatcher chose |
+//! | `adaptive.single.sequential` | counter | single-vector calls dispatched to the sequential SPA |
+//! | `adaptive.single.bucket` | counter | single-vector calls dispatched to the bucket kernel |
+//! | `adaptive.calibrations` | counter | one-shot calibration probes run (0 or 1 per process) |
+//! | `executor.threads` | gauge | high-water mark of worker threads in any pool built |
+//! | `executor.inflight` | gauge | `install`/`scope` calls currently inside a pool |
+//! | `failpoint.hits` | counter | armed failpoints fired (only with the `failpoints` feature) |
+//!
+//! # Trace events
+//!
+//! [`TraceKind`] covers the serving stack's decision points: `flush.begin`,
+//! `group.fused` (kernel, lanes, masked, first request id),
+//! `adaptive.choice`, `degrade.retry`, `kernel.failure`, `overload`,
+//! `deadline.expired`, `failpoint.hit`, and `bfs.level` (from
+//! `multi_bfs`). Events carry a sequence number and microseconds since
+//! registry creation, live in a bounded ring ([`ObsConfig::ring_capacity`]),
+//! and can be sampled ([`ObsConfig::sample_every`]).
+//!
+//! # Overhead
+//!
+//! A histogram record is five `Relaxed` atomic ops; a counter bump is one;
+//! a kept trace event is a fetch-add plus a short mutex hold on the ring.
+//! With [`ObsConfig::disabled`] the engine skips histogram samples and
+//! traces entirely but keeps its counters (they are single atomic adds and
+//! [`crate::stats::EngineStats`] must stay exact); the global helpers become
+//! one-load no-ops. The `batch_scaling` CI smoke holds the enabled/disabled
+//! gap under 5%.
+//!
+//! # Export
+//!
+//! [`Registry::snapshot`] returns a plain-data [`Snapshot`]; `to_json`
+//! renders the machine-readable form (validated in CI), `Display` renders a
+//! human dashboard, and `merge` folds several snapshots (e.g. the global
+//! and an engine's) into one report.
+//!
+//! ```
+//! use spmspv::obs::{ObsConfig, Registry};
+//!
+//! let reg = Registry::new(ObsConfig::default());
+//! reg.counter("demo.requests").add(3);
+//! reg.histogram("demo.latency").record(1_500);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("demo.requests"), Some(3));
+//! assert!(snap.to_json().render().contains("\"demo.latency\""));
+//! ```
+
+mod events;
+pub mod json;
+mod metrics;
+mod span;
+
+pub use events::{EventRing, TraceEvent, TraceKind};
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use span::Span;
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+use sparse_substrate::SpaBackend;
+
+use crate::algorithm::AlgorithmKind;
+use crate::batch::BatchAlgorithmKind;
+use crate::timing::StepTimings;
+
+/// Observability configuration: the off switch, trace sampling, and ring
+/// sizing. Metrics themselves are cheap enough to have no knobs beyond
+/// `enabled`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. Off: histogram samples and trace events are skipped
+    /// (engine counters still run so [`crate::stats::EngineStats`] stays exact).
+    pub enabled: bool,
+    /// Keep every Nth trace event (0/1 = keep all). Metrics are never
+    /// sampled.
+    pub sample_every: usize,
+    /// Bounded trace-ring capacity; the oldest events are evicted (and
+    /// counted as dropped) under pressure.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { enabled: true, sample_every: 1, ring_capacity: 256 }
+    }
+}
+
+impl ObsConfig {
+    /// Everything off: no histogram samples, no traces.
+    pub fn disabled() -> Self {
+        ObsConfig { enabled: false, ..ObsConfig::default() }
+    }
+
+    /// Builder-style setter for [`ObsConfig::sample_every`].
+    pub fn sample_every(mut self, n: usize) -> Self {
+        self.sample_every = n;
+        self
+    }
+
+    /// Builder-style setter for [`ObsConfig::ring_capacity`].
+    pub fn ring_capacity(mut self, n: usize) -> Self {
+        self.ring_capacity = n;
+        self
+    }
+}
+
+/// Short stable slug for a batch kernel family, used in metric names
+/// (`engine.choice.<kernel>.<backend>`, `adaptive.batch.<kernel>`).
+pub fn kernel_slug(kind: BatchAlgorithmKind) -> &'static str {
+    match kind {
+        BatchAlgorithmKind::Bucket => "bucket",
+        BatchAlgorithmKind::Naive => "naive",
+        BatchAlgorithmKind::CombBlasRowSplit => "rowsplit",
+        BatchAlgorithmKind::Adaptive => "adaptive",
+    }
+}
+
+/// Short stable slug for an SPA backend, used in metric names.
+pub fn backend_slug(backend: SpaBackend) -> &'static str {
+    match backend {
+        SpaBackend::DenseIndexMajor => "dense",
+        SpaBackend::DenseLaneMajor => "lanemajor",
+        SpaBackend::Hashed => "hashed",
+        SpaBackend::Auto => "auto",
+    }
+}
+
+type Named<T> = Mutex<Vec<(String, Arc<T>)>>;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn get_or_create<T: Default>(table: &Named<T>, name: &str) -> Arc<T> {
+    let mut table = lock(table);
+    if let Some((_, v)) = table.iter().find(|(n, _)| n == name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::<T>::default();
+    table.push((name.to_string(), Arc::clone(&v)));
+    v
+}
+
+/// A set of named metrics plus one trace ring. Handles returned by
+/// [`Registry::counter`]/[`gauge`](Registry::gauge)/
+/// [`histogram`](Registry::histogram) are `Arc`s: look them up once, record
+/// through the handle lock-free forever after.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: AtomicBool,
+    config: ObsConfig,
+    start: Instant,
+    counters: Named<Counter>,
+    gauges: Named<Gauge>,
+    histograms: Named<Histogram>,
+    ring: EventRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new(ObsConfig::default())
+    }
+}
+
+impl Registry {
+    /// Creates a registry with the given configuration.
+    pub fn new(config: ObsConfig) -> Self {
+        Registry {
+            enabled: AtomicBool::new(config.enabled),
+            ring: EventRing::new(config.ring_capacity, config.sample_every),
+            config,
+            start: Instant::now(),
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+            histograms: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configuration this registry was built with.
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// Whether histogram samples and traces are being collected.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Flips collection at runtime (counters keep running either way).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Relaxed);
+    }
+
+    /// Returns (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Returns (creating on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Returns (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Offers a trace event to the ring (no-op when disabled).
+    pub fn trace(&self, kind: TraceKind) {
+        if !self.enabled() {
+            return;
+        }
+        let micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.ring.push(micros, kind);
+    }
+
+    /// Events currently in the trace ring, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.events()
+    }
+
+    /// A point-in-time copy of every metric and the trace ring.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters).iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            gauges: lock(&self.gauges).iter().map(|(n, g)| (n.clone(), g.get())).collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+            events: self.ring.events(),
+            dropped_events: self.ring.dropped(),
+        }
+    }
+}
+
+/// The process-global registry: kernel-, adaptive-, executor-, and
+/// failpoint-level metrics (everything below the per-engine boundary).
+/// Built on first use with [`ObsConfig::default`]; flip collection with
+/// [`Registry::set_enabled`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+/// Plain-data copy of a [`Registry`] (and mergeable across registries).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` per counter, in creation order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` per gauge, in creation order.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, data)` per histogram, in creation order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Trace-ring contents, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring under pressure.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Level of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Data of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Folds `other` into this snapshot: counters add, gauges take the max,
+    /// histograms merge, events concatenate (ordered by timestamp). Used to
+    /// combine an engine's registry with [`global()`] into one report.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = (*mine).max(*v),
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.micros);
+        self.dropped_events += other.dropped_events;
+    }
+
+    /// Machine-readable form (the shape CI validates): objects keyed by
+    /// metric name, histograms expanded into exact aggregates plus
+    /// p50/p90/p95/p99.
+    pub fn to_json(&self) -> Json {
+        let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        let counters = Json::Obj(self.counters.iter().map(|(n, v)| (n.clone(), int(*v))).collect());
+        let gauges = Json::Obj(self.gauges.iter().map(|(n, v)| (n.clone(), int(*v))).collect());
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(n, h)| {
+                    (
+                        n.clone(),
+                        Json::obj([
+                            ("count", int(h.count)),
+                            ("sum", int(h.sum)),
+                            ("min", int(h.min)),
+                            ("max", int(h.max)),
+                            ("mean", Json::Num(h.mean())),
+                            ("p50", int(h.quantile(0.50))),
+                            ("p90", int(h.quantile(0.90))),
+                            ("p95", int(h.quantile(0.95))),
+                            ("p99", int(h.quantile(0.99))),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        let events = Json::Arr(
+            self.events
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("seq", int(e.seq)),
+                        ("micros", int(e.micros)),
+                        ("what", Json::str(e.kind.to_string())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("histograms", histograms),
+            ("events", events),
+            ("dropped_events", int(self.dropped_events)),
+        ])
+    }
+}
+
+/// Renders a nanosecond quantity at human scale (`ns`/`µs`/`ms`/`s`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2}ms", ns as f64 / 1e6),
+        _ => format!("{:.3}s", ns as f64 / 1e9),
+    }
+}
+
+impl std::fmt::Display for Snapshot {
+    /// The human dashboard: counters, gauges, histograms (treated as
+    /// nanoseconds, the registry convention), and the trace tail.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name_w = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (n, v) in &self.counters {
+                writeln!(f, "  {n:<name_w$}  {v:>12}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (n, v) in &self.gauges {
+                writeln!(f, "  {n:<name_w$}  {v:>12}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "histograms (ns): {:>w$} {:>10} {:>10} {:>10} {:>10}",
+                "count",
+                "p50",
+                "p95",
+                "p99",
+                "max",
+                w = name_w.saturating_sub(5)
+            )?;
+            for (n, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {n:<name_w$}  {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    h.count,
+                    fmt_ns(h.quantile(0.50)),
+                    fmt_ns(h.quantile(0.95)),
+                    fmt_ns(h.quantile(0.99)),
+                    fmt_ns(h.max),
+                )?;
+            }
+        }
+        if !self.events.is_empty() || self.dropped_events > 0 {
+            writeln!(f, "events ({} shown, {} dropped):", self.events.len(), self.dropped_events)?;
+            for e in &self.events {
+                writeln!(f, "  {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cached hot-path helpers for the process-global registry. Each caches its
+// Arc handles in a OnceLock so the steady-state cost is one enabled-load
+// plus the atomic bumps themselves (the global registry never drops a
+// handle, so the cache cannot go stale).
+
+/// Records the bucket kernel's per-step breakdown into the `batch.*`
+/// histograms (no-op when the global registry is disabled).
+pub fn record_batch_phases(timings: &StepTimings) {
+    let g = global();
+    if !g.enabled() {
+        return;
+    }
+    static H: OnceLock<[Arc<Histogram>; 4]> = OnceLock::new();
+    let h = H.get_or_init(|| {
+        ["batch.estimate", "batch.bucketing", "batch.merge", "batch.output"]
+            .map(|name| g.histogram(name))
+    });
+    for (i, (_, d)) in timings.phases().iter().enumerate() {
+        h[i].record_duration(*d);
+    }
+}
+
+/// Counts a batched merge's concrete SPA backend (`batch.backend.<slug>`).
+pub fn record_backend_choice(backend: SpaBackend) {
+    let g = global();
+    if !g.enabled() {
+        return;
+    }
+    static C: OnceLock<[Arc<Counter>; 3]> = OnceLock::new();
+    let c = C.get_or_init(|| {
+        SpaBackend::concrete().map(|b| g.counter(&format!("batch.backend.{}", backend_slug(b))))
+    });
+    if let Some(i) = SpaBackend::concrete().iter().position(|b| *b == backend) {
+        c[i].inc();
+    }
+}
+
+/// Counts a batched adaptive dispatch decision (`adaptive.batch.<slug>`).
+pub fn record_adaptive_batch_kernel(kind: BatchAlgorithmKind) {
+    let g = global();
+    if !g.enabled() {
+        return;
+    }
+    static C: OnceLock<[Arc<Counter>; 3]> = OnceLock::new();
+    let c = C.get_or_init(|| {
+        BatchAlgorithmKind::fixed()
+            .map(|k| g.counter(&format!("adaptive.batch.{}", kernel_slug(k))))
+    });
+    if let Some(i) = BatchAlgorithmKind::fixed().iter().position(|k| *k == kind) {
+        c[i].inc();
+    }
+}
+
+/// Counts a single-vector adaptive dispatch decision
+/// (`adaptive.single.sequential` / `adaptive.single.bucket`).
+pub fn record_adaptive_single(kind: AlgorithmKind) {
+    let g = global();
+    if !g.enabled() {
+        return;
+    }
+    static C: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+    let c = C.get_or_init(|| {
+        [g.counter("adaptive.single.sequential"), g.counter("adaptive.single.bucket")]
+    });
+    match kind {
+        AlgorithmKind::Sequential => c[0].inc(),
+        _ => c[1].inc(),
+    }
+}
+
+/// Counts one run of the one-shot adaptive calibration probe.
+pub fn record_calibration() {
+    let g = global();
+    if g.enabled() {
+        g.counter("adaptive.calibrations").inc();
+    }
+}
+
+/// The executor pool gauges: worker-thread high-water mark and in-flight
+/// `install`/`scope` depth.
+pub fn executor_gauges() -> (Arc<Gauge>, Arc<Gauge>) {
+    static G: OnceLock<(Arc<Gauge>, Arc<Gauge>)> = OnceLock::new();
+    let (threads, inflight) =
+        G.get_or_init(|| (global().gauge("executor.threads"), global().gauge("executor.inflight")));
+    (Arc::clone(threads), Arc::clone(inflight))
+}
+
+/// Records a fired failpoint: bumps `failpoint.hits` and traces the site.
+#[cfg(feature = "failpoints")]
+pub fn record_failpoint_hit(site: &str) {
+    let g = global();
+    if !g.enabled() {
+        return;
+    }
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| g.counter("failpoint.hits")).inc();
+    g.trace(TraceKind::FailpointHit(site.to_string()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn registry_handles_are_shared_and_ordered() {
+        let reg = Registry::new(ObsConfig::default());
+        let a = reg.counter("z.second");
+        let b = reg.counter("a.first");
+        let a2 = reg.counter("z.second");
+        assert!(Arc::ptr_eq(&a, &a2), "same name must return the same handle");
+        a.add(2);
+        b.inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters, vec![("z.second".into(), 2), ("a.first".into(), 1)]);
+    }
+
+    #[test]
+    fn disabled_registry_skips_traces_but_counters_run() {
+        let reg = Registry::new(ObsConfig::disabled());
+        reg.counter("c").inc();
+        reg.trace(TraceKind::FlushBegin { requests: 1 });
+        assert!(!reg.enabled());
+        assert_eq!(reg.snapshot().counter("c"), Some(1));
+        assert!(reg.events().is_empty());
+        reg.set_enabled(true);
+        reg.trace(TraceKind::FlushBegin { requests: 2 });
+        assert_eq!(reg.events().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_merges_histograms() {
+        let a = Registry::new(ObsConfig::default());
+        let b = Registry::new(ObsConfig::default());
+        a.counter("shared").add(2);
+        b.counter("shared").add(3);
+        b.counter("only.b").inc();
+        a.gauge("depth").set(5);
+        b.gauge("depth").set(9);
+        a.histogram("lat").record(100);
+        b.histogram("lat").record(300);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("shared"), Some(5));
+        assert_eq!(merged.counter("only.b"), Some(1));
+        assert_eq!(merged.gauge("depth"), Some(9), "gauges merge by max");
+        let h = merged.histogram("lat").unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 100, 300));
+    }
+
+    #[test]
+    fn json_export_has_the_validated_shape() {
+        let reg = Registry::new(ObsConfig::default());
+        reg.counter("engine.requests").add(4);
+        reg.histogram("engine.queue.wait").record(1000);
+        reg.trace(TraceKind::DeadlineExpired { lanes: 2 });
+        let rendered = reg.snapshot().to_json().render();
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"events\"",
+            "\"dropped_events\"",
+            "\"engine.requests\":4",
+            "\"p99\"",
+            "deadline.expired",
+        ] {
+            assert!(rendered.contains(needle), "missing {needle} in {rendered}");
+        }
+    }
+
+    #[test]
+    fn dashboard_display_mentions_every_section() {
+        let reg = Registry::new(ObsConfig::default());
+        reg.counter("engine.requests").add(4);
+        reg.gauge("engine.queue.depth").set(1);
+        reg.histogram("engine.flush.execute").record_duration(Duration::from_micros(250));
+        reg.trace(TraceKind::FlushBegin { requests: 4 });
+        let text = reg.snapshot().to_string();
+        for needle in ["counters:", "gauges:", "histograms", "events", "250.0µs", "flush.begin"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn slugs_cover_every_variant() {
+        for k in BatchAlgorithmKind::all() {
+            assert!(!kernel_slug(k).is_empty());
+        }
+        for b in SpaBackend::concrete() {
+            assert_ne!(backend_slug(b), "auto");
+        }
+        assert_eq!(backend_slug(SpaBackend::Auto), "auto");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(2_500), "2.5µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.500s");
+    }
+}

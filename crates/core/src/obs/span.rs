@@ -1,0 +1,90 @@
+//! RAII phase timers: a [`Span`] measures wall-clock time from `enter` to
+//! `stop` (or drop) and records the elapsed nanoseconds into a
+//! [`Histogram`].
+
+use std::time::{Duration, Instant};
+
+use super::metrics::Histogram;
+
+/// Times one pipeline phase into a histogram. Created with [`Span::enter`];
+/// recording happens on [`Span::stop`] (which also hands back the elapsed
+/// time, so callers can thread it into [`crate::timing::FlushTimings`]-style
+/// accumulators) or on drop, whichever comes first — early returns and
+/// unwinds still produce a sample.
+#[must_use = "a Span records when stopped or dropped; binding it to `_` times nothing"]
+pub struct Span<'a> {
+    hist: Option<&'a Histogram>,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing into `hist`.
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> Span<'a> {
+        Span { hist: Some(hist), start: Instant::now() }
+    }
+
+    /// Starts a disabled span: still measures (so [`Span::stop`] returns a
+    /// real duration) but records nothing. Lets call sites keep one code
+    /// path whether observability is on or off.
+    #[inline]
+    pub fn disabled() -> Span<'static> {
+        Span { hist: None, start: Instant::now() }
+    }
+
+    /// Time elapsed so far, without ending the span.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Ends the span, records the sample, and returns the elapsed time.
+    #[inline]
+    pub fn stop(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(elapsed);
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(hist) = self.hist.take() {
+            hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_exactly_once() {
+        let h = Histogram::new();
+        let span = Span::enter(&h);
+        std::thread::sleep(Duration::from_millis(2));
+        let d = span.stop();
+        assert!(d >= Duration::from_millis(2));
+        assert_eq!(h.count(), 1, "stop consumed the span; drop must not double-record");
+        assert!(h.sum() >= 2_000_000);
+    }
+
+    #[test]
+    fn drop_records_implicitly() {
+        let h = Histogram::new();
+        {
+            let _span = Span::enter(&h);
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn disabled_span_measures_but_records_nothing() {
+        let span = Span::disabled();
+        let d = span.stop();
+        assert!(d >= Duration::ZERO);
+    }
+}

@@ -136,6 +136,14 @@ impl ChoiceCounts {
     /// (derived from [`SpaBackend::concrete`], the single source).
     pub const BACKENDS: [SpaBackend; 3] = SpaBackend::concrete();
 
+    /// Rebuilds a table from raw `counts[kernel][backend]` cells, indexed by
+    /// [`ChoiceCounts::KERNELS`] / [`ChoiceCounts::BACKENDS`] positions — how
+    /// the engine's registry-backed [`EngineStats`] view reconstitutes the
+    /// audit trail from its per-cell atomic counters.
+    pub const fn from_counts(counts: [[usize; 3]; 3]) -> ChoiceCounts {
+        ChoiceCounts { counts }
+    }
+
     fn kernel_index(kind: BatchAlgorithmKind) -> Option<usize> {
         Self::KERNELS.iter().position(|&k| k == kind)
     }

@@ -29,6 +29,18 @@ impl StepTimings {
         self.estimate + self.bucketing + self.merge + self.output
     }
 
+    /// The four phases as `(name, duration)` pairs, in pipeline order —
+    /// the names double as the `batch.<phase>` histogram suffixes in
+    /// [`crate::obs`].
+    pub fn phases(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("estimate", self.estimate),
+            ("bucketing", self.bucketing),
+            ("merge", self.merge),
+            ("output", self.output),
+        ]
+    }
+
     /// Fraction of the total spent in each phase, in the order
     /// (estimate, bucketing, merge, output). Returns zeros for an empty
     /// timing.
@@ -95,6 +107,17 @@ impl FlushTimings {
     /// Total time across all phases.
     pub fn total(&self) -> Duration {
         self.assemble + self.execute + self.demux + self.recover
+    }
+
+    /// The four phases as `(name, duration)` pairs — the names double as
+    /// the `engine.flush.<phase>` histogram suffixes in [`crate::obs`].
+    pub fn phases(&self) -> [(&'static str, Duration); 4] {
+        [
+            ("assemble", self.assemble),
+            ("execute", self.execute),
+            ("demux", self.demux),
+            ("recover", self.recover),
+        ]
     }
 
     /// Fraction of the total spent in each phase, in the order
@@ -185,6 +208,28 @@ mod tests {
         assert!((f[0] - 0.1).abs() < 1e-9);
         assert!((f[2] - 0.5).abs() < 1e-9);
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_mirror_the_fields_in_order() {
+        let t = StepTimings {
+            estimate: Duration::from_millis(1),
+            bucketing: Duration::from_millis(2),
+            merge: Duration::from_millis(3),
+            output: Duration::from_millis(4),
+        };
+        let names: Vec<&str> = t.phases().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["estimate", "bucketing", "merge", "output"]);
+        assert_eq!(t.phases().iter().map(|&(_, d)| d).sum::<Duration>(), t.total());
+        let ft = FlushTimings {
+            assemble: Duration::from_millis(1),
+            execute: Duration::from_millis(2),
+            demux: Duration::from_millis(3),
+            recover: Duration::from_millis(4),
+        };
+        let names: Vec<&str> = ft.phases().iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, ["assemble", "execute", "demux", "recover"]);
+        assert_eq!(ft.phases().iter().map(|&(_, d)| d).sum::<Duration>(), ft.total());
     }
 
     #[test]

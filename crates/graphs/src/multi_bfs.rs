@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use sparse_substrate::{CscMatrix, MaskBits, Select2ndMin, SparseVec};
 use spmspv::engine::{Engine, EngineConfig, MxvRequest, Session};
+use spmspv::obs::TraceKind;
 use spmspv::{BatchAlgorithmKind, MaskMode, SpMSpVOptions};
 
 /// Result of a multi-source BFS: one parent/level map per source, plus the
@@ -137,6 +138,9 @@ pub fn multi_bfs_using(
             .collect();
         let outcome = engine.flush();
         debug_assert_eq!(outcome.lanes, active.len());
+        // Per-level trace into the engine's ring: the traversal's shrinking
+        // batch width is the story the flush events alone don't tell.
+        engine.obs().trace(TraceKind::Level { level, active_lanes: active.len() });
         spmspv_time += outcome.timings.execute;
         iterations += 1;
         level += 1;

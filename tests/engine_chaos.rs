@@ -218,6 +218,50 @@ fn serve_loop_restarts_after_a_crashed_flush() {
     assert!(failpoint::hits("engine.flush.assemble") >= 1);
 }
 
+/// The degrade retry must be recorded as what *actually executed*: the
+/// group was pinned to Bucket, but the Bucket attempt died before running,
+/// so the audit trail (`EngineStats::choices`) must show one Naive run and
+/// zero Bucket runs, and the trace ring must narrate the `degrade.retry`.
+#[test]
+fn degrade_retry_is_recorded_in_choices_and_trace() {
+    use spmspv::obs::TraceKind;
+    let _fp = fp_lock();
+    let a = erdos_renyi(100, 4.0, 55);
+    let engine = Engine::over(&a, PlusTimes);
+    let xs: Vec<SparseVec<f64>> = (0..3).map(|i| random_sparse_vec(100, 20, 200 + i)).collect();
+    // One shot: the Bucket group's first attempt dies at the execute site;
+    // the naive retry finds the site spent and serves the group.
+    let _g = failpoint::arm(
+        "engine.flush.execute",
+        FailAction::Error("chaos: first attempt only".into()),
+        Some(1),
+    );
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| engine.submit(MxvRequest::new(x.clone()).algorithm(BatchAlgorithmKind::Bucket)))
+        .collect();
+    let outcome = engine.flush();
+    assert_eq!(outcome.degraded_flushes, 1, "the retry must have served the group");
+    for (t, x) in tickets.iter().zip(&xs) {
+        assert_eq!(claim(t).expect("degraded flush serves"), independent_run(&a, x, None));
+    }
+    let choices = engine.stats().choices;
+    let by_kernel = |kind: BatchAlgorithmKind| -> usize {
+        choices.iter().filter(|(k, _, _)| *k == kind).map(|(_, _, n)| n).sum()
+    };
+    assert_eq!(by_kernel(BatchAlgorithmKind::Naive), 1, "retry's real kernel must be recorded");
+    assert_eq!(by_kernel(BatchAlgorithmKind::Bucket), 0, "the failed attempt never executed");
+    assert_eq!(choices.total(), 1, "exactly one batch actually ran");
+    let events = engine.obs().events();
+    assert!(
+        events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::DegradeRetry { from: BatchAlgorithmKind::Bucket }
+        )),
+        "trace ring must contain the degrade.retry event, got: {events:?}"
+    );
+}
+
 /// The generated fault plan for the chaos property.
 #[derive(Debug, Clone)]
 enum Fault {
