@@ -33,7 +33,15 @@
 //! Usage: `cargo run --release -p spmspv-bench [--features failpoints] --bin engine_load`
 //!
 //! Env knobs: `ENGINE_LOAD_SMOKE=1` (reduced run + shape assertions, the CI
-//! lane), `ENGINE_LOAD_SCALE`, `ENGINE_LOAD_CLIENTS`, `ENGINE_LOAD_ROUNDS`.
+//! lane), `ENGINE_LOAD_SCALE`, `ENGINE_LOAD_CLIENTS`, `ENGINE_LOAD_ROUNDS`,
+//! `ENGINE_LOAD_SHARDS` (shard count for the sharded phase, default 4).
+//!
+//! After the serve-loop phase, the same burst workload replays through a
+//! [`ShardedEngine`] (1D column-partitioned engines behind the scatter/merge
+//! router) and the report gains a `sharded` section: tail latency plus the
+//! share of flush wall time spent ⊕-merging shard partials.
+//!
+//! [`ShardedEngine`]: spmspv::shard::ShardedEngine
 //!
 //! [`Engine`]: spmspv::engine::Engine
 //! [`serve`]: spmspv::engine::Engine::serve
@@ -81,6 +89,101 @@ impl Tally {
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// The sharded phase: the same bursty closed-loop traffic, flush-driven
+/// through a [`spmspv::shard::ShardedEngine`]. Returns the `sharded` report
+/// section — tail latency plus the merge-time share of each flush (the
+/// router's own scatter/merge overhead against the shard engines' kernel
+/// time).
+fn sharded_phase(scale: u32, shards: usize, clients: usize, rounds: usize) -> Json {
+    use spmspv::shard::ShardedEngine;
+
+    let a = rmat(scale, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let nrows = a.nrows();
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let router = ShardedEngine::partition_with(
+        &a,
+        PlusTimes,
+        spmspv::shard::ShardPlan::balanced(&a, shards),
+        EngineConfig::default()
+            .max_lanes(16)
+            .options(SpMSpVOptions::with_threads(threads.div_ceil(shards.max(1)))),
+    );
+    let latency = Histogram::default();
+    let mut merge_time = Duration::ZERO;
+    let mut execute_time = Duration::ZERO;
+    let mut requests = 0usize;
+    let mut reqno = 0usize;
+    for round in 0..rounds {
+        // One burst per client per round, claimed after a single router
+        // flush (the sharded router is flush-driven — no serve loop yet).
+        let mut inflight = Vec::new();
+        for c in 0..clients {
+            let burst = 1 + (c + round) % 4;
+            for _ in 0..burst {
+                reqno += 1;
+                let frontier: SparseVec<f64> =
+                    random_sparse_vec(n, 16 + (reqno * 13) % 48, (c * 10_007 + reqno) as u64);
+                let mut req = MxvRequest::new(frontier);
+                if reqno.is_multiple_of(3) {
+                    let bits = MaskBits::from_indices(nrows, (c % 3..nrows).step_by(2 + reqno % 3));
+                    req = req.mask(bits, MaskMode::Complement);
+                }
+                let submitted = Instant::now();
+                inflight.push((router.submit(req), submitted));
+            }
+        }
+        let outcome = router.flush();
+        merge_time += outcome.merge_time;
+        execute_time += outcome.execute_time;
+        for (ticket, submitted) in inflight {
+            let resolved = ticket.wait_timeout(Duration::from_secs(10));
+            latency.record(submitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            assert!(resolved.is_ok(), "sharded phase has no faults armed: {resolved:?}");
+            requests += 1;
+        }
+    }
+    let snap = latency.snapshot();
+    let (p50, p95, p99) = (snap.quantile(0.50), snap.quantile(0.95), snap.quantile(0.99));
+    let routed = merge_time + execute_time;
+    let merge_share =
+        if routed.is_zero() { 0.0 } else { merge_time.as_secs_f64() / routed.as_secs_f64() };
+    let stats = router.stats();
+    let fanout = router.obs().snapshot();
+    let fanout_mean = fanout
+        .histogram("shard.fanout")
+        .map(|h| if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 })
+        .unwrap_or(0.0);
+
+    println!(
+        "\nsharded phase ({} shards over {n} columns): {requests} requests, latency (µs) p50 {p50} \
+         p95 {p95} p99 {p99}, merge share {:.2}%, mean fan-out {fanout_mean:.2}",
+        router.num_shards(),
+        merge_share * 100.0,
+    );
+    assert!(requests > 0, "sharded phase must serve traffic");
+    assert!(p50 <= p95 && p95 <= p99, "sharded percentiles must be monotone");
+
+    Json::obj([
+        ("shards", Json::Int(router.num_shards() as i64)),
+        ("requests", Json::Int(requests as i64)),
+        (
+            "latency_micros",
+            Json::obj([
+                ("p50", Json::Int(p50 as i64)),
+                ("p95", Json::Int(p95 as i64)),
+                ("p99", Json::Int(p99 as i64)),
+                ("max", Json::Int(snap.max as i64)),
+            ]),
+        ),
+        ("merge_time_micros", Json::micros(merge_time)),
+        ("execute_time_micros", Json::micros(execute_time)),
+        ("merge_share", Json::Num(merge_share)),
+        ("fanout_mean", Json::Num(fanout_mean)),
+        ("lanes_executed", Json::Int(stats.lanes_executed as i64)),
+    ])
 }
 
 /// Times the same small closed-loop workload twice — observability enabled
@@ -159,6 +262,7 @@ fn main() {
     let scale = env_usize("ENGINE_LOAD_SCALE", if smoke { 8 } else { 12 }) as u32;
     let clients = env_usize("ENGINE_LOAD_CLIENTS", if smoke { 4 } else { 8 });
     let rounds = env_usize("ENGINE_LOAD_ROUNDS", if smoke { 12 } else { 40 });
+    let shards = env_usize("ENGINE_LOAD_SHARDS", if smoke { 2 } else { 4 });
     let faults_armed = cfg!(feature = "failpoints");
 
     println!(
@@ -307,6 +411,8 @@ fn main() {
     );
     println!("engine telemetry: {stats}");
 
+    let sharded = sharded_phase(scale, shards, clients, if smoke { rounds } else { rounds / 2 });
+
     let (obs_on, obs_off) = obs_overhead_probe(if smoke { 10 } else { 40 });
     let obs_ratio =
         if obs_off.is_zero() { 1.0 } else { obs_on.as_secs_f64() / obs_off.as_secs_f64() };
@@ -353,6 +459,7 @@ fn main() {
             ]),
         ),
         ("shed_rate", Json::Num(shed_rate)),
+        ("sharded", sharded),
         (
             "obs_overhead",
             Json::obj([

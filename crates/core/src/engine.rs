@@ -140,7 +140,7 @@ use crate::timing::FlushTimings;
 /// kernel, an injected failpoint) must not wedge every other session, so the
 /// engine treats a poisoned mutex as still usable — its invariants are
 /// re-established by the flush path's resolution guard, not by the lock.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -312,10 +312,10 @@ impl EngineConfig {
 /// multiplication; each request's mask becomes its lane's mask.
 #[derive(Debug, Clone)]
 pub struct MxvRequest<X> {
-    frontier: SparseVec<X>,
-    mask: Option<(Arc<MaskBits>, MaskMode)>,
-    algorithm: Option<BatchAlgorithmKind>,
-    deadline: Option<Instant>,
+    pub(crate) frontier: SparseVec<X>,
+    pub(crate) mask: Option<(Arc<MaskBits>, MaskMode)>,
+    pub(crate) algorithm: Option<BatchAlgorithmKind>,
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl<X: Scalar> MxvRequest<X> {
@@ -369,13 +369,17 @@ enum TicketState<Y> {
     Failed(EngineError),
 }
 
-struct TicketShared<Y> {
+pub(crate) struct TicketShared<Y> {
     state: Mutex<TicketState<Y>>,
     ready: Condvar,
 }
 
 impl<Y> TicketShared<Y> {
-    fn fulfil(&self, y: SparseVec<Y>) {
+    pub(crate) fn new() -> Self {
+        TicketShared { state: Mutex::new(TicketState::Pending), ready: Condvar::new() }
+    }
+
+    pub(crate) fn fulfil(&self, y: SparseVec<Y>) {
         let mut st = lock(&self.state);
         if matches!(*st, TicketState::Pending) {
             *st = TicketState::Ready(y);
@@ -386,7 +390,7 @@ impl<Y> TicketShared<Y> {
     /// Moves a pending ticket to `Failed(err)` and wakes its waiters;
     /// returns whether the ticket was still pending (a resolved ticket
     /// keeps its result — failure never overwrites success).
-    fn fail(&self, err: EngineError) -> bool {
+    pub(crate) fn fail(&self, err: EngineError) -> bool {
         let mut st = lock(&self.state);
         if matches!(*st, TicketState::Pending) {
             *st = TicketState::Failed(err);
@@ -397,7 +401,7 @@ impl<Y> TicketShared<Y> {
         }
     }
 
-    fn is_pending(&self) -> bool {
+    pub(crate) fn is_pending(&self) -> bool {
         matches!(*lock(&self.state), TicketState::Pending)
     }
 }
@@ -415,6 +419,13 @@ pub struct Ticket<Y> {
 }
 
 impl<Y> Ticket<Y> {
+    /// A ticket resolved by a router (e.g. `spmspv::shard`) rather than an
+    /// engine queue, paired with the shared slot the router fulfils.
+    pub(crate) fn detached() -> (Self, Arc<TicketShared<Y>>) {
+        let shared = Arc::new(TicketShared::new());
+        (Ticket { shared: Arc::clone(&shared) }, shared)
+    }
+
     /// Blocks until `deadline` (forever when `None`) for the terminal state.
     fn wait_until(&self, deadline: Option<Instant>) -> Result<SparseVec<Y>, EngineError> {
         let mut st = lock(&self.shared.state);
@@ -544,8 +555,8 @@ type DescriptorPool<'m, A, X, S> = Vec<(BatchAlgorithmKind, PreparedMxv<'m, A, X
 /// a kernel panic that escaped isolation, an armed `engine.flush.assemble`
 /// failpoint — it is the difference between a failed flush and a client
 /// stranded on a [`Condvar`] forever.
-struct ResolveOnDrop<Y> {
-    tickets: Vec<Arc<TicketShared<Y>>>,
+pub(crate) struct ResolveOnDrop<Y> {
+    pub(crate) tickets: Vec<Arc<TicketShared<Y>>>,
 }
 
 impl<Y> Drop for ResolveOnDrop<Y> {

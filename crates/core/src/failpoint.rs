@@ -17,6 +17,7 @@
 //! | `engine.flush.execute`  | per fused group, before the kernel runs | error / panic (group failure + degrade), delay |
 //! | `engine.flush.demux`    | per fused group, before results are scattered | delay (deadline races) |
 //! | `batch.merge`           | [`crate::SpMSpVBucketBatch`], entering the merge step | panic ("panic in merge") |
+//! | `shard.flush.<s>`       | [`crate::shard::ShardedEngine`], before shard `s`'s engine flushes | error (single-shard outage: only tickets routed through shard `s` fail) |
 //!
 //! Arming is process-global (the sites are static program points), so tests
 //! that arm failpoints must serialize themselves — take a shared

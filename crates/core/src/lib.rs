@@ -132,6 +132,7 @@ pub mod failpoint;
 pub mod masked;
 pub mod obs;
 pub mod ops;
+pub mod shard;
 pub mod stats;
 pub mod timing;
 
@@ -147,6 +148,7 @@ pub use executor::Executor;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
 pub use obs::{ObsConfig, Registry};
 pub use ops::{Mxv, MxvOp, PreparedMxv};
+pub use shard::{ShardFlushOutcome, ShardMsg, ShardPlan, ShardSession, ShardedEngine};
 pub use sparse_substrate::SpaBackend;
 pub use stats::{ChoiceCounts, WorkStats};
 pub use timing::StepTimings;

@@ -51,6 +51,18 @@
 //! | `engine.flush.demux` | histogram | ns scattering lanes back to tickets (per fused group) |
 //! | `engine.flush.recover` | histogram | ns in the naive degrade retry (only on failure) |
 //!
+//! **Per-router registry** (each [`crate::shard::ShardedEngine`] owns one,
+//! reachable via `ShardedEngine::obs()`; `<s>` ranges over shard indices)
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `shard.requests` | counter | requests routed through the scatter path |
+//! | `shard.flushes` | counter | router flushes that resolved ≥ 1 request |
+//! | `shard.failed` | counter | tickets failed by a shard-side error |
+//! | `shard.fanout` | histogram | owning shards per routed request (a count, not ns) |
+//! | `shard.merge.time` | histogram | ns ⊕-merging partials, one sample per flush |
+//! | `shard.queue_depth.<s>` | gauge | sub-requests queued in shard `s`'s engine |
+//!
 //! **Process-global registry** ([`global()`])
 //!
 //! | metric | type | meaning |

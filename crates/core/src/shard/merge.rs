@@ -1,0 +1,164 @@
+//! Merging per-shard partial products into the request's final output.
+//!
+//! Each shard returns a *full-height* partial (its sub-matrix keeps every
+//! row), so merging is a pure element-wise `⊕`-fold. Order matters for
+//! bit-identity with an unsharded engine: shard `p`'s partial is a left-fold
+//! over its columns in ascending order, so folding partials in **ascending
+//! shard order** reproduces the global ascending-column fold exactly.
+
+use sparse_substrate::{Scalar, SparseVec};
+
+/// Folds full-height shard partials into one output vector with the
+/// semiring's `add`, in ascending shard order (`partials[0]` must be the
+/// lowest-column shard's result, and so on).
+///
+/// A row present in several partials is folded left-to-right across them; a
+/// row present in exactly one passes through untouched (no spurious
+/// `add(zero, v)` is introduced, matching what a single engine's kernel
+/// would have produced). When every partial is index-sorted — the kernels'
+/// steady state — a k-way cursor merge produces sorted output in one linear
+/// pass; otherwise a stable sort by row index (which preserves the
+/// shard-order of equal rows) restores the fold order first.
+pub fn merge_partials<Y, F>(len: usize, partials: &[SparseVec<Y>], mut add: F) -> SparseVec<Y>
+where
+    Y: Scalar,
+    F: FnMut(Y, Y) -> Y,
+{
+    for p in partials {
+        assert_eq!(p.len(), len, "shard partial has wrong output dimension");
+    }
+    match partials {
+        [] => SparseVec::new(len),
+        [only] => only.clone(),
+        many if many.iter().all(|p| p.is_sorted()) => merge_sorted(len, many, &mut add),
+        many => merge_unsorted(len, many, &mut add),
+    }
+}
+
+/// K-way cursor merge over index-sorted partials. `k` is the shard fan-out
+/// of one request — small — so a linear min-scan over cursors beats a heap.
+fn merge_sorted<Y, F>(len: usize, partials: &[SparseVec<Y>], add: &mut F) -> SparseVec<Y>
+where
+    Y: Scalar,
+    F: FnMut(Y, Y) -> Y,
+{
+    let mut out = SparseVec::new(len);
+    let mut cursors = vec![0usize; partials.len()];
+    loop {
+        let mut row = usize::MAX;
+        for (p, &c) in partials.iter().zip(&cursors) {
+            if let Some(&i) = p.indices().get(c) {
+                row = row.min(i);
+            }
+        }
+        if row == usize::MAX {
+            return out;
+        }
+        // Fold this row's contributions in ascending shard order.
+        let mut acc: Option<Y> = None;
+        for (p, c) in partials.iter().zip(cursors.iter_mut()) {
+            if p.indices().get(*c) == Some(&row) {
+                let v = p.values()[*c];
+                acc = Some(match acc {
+                    None => v,
+                    Some(a) => add(a, v),
+                });
+                *c += 1;
+            }
+        }
+        out.push(row, acc.expect("row came from some cursor"));
+    }
+}
+
+/// Fallback for unsorted partials: flatten in shard order, stable-sort by
+/// row (preserving shard order within a row), fold runs.
+fn merge_unsorted<Y, F>(len: usize, partials: &[SparseVec<Y>], add: &mut F) -> SparseVec<Y>
+where
+    Y: Scalar,
+    F: FnMut(Y, Y) -> Y,
+{
+    let mut entries: Vec<(usize, Y)> = Vec::with_capacity(partials.iter().map(|p| p.nnz()).sum());
+    for p in partials {
+        entries.extend(p.iter().map(|(i, v)| (i, *v)));
+    }
+    entries.sort_by_key(|&(i, _)| i);
+    let mut out = SparseVec::new(len);
+    let mut run: Option<(usize, Y)> = None;
+    for (i, v) in entries {
+        run = Some(match run {
+            Some((ri, rv)) if ri == i => (ri, add(rv, v)),
+            Some((ri, rv)) => {
+                out.push(ri, rv);
+                (i, v)
+            }
+            None => (i, v),
+        });
+    }
+    if let Some((ri, rv)) = run {
+        out.push(ri, rv);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(len: usize, pairs: &[(usize, f64)]) -> SparseVec<f64> {
+        SparseVec::from_pairs(len, pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn disjoint_rows_concatenate() {
+        let merged =
+            merge_partials(6, &[sv(6, &[(0, 1.0), (4, 4.0)]), sv(6, &[(2, 2.0)])], |a, b| a + b);
+        assert_eq!(merged, sv(6, &[(0, 1.0), (2, 2.0), (4, 4.0)]));
+        assert!(merged.is_sorted());
+    }
+
+    #[test]
+    fn overlapping_rows_fold_in_shard_order() {
+        // Non-commutative "add" exposes fold order: keep the left operand's
+        // sign, sum magnitudes.
+        let order_sensitive = |a: f64, b: f64| a.signum() * (a.abs() + b.abs());
+        let merged = merge_partials(
+            3,
+            &[sv(3, &[(1, -1.0)]), sv(3, &[(1, 2.0)]), sv(3, &[(1, 4.0)])],
+            order_sensitive,
+        );
+        // Shard 0 first: (((-1) ⊕ 2) ⊕ 4) = -7, not +7.
+        assert_eq!(merged, sv(3, &[(1, -7.0)]));
+    }
+
+    #[test]
+    fn single_partial_passes_through_even_unsorted() {
+        let mut p = SparseVec::new(4);
+        p.push(3, 9.0);
+        p.push(0, 1.0);
+        let merged = merge_partials(4, &[p.clone()], |a, b| a + b);
+        assert_eq!(merged, p, "single shard: no re-ordering, no touching values");
+    }
+
+    #[test]
+    fn unsorted_partials_take_the_sort_fallback_and_agree() {
+        let mut a = SparseVec::new(5);
+        a.push(4, 1.0);
+        a.push(0, 2.0);
+        let b = sv(5, &[(0, 3.0), (4, 5.0)]);
+        let merged = merge_partials(5, &[a, b], |x, y| x + y);
+        assert_eq!(merged, sv(5, &[(0, 5.0), (4, 6.0)]));
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let merged: SparseVec<f64> = merge_partials(7, &[], |a, _| a);
+        assert_eq!(merged.nnz(), 0);
+        assert_eq!(merged.len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong output dimension")]
+    fn dimension_mismatch_is_rejected() {
+        let _ = merge_partials(4, &[sv(3, &[])], |a: f64, _| a);
+    }
+}

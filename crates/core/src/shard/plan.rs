@@ -1,0 +1,312 @@
+//! Column-range partition plans, balanced by nnz.
+//!
+//! CombBLAS splits a matrix 1D by giving every processor a contiguous range
+//! of columns. Splitting by *width* (equal column counts) is trivially
+//! unfair on power-law graphs — one hub column can carry more entries than
+//! a thousand tail columns — so [`ShardPlan::balanced`] walks the CSC
+//! `colptr` prefix sums and places each boundary where the *entry count*
+//! crosses the next `total · s / shards` threshold instead.
+
+use sparse_substrate::{CscMatrix, DcscMatrix, Scalar};
+
+/// A 1D column partition: `shards + 1` non-decreasing boundaries over
+/// `0..=ncols`. Shard `s` owns columns `[bounds[s], bounds[s + 1])`.
+///
+/// Construction never panics on degenerate inputs: an empty matrix yields a
+/// single trivial shard, and a plan never has more shards than columns (nor
+/// more shards than can each receive at least one column), so callers may
+/// ask for "8 shards" of a 3-column matrix and get a valid 3-shard plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    ncols: usize,
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// An nnz-balanced plan over `matrix` with at most `shards` shards.
+    ///
+    /// Boundaries are placed where the cumulative entry count crosses each
+    /// `total · s / shards` threshold, then deduplicated: when the nnz mass
+    /// is too concentrated to support `shards` distinct pieces (e.g. all
+    /// entries in one column), the plan simply has fewer shards. `shards ==
+    /// 0` is treated as 1.
+    pub fn balanced<T: Scalar>(matrix: &CscMatrix<T>, shards: usize) -> ShardPlan {
+        Self::from_prefix_nnz(matrix.ncols(), matrix.colptr(), shards)
+    }
+
+    /// [`ShardPlan::balanced`] for a hypersparse [`DcscMatrix`]: the prefix
+    /// sums are reconstructed from the stored (non-empty) columns only, in
+    /// `O(nzc)`, without materializing an `O(ncols)` `colptr`.
+    pub fn balanced_dcsc<T: Scalar>(matrix: &DcscMatrix<T>, shards: usize) -> ShardPlan {
+        // Cumulative nnz *after* each non-empty column, as (col_id, cum).
+        let mut cum = 0usize;
+        let marks: Vec<(usize, usize)> = matrix
+            .iter_columns()
+            .map(|(j, rows, _)| {
+                cum += rows.len();
+                (j, cum)
+            })
+            .collect();
+        let total = cum;
+        let shards = shards.max(1);
+        if total == 0 {
+            return Self::uniform(matrix.ncols(), shards);
+        }
+        let mut bounds = vec![0usize];
+        for s in 1..shards {
+            let target = total * s / shards;
+            // First stored column whose cumulative count exceeds the target
+            // is the largest valid boundary with ≤ target mass to its left —
+            // the same cut `from_prefix_nnz` derives from a dense `colptr`.
+            let cut =
+                marks.iter().find(|&&(_, c)| c > target).map(|&(j, _)| j).unwrap_or(matrix.ncols());
+            Self::push_bound(&mut bounds, cut, matrix.ncols());
+        }
+        Self::finish(bounds, matrix.ncols())
+    }
+
+    /// A width-balanced plan (equal column counts, ignoring nnz) — the
+    /// baseline the nnz-balanced plan is measured against, and the fallback
+    /// for matrices whose entry distribution is unknown.
+    pub fn uniform(ncols: usize, shards: usize) -> ShardPlan {
+        let shards = shards.max(1).min(ncols.max(1));
+        let mut bounds = vec![0usize];
+        for s in 1..shards {
+            Self::push_bound(&mut bounds, s * ncols / shards, ncols);
+        }
+        Self::finish(bounds, ncols)
+    }
+
+    /// The balancing core, shared by CSC (whose `colptr` *is* the prefix-sum
+    /// array) and any caller with cumulative per-column entry counts.
+    /// `prefix` must have `ncols + 1` non-decreasing entries with
+    /// `prefix[0] == 0`.
+    pub fn from_prefix_nnz(ncols: usize, prefix: &[usize], shards: usize) -> ShardPlan {
+        assert_eq!(prefix.len(), ncols + 1, "prefix sums must have ncols + 1 entries");
+        let total = *prefix.last().expect("ncols + 1 >= 1 entries");
+        let shards = shards.max(1);
+        if total == 0 {
+            // No mass to balance: fall back to width balance so an all-empty
+            // (or entirely empty) matrix still spreads columns sensibly.
+            return Self::uniform(ncols, shards);
+        }
+        let mut bounds = vec![0usize];
+        for s in 1..shards {
+            let target = total * s / shards;
+            // partition_point: first column index whose cumulative nnz
+            // exceeds the target — boundaries land between columns, never
+            // splitting one column's entries.
+            let cut = prefix.partition_point(|&c| c <= target).saturating_sub(1);
+            Self::push_bound(&mut bounds, cut, ncols);
+        }
+        Self::finish(bounds, ncols)
+    }
+
+    /// Appends a candidate boundary, keeping bounds strictly increasing and
+    /// inside `(last, ncols)`; unsatisfiable candidates are dropped (fewer
+    /// shards), never clamped into overlap.
+    fn push_bound(bounds: &mut Vec<usize>, cut: usize, ncols: usize) {
+        let last = *bounds.last().expect("bounds start with 0");
+        if cut > last && cut < ncols {
+            bounds.push(cut);
+        }
+    }
+
+    fn finish(mut bounds: Vec<usize>, ncols: usize) -> ShardPlan {
+        bounds.push(ncols);
+        ShardPlan { ncols, bounds }
+    }
+
+    /// Builds a plan from explicit boundaries. `bounds` must start at 0, end
+    /// at `ncols`, and increase strictly in between (no empty shards).
+    ///
+    /// # Panics
+    ///
+    /// When the boundary list is not a valid strict partition.
+    pub fn from_bounds(ncols: usize, bounds: Vec<usize>) -> ShardPlan {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&ncols),
+            "bounds must span 0..={ncols} (got {bounds:?})"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) || ncols == 0 && bounds.len() == 2,
+            "bounds must be strictly increasing (got {bounds:?})"
+        );
+        ShardPlan { ncols, bounds }
+    }
+
+    /// Number of shards in the plan (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total columns the plan partitions.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// The boundary array: `num_shards() + 1` entries spanning `0..=ncols`.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// The column range shard `s` owns.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Which shard owns column `col`.
+    ///
+    /// # Panics
+    ///
+    /// When `col >= ncols`.
+    pub fn owner(&self, col: usize) -> usize {
+        assert!(col < self.ncols, "column {col} out of range for {} columns", self.ncols);
+        self.bounds.partition_point(|&b| b <= col) - 1
+    }
+}
+
+impl std::fmt::Display for ShardPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} shards over {} columns [", self.num_shards(), self.ncols)?;
+        for (s, w) in self.bounds.windows(2).enumerate() {
+            if s > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}..{}", w[0], w[1])?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse_substrate::gen::{erdos_renyi, rmat, RmatParams};
+    use sparse_substrate::CooMatrix;
+
+    fn plan_nnz<T: Scalar>(a: &CscMatrix<T>, plan: &ShardPlan) -> Vec<usize> {
+        (0..plan.num_shards()).map(|s| plan.range(s).map(|j| a.column_nnz(j)).sum()).collect()
+    }
+
+    fn assert_valid(plan: &ShardPlan, ncols: usize) {
+        assert_eq!(plan.bounds().first(), Some(&0));
+        assert_eq!(plan.bounds().last(), Some(&ncols));
+        assert!(plan.num_shards() >= 1);
+        assert!(plan.bounds().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn balanced_splits_follow_nnz_not_width() {
+        // A power-law-ish matrix: the nnz-balanced plan must put far fewer
+        // columns in the hub-heavy prefix than the uniform plan would.
+        let a = rmat(10, 8, RmatParams::graph500(), 42);
+        let plan = ShardPlan::balanced(&a, 4);
+        assert_valid(&plan, a.ncols());
+        let loads = plan_nnz(&a, &plan);
+        let widest = loads.iter().max().unwrap();
+        let uniform_loads = plan_nnz(&a, &ShardPlan::uniform(a.ncols(), 4));
+        let uniform_widest = uniform_loads.iter().max().unwrap();
+        assert!(
+            widest <= uniform_widest,
+            "nnz balance ({loads:?}) must not be worse than width balance ({uniform_loads:?})"
+        );
+        // No shard exceeds its fair share by more than one column's worth.
+        let fair = a.nnz() / plan.num_shards();
+        let max_col = a.max_column_degree();
+        assert!(*widest <= fair + max_col, "widest {widest} vs fair {fair} + max col {max_col}");
+    }
+
+    #[test]
+    fn owner_and_range_agree() {
+        let a = erdos_renyi(100, 4.0, 7);
+        let plan = ShardPlan::balanced(&a, 5);
+        for col in 0..a.ncols() {
+            let s = plan.owner(col);
+            assert!(plan.range(s).contains(&col), "column {col} not in its owner's range");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_yields_single_trivial_shard() {
+        let a: CscMatrix<f64> = CscMatrix::empty(0, 0);
+        let plan = ShardPlan::balanced(&a, 4);
+        assert_valid(&plan, 0);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.range(0), 0..0);
+    }
+
+    #[test]
+    fn matrix_with_no_entries_balances_by_width() {
+        let a: CscMatrix<f64> = CscMatrix::empty(6, 12);
+        let plan = ShardPlan::balanced(&a, 3);
+        assert_valid(&plan, 12);
+        assert_eq!(plan.num_shards(), 3);
+        assert_eq!(plan.bounds(), &[0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn all_nnz_in_one_column_collapses_to_fewer_shards() {
+        // Every entry in column 2 of a 5-column matrix: no boundary can
+        // separate the mass, so the plan must not panic and must stay valid.
+        let mut coo = CooMatrix::new(8, 5);
+        for i in 0..8 {
+            coo.push(i, 2, 1.0);
+        }
+        let a = CscMatrix::from_coo(coo, |x, _| x);
+        for shards in [1, 2, 3, 7] {
+            let plan = ShardPlan::balanced(&a, shards);
+            assert_valid(&plan, 5);
+            assert!(plan.num_shards() <= shards.max(1));
+            // Whatever the split, every entry is owned exactly once.
+            assert_eq!(plan_nnz(&a, &plan).iter().sum::<usize>(), a.nnz());
+        }
+    }
+
+    #[test]
+    fn more_shards_than_columns_caps_at_columns() {
+        let a = erdos_renyi(3, 2.0, 1);
+        let plan = ShardPlan::balanced(&a, 16);
+        assert_valid(&plan, 3);
+        assert!(plan.num_shards() <= 3);
+        let uniform = ShardPlan::uniform(3, 16);
+        assert_eq!(uniform.num_shards(), 3);
+    }
+
+    #[test]
+    fn zero_shards_is_treated_as_one() {
+        let a = erdos_renyi(10, 2.0, 3);
+        let plan = ShardPlan::balanced(&a, 0);
+        assert_eq!(plan.num_shards(), 1);
+        assert_eq!(plan.range(0), 0..10);
+    }
+
+    #[test]
+    fn dcsc_plan_matches_csc_plan() {
+        for seed in [3u64, 11, 29] {
+            let a = rmat(8, 6, RmatParams::graph500(), seed);
+            let d = DcscMatrix::from_csc(&a);
+            for shards in [1, 2, 3, 7] {
+                assert_eq!(
+                    ShardPlan::balanced(&a, shards),
+                    ShardPlan::balanced_dcsc(&d, shards),
+                    "seed {seed}, {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_bounds_validates() {
+        let plan = ShardPlan::from_bounds(10, vec![0, 4, 10]);
+        assert_eq!(plan.num_shards(), 2);
+        assert_eq!(plan.owner(4), 1);
+        assert_eq!(plan.to_string(), "2 shards over 10 columns [0..4, 4..10]");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_bounds_rejects_empty_shards() {
+        let _ = ShardPlan::from_bounds(10, vec![0, 4, 4, 10]);
+    }
+}

@@ -1,0 +1,477 @@
+//! The scatter/merge router: [`ShardedEngine`] and its session handle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{CscMatrix, Scalar, Semiring, SparseVec};
+
+use crate::engine::{
+    Engine, EngineConfig, EngineError, FlushOutcome, MxvRequest, Ticket, TicketShared,
+};
+use crate::failpoint;
+use crate::obs::{Counter, Gauge, Histogram, Registry, TraceKind};
+use crate::stats::EngineStats;
+
+use super::{merge_partials, ShardMsg, ShardPlan};
+
+/// One routed request awaiting its shards' partials: the client-facing
+/// ticket slot plus the sub-tickets it fans out to, in ascending shard
+/// order (the merge fold order).
+struct Routed<Y> {
+    id: u64,
+    session: u64,
+    shared: Arc<TicketShared<Y>>,
+    fanout: Vec<(usize, Ticket<Y>)>,
+    deadline: Option<Instant>,
+}
+
+/// The `shard.*` metric family, resolved once at construction.
+struct ShardMetrics {
+    registry: Registry,
+    /// `shard.requests` — requests routed through the scatter path.
+    requests: Arc<Counter>,
+    /// `shard.flushes` — router flushes that resolved at least one request.
+    flushes: Arc<Counter>,
+    /// `shard.failed` — tickets failed by a shard-side error.
+    failed: Arc<Counter>,
+    /// `shard.fanout` — owning shards per routed request.
+    fanout: Arc<Histogram>,
+    /// `shard.merge.time` — per-flush ⊕-merge latency.
+    merge_time: Arc<Histogram>,
+    /// `shard.queue_depth.<s>` — sub-requests queued in shard `s`'s engine.
+    queue_depth: Vec<Arc<Gauge>>,
+}
+
+impl ShardMetrics {
+    fn new(registry: Registry, shards: usize) -> Self {
+        let queue_depth =
+            (0..shards).map(|s| registry.gauge(&format!("shard.queue_depth.{s}"))).collect();
+        ShardMetrics {
+            requests: registry.counter("shard.requests"),
+            flushes: registry.counter("shard.flushes"),
+            failed: registry.counter("shard.failed"),
+            fanout: registry.histogram("shard.fanout"),
+            merge_time: registry.histogram("shard.merge.time"),
+            queue_depth,
+            registry,
+        }
+    }
+}
+
+/// What one [`ShardedEngine::flush`] did. The per-shard engine outcomes are
+/// kept whole (indexed by shard; all-zero for shards with nothing queued)
+/// so callers can attribute lanes, timeouts, and degradations to the shard
+/// that produced them.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFlushOutcome {
+    /// Routed requests resolved by this flush (merged + failed + retired).
+    pub requests: usize,
+    /// Requests whose partials merged into a delivered result.
+    pub merged: usize,
+    /// Requests failed by a shard error (single-shard outage, sub-request
+    /// failure, overload inside a shard).
+    pub failed: usize,
+    /// Requests already cancelled when the flush reached them.
+    pub retired: usize,
+    /// Requests that missed their deadline (counted within `failed`'s
+    /// complement — a timeout is its own bucket, not a shard failure).
+    pub timeouts: usize,
+    /// Shards whose engines actually flushed.
+    pub shards_flushed: usize,
+    /// Total lanes executed across all shard engines.
+    pub lanes: usize,
+    /// Wall time of the parallel shard-flush phase.
+    pub execute_time: Duration,
+    /// Wall time spent ⊕-merging partials into final outputs.
+    pub merge_time: Duration,
+    /// Each shard engine's own [`FlushOutcome`], indexed by shard.
+    pub per_shard: Vec<FlushOutcome>,
+}
+
+/// A fleet of column-range shard engines behind one engine-shaped front
+/// door. See the [module docs](super) for the partitioning and merge
+/// contract.
+///
+/// The router is flush-driven, like [`Engine`] in its synchronous style:
+/// submit through [`ShardedEngine::submit`] or a [`ShardSession`], then
+/// [`ShardedEngine::flush`] to scatter-execute-merge everything queued.
+pub struct ShardedEngine<A: Scalar, X: Scalar, S: Semiring<A, X> + Clone + 'static> {
+    plan: ShardPlan,
+    nrows: usize,
+    semiring: S,
+    engines: Vec<Engine<'static, A, X, S>>,
+    pending: Mutex<Vec<Routed<S::Output>>>,
+    metrics: ShardMetrics,
+    next_session: AtomicU64,
+    next_request: AtomicU64,
+}
+
+impl<A, X, S> ShardedEngine<A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'static,
+{
+    /// Partitions `matrix` into `shards` nnz-balanced column ranges (via
+    /// [`ShardPlan::balanced`]) and starts one default-configured engine
+    /// per shard. The plan may hold fewer shards than asked for when the
+    /// matrix cannot support more (see [`ShardPlan::balanced`]).
+    pub fn partition(matrix: &CscMatrix<A>, semiring: S, shards: usize) -> Self {
+        let plan = ShardPlan::balanced(matrix, shards);
+        Self::partition_with(matrix, semiring, plan, EngineConfig::default())
+    }
+
+    /// [`ShardedEngine::partition`] with an explicit plan and per-shard
+    /// engine configuration. Each shard engine **owns** its sub-matrix
+    /// (`matrix` is only borrowed to slice it), so the router has no
+    /// lifetime tie to the caller's matrix.
+    pub fn partition_with(
+        matrix: &CscMatrix<A>,
+        semiring: S,
+        plan: ShardPlan,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(
+            plan.ncols(),
+            matrix.ncols(),
+            "shard plan covers {} columns but the matrix has {}",
+            plan.ncols(),
+            matrix.ncols()
+        );
+        let engines: Vec<Engine<'static, A, X, S>> = matrix
+            .column_split(plan.bounds())
+            .into_iter()
+            .map(|sub| Engine::load_with(sub, semiring.clone(), config.clone()))
+            .collect();
+        let metrics = ShardMetrics::new(Registry::new(config.obs.clone()), engines.len());
+        ShardedEngine {
+            plan,
+            nrows: matrix.nrows(),
+            semiring,
+            engines,
+            pending: Mutex::new(Vec::new()),
+            metrics,
+            next_session: AtomicU64::new(1),
+            next_request: AtomicU64::new(0),
+        }
+    }
+
+    /// The column partition this router scatters by.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shard engines behind the router.
+    pub fn num_shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Output dimension (rows of the original matrix — every shard keeps
+    /// full output height).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Input dimension (columns of the original matrix).
+    pub fn ncols(&self) -> usize {
+        self.plan.ncols()
+    }
+
+    /// Routed requests submitted and not yet resolved by a flush.
+    pub fn pending(&self) -> usize {
+        crate::engine::lock(&self.pending).len()
+    }
+
+    /// The router's own observability registry: the `shard.*` metric
+    /// family. Per-shard engine registries are reachable through
+    /// [`ShardedEngine::shard_obs`].
+    pub fn obs(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
+    /// Shard `s`'s engine registry (the `engine.*` family for that shard).
+    pub fn shard_obs(&self, s: usize) -> &Registry {
+        self.engines[s].obs()
+    }
+
+    /// Shard `s`'s own engine stats (one addend of
+    /// [`ShardedEngine::stats`]).
+    pub fn shard_stats(&self, s: usize) -> EngineStats {
+        self.engines[s].stats()
+    }
+
+    /// The sum of every shard engine's [`EngineStats`] — existing engine
+    /// dashboards read a sharded deployment through the same shape.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for engine in &self.engines {
+            total.absorb(&engine.stats());
+        }
+        total
+    }
+
+    /// Opens a session handle; its still-queued requests can be retired
+    /// together with [`ShardSession::close`].
+    pub fn session(&self) -> ShardSession<'_, A, X, S> {
+        ShardSession { router: self, id: self.next_session.fetch_add(1, Ordering::Relaxed) }
+    }
+
+    /// Submits an anonymous request. Scattering happens here: the frontier
+    /// is sliced per owning shard ([`SparseVec::slice_remap`]), packed
+    /// through the [`ShardMsg`] protocol, and queued into each owning
+    /// shard's engine. The returned ticket resolves at the next
+    /// [`ShardedEngine::flush`].
+    pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
+        self.submit_tagged(0, request)
+    }
+
+    fn submit_tagged(&self, session: u64, request: MxvRequest<X>) -> Ticket<S::Output> {
+        assert_eq!(
+            request.frontier.len(),
+            self.plan.ncols(),
+            "request frontier has dimension {} but the matrix has {} columns",
+            request.frontier.len(),
+            self.plan.ncols()
+        );
+        let id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (ticket, shared) = Ticket::detached();
+        let mut fanout = Vec::new();
+        for s in 0..self.engines.len() {
+            let slice = request.frontier.slice_remap(self.plan.range(s));
+            if slice.nnz() == 0 {
+                continue;
+            }
+            // Round-trip the slice through the wire shape: the router is
+            // written against the protocol, not against in-process access.
+            let budget = request
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()).as_micros() as u64);
+            let msg: ShardMsg<X, S::Output> = ShardMsg::frontier(id, s, slice, budget);
+            let sub = MxvRequest {
+                frontier: msg.into_frontier().expect("just packed a frontier"),
+                mask: request.mask.clone(),
+                algorithm: request.algorithm,
+                deadline: request.deadline,
+            };
+            let sub_ticket = self.engines[s].submit(sub);
+            self.metrics.queue_depth[s].set(self.engines[s].pending() as u64);
+            fanout.push((s, sub_ticket));
+        }
+        self.metrics.requests.inc();
+        self.metrics.fanout.record(fanout.len() as u64);
+        crate::engine::lock(&self.pending).push(Routed {
+            id,
+            session,
+            shared,
+            fanout,
+            deadline: request.deadline,
+        });
+        ticket
+    }
+
+    /// Scatter-execute-merge for everything queued: flushes every involved
+    /// shard engine **in parallel** (one scoped thread per shard with
+    /// work), then folds each request's partials with the semiring's `⊕`
+    /// in ascending shard order and resolves its ticket. Every routed
+    /// request resolves before this returns; a shard failure resolves only
+    /// the tickets routed through that shard.
+    pub fn flush(&self) -> ShardFlushOutcome {
+        let routed: Vec<Routed<S::Output>> = {
+            let mut p = crate::engine::lock(&self.pending);
+            p.drain(..).collect()
+        };
+        let mut outcome = ShardFlushOutcome {
+            per_shard: vec![FlushOutcome::default(); self.engines.len()],
+            ..ShardFlushOutcome::default()
+        };
+        let involved: Vec<usize> =
+            (0..self.engines.len()).filter(|&s| self.engines[s].pending() > 0).collect();
+        if routed.is_empty() && involved.is_empty() {
+            return outcome;
+        }
+        if self.metrics.registry.enabled() {
+            self.metrics.registry.trace(TraceKind::FlushBegin { requests: routed.len() });
+        }
+
+        // Single-shard outage injection: a downed shard's engine is not
+        // flushed at all this round; only tickets routed through it fail.
+        let mut down: Vec<Option<String>> = vec![None; self.engines.len()];
+        for &s in &involved {
+            if let Err(msg) = failpoint::act(&format!("shard.flush.{s}")) {
+                down[s] = Some(msg);
+            }
+        }
+
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<(usize, _)> = involved
+                .iter()
+                .filter(|&&s| down[s].is_none())
+                .map(|&s| (s, scope.spawn(move || self.engines[s].flush())))
+                .collect();
+            for (s, handle) in handles {
+                outcome.per_shard[s] = handle.join().expect("shard flush thread panicked");
+                outcome.shards_flushed += 1;
+            }
+        });
+        outcome.execute_time = t0.elapsed();
+        for &s in &involved {
+            self.metrics.queue_depth[s].set(self.engines[s].pending() as u64);
+        }
+        outcome.lanes = outcome.per_shard.iter().map(|o| o.lanes).sum();
+
+        for r in routed {
+            outcome.requests += 1;
+            if !r.shared.is_pending() {
+                // Client cancelled between submit and flush: drop the
+                // sub-tickets too so shard queues shed the dead lanes.
+                for (_, t) in &r.fanout {
+                    t.cancel();
+                }
+                outcome.retired += 1;
+                continue;
+            }
+            let mut partials: Vec<SparseVec<S::Output>> = Vec::with_capacity(r.fanout.len());
+            let mut error: Option<EngineError> = None;
+            for (s, t) in &r.fanout {
+                if let Some(msg) = &down[*s] {
+                    t.cancel();
+                    error = error.or_else(|| Some(EngineError::KernelFailed(msg.clone())));
+                    continue;
+                }
+                // Collect the shard's reply in wire shape, then unpack.
+                let reply: ShardMsg<X, S::Output> = match t.try_take() {
+                    Some(Ok(y)) => ShardMsg::partial(r.id, *s, y),
+                    Some(Err(e)) => ShardMsg::error(r.id, *s, e),
+                    None => {
+                        t.cancel();
+                        ShardMsg::error(
+                            r.id,
+                            *s,
+                            EngineError::KernelFailed("shard never flushed the sub-request".into()),
+                        )
+                    }
+                };
+                match reply.into_result().expect("partial or error") {
+                    Ok(y) => partials.push(y),
+                    // First error in ascending shard order wins.
+                    Err(e) => error = error.or(Some(e)),
+                }
+            }
+            match error {
+                Some(EngineError::DeadlineExceeded) => {
+                    outcome.timeouts += 1;
+                    r.shared.fail(EngineError::DeadlineExceeded);
+                }
+                Some(e) => {
+                    outcome.failed += 1;
+                    self.metrics.failed.inc();
+                    r.shared.fail(e);
+                }
+                None => {
+                    // Deadline re-check at merge time: a result assembled
+                    // too late is never delivered as if it were fresh.
+                    if r.deadline.is_some_and(|d| Instant::now() >= d) {
+                        outcome.timeouts += 1;
+                        r.shared.fail(EngineError::DeadlineExceeded);
+                        continue;
+                    }
+                    let t_merge = Instant::now();
+                    let y = merge_partials(self.nrows, &partials, |a, b| self.semiring.add(a, b));
+                    outcome.merge_time += t_merge.elapsed();
+                    outcome.merged += 1;
+                    r.shared.fulfil(y);
+                }
+            }
+        }
+        if outcome.requests > 0 {
+            self.metrics.flushes.inc();
+            self.metrics.merge_time.record_duration(outcome.merge_time);
+        }
+        outcome
+    }
+
+    /// Retires every still-pending routed request of `session` (and its
+    /// shard sub-requests); their tickets resolve as
+    /// [`EngineError::Cancelled`]. Returns how many were retired.
+    fn retire_session(&self, session: u64) -> usize {
+        let retired: Vec<Routed<S::Output>> = {
+            let mut p = crate::engine::lock(&self.pending);
+            let (gone, keep) = p.drain(..).partition(|r| r.session == session);
+            *p = keep;
+            gone
+        };
+        for r in &retired {
+            r.shared.fail(EngineError::Cancelled);
+            for (_, t) in &r.fanout {
+                t.cancel();
+            }
+        }
+        retired.len()
+    }
+}
+
+impl<A, X, S> Drop for ShardedEngine<A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'static,
+{
+    fn drop(&mut self) {
+        // Resolve router-level tickets before the shard engines drop (their
+        // own `Drop` fails the sub-tickets with `Disconnected` in turn).
+        let routed: Vec<Routed<S::Output>> = {
+            let mut p = crate::engine::lock(&self.pending);
+            p.drain(..).collect()
+        };
+        for r in routed {
+            r.shared.fail(EngineError::Disconnected);
+        }
+    }
+}
+
+/// A logical client of a [`ShardedEngine`] — the sharded counterpart of
+/// [`crate::engine::Session`]. Dropping (or [`ShardSession::close`]-ing)
+/// the handle retires its still-queued requests as
+/// [`EngineError::Cancelled`].
+pub struct ShardSession<'r, A: Scalar, X: Scalar, S: Semiring<A, X> + Clone + 'static> {
+    router: &'r ShardedEngine<A, X, S>,
+    id: u64,
+}
+
+impl<'r, A, X, S> ShardSession<'r, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'static,
+{
+    /// This session's router-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submits a request under this session. See [`ShardedEngine::submit`].
+    pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
+        self.router.submit_tagged(self.id, request)
+    }
+
+    /// Closes the session, retiring its still-queued requests. Returns how
+    /// many were retired.
+    pub fn close(self) -> usize {
+        let retired = self.router.retire_session(self.id);
+        std::mem::forget(self);
+        retired
+    }
+}
+
+impl<'r, A, X, S> Drop for ShardSession<'r, A, X, S>
+where
+    A: Scalar,
+    X: Scalar,
+    S: Semiring<A, X> + Clone + 'static,
+{
+    fn drop(&mut self) {
+        self.router.retire_session(self.id);
+    }
+}

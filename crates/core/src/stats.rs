@@ -240,6 +240,27 @@ impl EngineStats {
         self.choices.merge(&outcome.choices);
     }
 
+    /// Adds another engine's cumulative stats into this one — the
+    /// aggregation a [`ShardedEngine`](crate::shard::ShardedEngine) uses to
+    /// present its per-shard engines as one serving surface. Counters and
+    /// timings sum; [`EngineStats::widest_flush`] takes the max (it is a
+    /// high-water mark, not a count).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.requests += other.requests;
+        self.retired += other.retired;
+        self.flushes += other.flushes;
+        self.fused_batches += other.fused_batches;
+        self.lanes_executed += other.lanes_executed;
+        self.widest_flush = self.widest_flush.max(other.widest_flush);
+        self.timeouts += other.timeouts;
+        self.rejected += other.rejected;
+        self.shed += other.shed;
+        self.panics_recovered += other.panics_recovered;
+        self.degraded_flushes += other.degraded_flushes;
+        self.flush_timings += other.flush_timings;
+        self.choices.merge(&other.choices);
+    }
+
     /// Requests that resolved as failures (any cause the engine counts).
     pub fn failures(&self) -> usize {
         self.timeouts + self.rejected + self.shed

@@ -20,13 +20,21 @@
 //! simply closes its session and stops submitting, so later levels' fused
 //! batches only carry the still-active sources.
 //! [`MultiBfsResult::active_lanes_per_level`] records that shrinkage.
+//!
+//! The lock-step driver is generic over the serving front door: the same
+//! traversal runs against a single [`Engine`] ([`multi_bfs`]) or a
+//! column-partitioned [`ShardedEngine`] fleet ([`multi_bfs_sharded`]) —
+//! BFS's `(min, select2nd)` semiring is exactly associative, so the
+//! sharded scatter/merge is bit-identical to the unsharded run.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use sparse_substrate::{CscMatrix, MaskBits, Select2ndMin, SparseVec};
-use spmspv::engine::{Engine, EngineConfig, MxvRequest, Session};
+use spmspv::engine::{Engine, EngineConfig, MxvRequest, Session, Ticket};
 use spmspv::obs::TraceKind;
+use spmspv::shard::{ShardPlan, ShardSession, ShardedEngine};
+use spmspv::stats::EngineStats;
 use spmspv::{BatchAlgorithmKind, MaskMode, SpMSpVOptions};
 
 /// Result of a multi-source BFS: one parent/level map per source, plus the
@@ -50,8 +58,91 @@ pub struct MultiBfsResult {
     /// demonstrates lane retirement.
     pub active_lanes_per_level: Vec<usize>,
     /// The serving engine's coalescing telemetry for this traversal: every
-    /// level's `active` requests collapsed into one fused batch.
-    pub engine_stats: spmspv::stats::EngineStats,
+    /// level's `active` requests collapsed into one fused batch. For a
+    /// sharded run this is the **sum** over the shard engines.
+    pub engine_stats: EngineStats,
+}
+
+/// What the lock-step BFS driver needs from a serving front door. Both
+/// [`Engine`] and [`ShardedEngine`] qualify: per-client sessions submitting
+/// masked [`MxvRequest`]s, one flush per level, and engine-shaped stats.
+trait BfsFrontDoor {
+    /// The per-source client handle.
+    type Client<'e>
+    where
+        Self: 'e;
+
+    fn open(&self) -> Self::Client<'_>;
+    fn submit_via(&self, client: &Self::Client<'_>, request: MxvRequest<usize>) -> Ticket<usize>;
+    fn close_client(&self, client: Self::Client<'_>);
+    /// Flushes one level; returns the wall time spent executing kernels and
+    /// records the level trace event.
+    fn flush_level(&self, level: usize, active_lanes: usize) -> Duration;
+    fn final_stats(&self) -> EngineStats;
+}
+
+impl<'m> BfsFrontDoor for Engine<'m, f64, usize, Select2ndMin> {
+    type Client<'e>
+        = Session<'e, 'm, f64, usize, Select2ndMin>
+    where
+        Self: 'e;
+
+    fn open(&self) -> Self::Client<'_> {
+        self.session()
+    }
+
+    fn submit_via(&self, client: &Self::Client<'_>, request: MxvRequest<usize>) -> Ticket<usize> {
+        client.submit(request)
+    }
+
+    fn close_client(&self, client: Self::Client<'_>) {
+        client.close();
+    }
+
+    fn flush_level(&self, level: usize, active_lanes: usize) -> Duration {
+        let outcome = self.flush();
+        debug_assert_eq!(outcome.lanes, active_lanes);
+        // Per-level trace into the engine's ring: the traversal's shrinking
+        // batch width is the story the flush events alone don't tell.
+        self.obs().trace(TraceKind::Level { level, active_lanes });
+        outcome.timings.execute
+    }
+
+    fn final_stats(&self) -> EngineStats {
+        self.stats()
+    }
+}
+
+impl BfsFrontDoor for ShardedEngine<f64, usize, Select2ndMin> {
+    type Client<'e>
+        = ShardSession<'e, f64, usize, Select2ndMin>
+    where
+        Self: 'e;
+
+    fn open(&self) -> Self::Client<'_> {
+        self.session()
+    }
+
+    fn submit_via(&self, client: &Self::Client<'_>, request: MxvRequest<usize>) -> Ticket<usize> {
+        client.submit(request)
+    }
+
+    fn close_client(&self, client: Self::Client<'_>) {
+        client.close();
+    }
+
+    fn flush_level(&self, level: usize, active_lanes: usize) -> Duration {
+        let outcome = self.flush();
+        // One lane per (active source, owning shard) pair — ≥ active_lanes
+        // whenever a frontier straddles a shard boundary.
+        debug_assert!(outcome.lanes >= active_lanes || outcome.requests == 0);
+        self.obs().trace(TraceKind::Level { level, active_lanes });
+        outcome.execute_time
+    }
+
+    fn final_stats(&self) -> EngineStats {
+        self.stats()
+    }
 }
 
 /// Runs BFS from every vertex in `sources` simultaneously through the
@@ -76,13 +167,7 @@ pub fn multi_bfs_using(
     batch_kind: BatchAlgorithmKind,
     options: SpMSpVOptions,
 ) -> MultiBfsResult {
-    let n = a.ncols();
-    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
-    for &s in sources {
-        assert!(s < n, "source vertex {s} out of range for {n} vertices");
-    }
-
-    let k = sources.len();
+    check_bfs_inputs(a, sources);
     // One serving engine per traversal; every source is one client session.
     // `max_lanes(0)` lifts the width budget so each level stays exactly one
     // fused multiplication, preserving the pre-engine execution shape.
@@ -91,7 +176,40 @@ pub fn multi_bfs_using(
         Select2ndMin,
         EngineConfig::default().batch_algorithm(batch_kind).options(options).max_lanes(0),
     );
+    drive_lockstep(&engine, a.ncols(), sources)
+}
 
+/// [`multi_bfs`] over a [`ShardedEngine`]: the matrix is 1D
+/// column-partitioned into `shards` nnz-balanced ranges and every level's
+/// frontiers are scatter/merged through the shard router. Results are
+/// **identical** to [`multi_bfs`] — BFS's `(min, select2nd)` reduction is
+/// exactly associative, so the per-shard fold order cannot show.
+pub fn multi_bfs_sharded(
+    a: &CscMatrix<f64>,
+    sources: &[usize],
+    shards: usize,
+    options: SpMSpVOptions,
+) -> MultiBfsResult {
+    check_bfs_inputs(a, sources);
+    let engine = ShardedEngine::partition_with(
+        a,
+        Select2ndMin,
+        ShardPlan::balanced(a, shards),
+        EngineConfig::default().options(options).max_lanes(0),
+    );
+    drive_lockstep(&engine, a.ncols(), sources)
+}
+
+fn check_bfs_inputs(a: &CscMatrix<f64>, sources: &[usize]) {
+    assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
+    for &s in sources {
+        assert!(s < a.ncols(), "source vertex {s} out of range for {} vertices", a.ncols());
+    }
+}
+
+/// The lock-step traversal over any [`BfsFrontDoor`].
+fn drive_lockstep<E: BfsFrontDoor>(engine: &E, n: usize, sources: &[usize]) -> MultiBfsResult {
+    let k = sources.len();
     let mut parents: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut levels: Vec<Vec<Option<usize>>> = vec![vec![None; n]; k];
     let mut num_visited = vec![0usize; k];
@@ -100,8 +218,7 @@ pub fn multi_bfs_using(
     // closes its session and stops submitting, so the fused batch width
     // tracks the number of unfinished sources.
     let mut active: Vec<usize> = Vec::with_capacity(k);
-    let mut sessions: Vec<Option<Session<'_, '_, f64, usize, Select2ndMin>>> =
-        Vec::with_capacity(k);
+    let mut sessions: Vec<Option<E::Client<'_>>> = Vec::with_capacity(k);
     // One Arc-shared visited set per source: each level's request carries a
     // refcount bump instead of an O(n)-bit copy, and between flushes the
     // engine has dropped its reference, so `Arc::make_mut` updates below
@@ -113,7 +230,7 @@ pub fn multi_bfs_using(
         levels[s][src] = Some(0);
         num_visited[s] = 1;
         active.push(s);
-        sessions.push(Some(engine.session()));
+        sessions.push(Some(engine.open()));
         Arc::make_mut(&mut visited[s]).insert(src);
         frontiers.push(SparseVec::from_pairs(n, vec![(src, src)]).expect("source index in range"));
     }
@@ -133,15 +250,11 @@ pub fn multi_bfs_using(
             .map(|(&s, frontier)| {
                 let request = MxvRequest::new(frontier.clone())
                     .mask(Arc::clone(&visited[s]), MaskMode::Complement);
-                sessions[s].as_ref().expect("active source keeps its session").submit(request)
+                let session = sessions[s].as_ref().expect("active source keeps its session");
+                engine.submit_via(session, request)
             })
             .collect();
-        let outcome = engine.flush();
-        debug_assert_eq!(outcome.lanes, active.len());
-        // Per-level trace into the engine's ring: the traversal's shrinking
-        // batch width is the story the flush events alone don't tell.
-        engine.obs().trace(TraceKind::Level { level, active_lanes: active.len() });
-        spmspv_time += outcome.timings.execute;
+        spmspv_time += engine.flush_level(level, active.len());
         iterations += 1;
         level += 1;
 
@@ -173,7 +286,7 @@ pub fn multi_bfs_using(
                 next_active.push(s);
                 next_frontiers.push(next);
             } else if let Some(session) = sessions[s].take() {
-                session.close();
+                engine.close_client(session);
             }
         }
         active = next_active;
@@ -188,7 +301,7 @@ pub fn multi_bfs_using(
         iterations,
         spmspv_time,
         active_lanes_per_level,
-        engine_stats: engine.stats(),
+        engine_stats: engine.final_stats(),
     }
 }
 
@@ -260,6 +373,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_traversal_is_identical_across_shard_counts() {
+        let a = rmat(8, 8, RmatParams::graph500(), 11);
+        let sources = [0usize, 3, 17, 99];
+        let base = multi_bfs(&a, &sources, SpMSpVOptions::with_threads(3));
+        for shards in [1usize, 2, 3, 7] {
+            let sharded = multi_bfs_sharded(&a, &sources, shards, SpMSpVOptions::with_threads(2));
+            assert_eq!(base.parents, sharded.parents, "{shards} shards: parents differ");
+            assert_eq!(base.levels, sharded.levels, "{shards} shards: levels differ");
+            assert_eq!(base.num_visited, sharded.num_visited);
+            assert_eq!(base.iterations, sharded.iterations);
+            assert_eq!(base.active_lanes_per_level, sharded.active_lanes_per_level);
+            // Per-shard engines saw at least one lane per level overall, and
+            // the summed stats stay engine-shaped.
+            assert!(sharded.engine_stats.lanes_executed >= base.engine_stats.lanes_executed);
+        }
+    }
+
+    #[test]
     fn parents_form_valid_trees_per_source() {
         let a = grid2d(9, 14);
         let sources = [0usize, 60, 125];
@@ -318,5 +449,8 @@ mod tests {
         assert_eq!(r.iterations, 0);
         assert!(r.parents.is_empty());
         assert!(r.active_lanes_per_level.is_empty());
+
+        let sharded = multi_bfs_sharded(&a, &[], 3, SpMSpVOptions::default());
+        assert_eq!(sharded.iterations, 0);
     }
 }

@@ -196,6 +196,38 @@ impl<T: Scalar> SparseVecBatch<T> {
         }
     }
 
+    /// Lane-wise [`SparseVec::slice_remap`]: every lane keeps only its
+    /// entries with indices in `range`, re-based to the range start, and the
+    /// batch's logical dimension becomes `range.len()`. The lane count is
+    /// preserved (lanes that lose all entries stay as empty lanes), so a
+    /// column-partitioned shard sees the same batch width as the router.
+    ///
+    /// # Panics
+    ///
+    /// When the range is decreasing or extends past [`SparseVecBatch::len`].
+    pub fn slice_remap(&self, range: std::ops::Range<usize>) -> SparseVecBatch<T> {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice_remap range {range:?} out of bounds for length {}",
+            self.len
+        );
+        let mut lane_ptr = Vec::with_capacity(self.k() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        lane_ptr.push(0);
+        for l in 0..self.k() {
+            let (idx, val) = self.lane(l);
+            for (&i, &v) in idx.iter().zip(val.iter()) {
+                if range.contains(&i) {
+                    indices.push(i - range.start);
+                    values.push(v);
+                }
+            }
+            lane_ptr.push(indices.len());
+        }
+        SparseVecBatch { len: range.end - range.start, lane_ptr, indices, values }
+    }
+
     /// Fuses the lanes into the column-major layout batched SpMSpV consumes:
     /// the sorted union of active indices, each with its `(lane, value)`
     /// activations. Lane order within one column follows lane id, and each
@@ -465,6 +497,25 @@ mod tests {
         let mut sorted = b.clone();
         sorted.sort_lanes();
         assert_eq!(sorted.fuse_columns_merge(), via_public);
+    }
+
+    #[test]
+    fn slice_remap_keeps_lane_count_and_rebases() {
+        let b = demo_batch();
+        let s = b.slice_remap(1..5);
+        assert_eq!(s.k(), 3, "lane count survives slicing");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.lane(0).0, &[3, 0]); // 4, 1 re-based by 1
+        assert_eq!(s.lane_nnz(1), 0);
+        assert_eq!(s.lane(2).0, &[0, 2]); // 1, 3 survive; 5 is cut
+        assert_eq!(s.lane(2).1, &[10.0, 30.0]);
+        // Lane-wise agreement with the vector primitive.
+        for l in 0..b.k() {
+            assert_eq!(s.lane_vec(l), b.lane_vec(l).slice_remap(1..5));
+        }
+        // Degenerate ranges.
+        assert_eq!(b.slice_remap(0..0).k(), 3);
+        assert_eq!(b.slice_remap(0..6), b);
     }
 
     #[test]

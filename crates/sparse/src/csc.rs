@@ -248,6 +248,57 @@ impl<T: Scalar> CscMatrix<T> {
         (0..=pieces).map(|p| p * self.nrows / pieces).collect()
     }
 
+    /// Extracts the column range `[range.start, range.end)` as a standalone
+    /// `nrows × range.len()` matrix. Column `j` of the slice is column
+    /// `range.start + j` of the original; the output dimension (rows) is
+    /// untouched, which is what makes 1D column partitioning compose under a
+    /// semiring: `A·x = ⊕ₚ Aₚ·xₚ` where each partial product is a
+    /// full-height vector.
+    ///
+    /// In CSC this is a pure slice: `colptr[lo..=hi]` re-based by
+    /// `colptr[lo]` plus the matching `rowids`/`values` windows — `O(ncols +
+    /// nnz)` of the piece, no per-entry search.
+    ///
+    /// # Panics
+    ///
+    /// When the range is decreasing or extends past [`CscMatrix::ncols`].
+    pub fn column_slice(&self, range: std::ops::Range<usize>) -> CscMatrix<T> {
+        assert!(
+            range.start <= range.end && range.end <= self.ncols,
+            "column_slice range {range:?} out of bounds for {} columns",
+            self.ncols
+        );
+        let base = self.colptr[range.start];
+        let colptr: Vec<usize> =
+            self.colptr[range.start..=range.end].iter().map(|&p| p - base).collect();
+        let window = self.colptr[range.start]..self.colptr[range.end];
+        CscMatrix {
+            nrows: self.nrows,
+            ncols: range.end - range.start,
+            colptr,
+            rowids: self.rowids[window.clone()].to_vec(),
+            values: self.values[window].to_vec(),
+        }
+    }
+
+    /// Splits the matrix column-wise at `bounds` (the CombBLAS-style 1D
+    /// partition consumed by the `spmspv::shard` router): piece `p` is
+    /// `self.column_slice(bounds[p]..bounds[p + 1])`. `bounds` must start at
+    /// `0`, end at [`CscMatrix::ncols`], and be non-decreasing — exactly the
+    /// shape a shard plan produces.
+    ///
+    /// # Panics
+    ///
+    /// When `bounds` is not a valid non-decreasing `0..=ncols` partition.
+    pub fn column_split(&self, bounds: &[usize]) -> Vec<CscMatrix<T>> {
+        assert!(
+            bounds.first() == Some(&0) && bounds.last() == Some(&self.ncols),
+            "column bounds must span 0..={} (got {bounds:?})",
+            self.ncols
+        );
+        bounds.windows(2).map(|w| self.column_slice(w[0]..w[1])).collect()
+    }
+
     /// Checks every structural invariant, returning a description of the
     /// first violation found.
     pub fn validate(&self) -> Result<(), SparseError> {
@@ -391,6 +442,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn column_slice_rebases_pointers_and_keeps_rows() {
+        let a = figure1_matrix();
+        let s = a.column_slice(2..6);
+        s.validate().unwrap();
+        assert_eq!(s.nrows(), a.nrows());
+        assert_eq!(s.ncols(), 4);
+        for j in 0..4 {
+            assert_eq!(s.column(j), a.column(2 + j), "slice column {j}");
+        }
+        // Degenerate slices stay valid.
+        let empty = a.column_slice(3..3);
+        empty.validate().unwrap();
+        assert_eq!(empty.ncols(), 0);
+        assert_eq!(empty.nnz(), 0);
+        assert_eq!(a.column_slice(0..8), a);
+    }
+
+    #[test]
+    fn column_split_partitions_all_entries() {
+        let a = figure1_matrix();
+        for bounds in [vec![0, 8], vec![0, 3, 8], vec![0, 2, 2, 5, 8]] {
+            let parts = a.column_split(&bounds);
+            assert_eq!(parts.len(), bounds.len() - 1);
+            let total: usize = parts.iter().map(|p| p.nnz()).sum();
+            assert_eq!(total, a.nnz(), "pieces must cover every entry");
+            for (p, part) in parts.iter().enumerate() {
+                part.validate().unwrap();
+                assert_eq!(part.nrows(), a.nrows());
+                for (i, j, v) in part.iter() {
+                    assert_eq!(a.get(i, j + bounds[p]).copied(), Some(*v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column bounds")]
+    fn column_split_rejects_partial_bounds() {
+        let a = figure1_matrix();
+        let _ = a.column_split(&[0, 4]);
     }
 
     #[test]

@@ -190,6 +190,34 @@ impl<T: Scalar> SparseVec<T> {
     pub fn into_parts(self) -> (usize, Vec<usize>, Vec<T>) {
         (self.len, self.indices, self.values)
     }
+
+    /// Extracts the entries whose indices fall in `range`, re-based to the
+    /// range start: an entry `(i, v)` with `range.start <= i < range.end`
+    /// becomes `(i - range.start, v)` in a vector of logical dimension
+    /// `range.len()`. Storage order is preserved, so a sorted input yields a
+    /// sorted slice.
+    ///
+    /// This is the frontier-scatter primitive of 1D column-partitioned
+    /// SpMSpV (CombBLAS-style): a shard owning columns `[lo, hi)` of the
+    /// matrix receives exactly `x.slice_remap(lo..hi)` as its local input.
+    ///
+    /// # Panics
+    ///
+    /// When the range is decreasing or extends past [`SparseVec::len`].
+    pub fn slice_remap(&self, range: std::ops::Range<usize>) -> SparseVec<T> {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "slice_remap range {range:?} out of bounds for length {}",
+            self.len
+        );
+        let mut out = SparseVec::new(range.end - range.start);
+        for (i, v) in self.iter() {
+            if range.contains(&i) {
+                out.push(i - range.start, *v);
+            }
+        }
+        out
+    }
 }
 
 impl<T: Scalar + PartialOrd> SparseVec<T> {
@@ -306,6 +334,31 @@ mod tests {
         assert!(SparseVec::from_parts(3, vec![0, 1], vec![1.0]).is_err());
         assert!(SparseVec::from_parts(3, vec![0, 9], vec![1.0, 2.0]).is_err());
         assert!(SparseVec::from_parts(3, vec![0, 2], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn slice_remap_rebases_and_preserves_order() {
+        let v = SparseVec::from_pairs(10, vec![(7, 7.0), (2, 2.0), (5, 5.0), (4, 4.0)]).unwrap();
+        let s = v.slice_remap(4..8);
+        assert_eq!(s.len(), 4);
+        // Storage order preserved: 7, 5, 4 arrive in that order, re-based.
+        assert_eq!(s.indices(), &[3, 1, 0]);
+        assert_eq!(s.values(), &[7.0, 5.0, 4.0]);
+        // A sorted input slices to a sorted output.
+        let sorted = v.sorted().slice_remap(4..8);
+        assert!(sorted.is_sorted());
+        assert_eq!(sorted.indices(), &[0, 1, 3]);
+        // Empty and full ranges.
+        assert_eq!(v.slice_remap(0..0).len(), 0);
+        assert_eq!(v.slice_remap(0..10).nnz(), v.nnz());
+        assert!(v.slice_remap(8..10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_remap_rejects_out_of_range() {
+        let v = SparseVec::from_pairs(4, vec![(1, 1.0)]).unwrap();
+        let _ = v.slice_remap(2..5);
     }
 
     #[test]

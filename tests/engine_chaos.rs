@@ -366,3 +366,98 @@ proptest! {
         );
     }
 }
+
+/// An Erdős–Rényi matrix with its values remapped to small integers, so
+/// cross-shard ⊕-merges stay exact and sharded results compare bit-for-bit
+/// against the unsharded oracle.
+fn integral_matrix(n: usize, d: f64, seed: u64) -> CscMatrix<f64> {
+    let a = erdos_renyi(n, d, seed);
+    let mut coo = sparse_substrate::CooMatrix::new(n, n);
+    for (i, j, v) in a.iter() {
+        coo.push(i, j, (v * 8.0).floor() + 1.0);
+    }
+    CscMatrix::from_coo(coo, |x, y| x + y)
+}
+
+/// A small integral-valued frontier confined to `range`'s columns, so its
+/// fan-out touches exactly one shard.
+fn confined_vec(n: usize, range: &std::ops::Range<usize>, seed: u64) -> SparseVec<f64> {
+    let want = range.len().clamp(1, 6);
+    let mut pairs: Vec<(usize, f64)> = (0..want)
+        .map(|t| {
+            let col = range.start + (seed as usize * 7 + t * 13) % range.len();
+            (col, ((seed as usize + t) % 9 + 1) as f64)
+        })
+        .collect();
+    pairs.sort_unstable_by_key(|p| p.0);
+    pairs.dedup_by_key(|p| p.0);
+    SparseVec::from_pairs(n, pairs).expect("indices confined to range")
+}
+
+/// The tentpole isolation story: a failpoint armed inside exactly **one**
+/// shard's flush (`shard.flush.1`). Every ticket routed through shard 1
+/// fails with `KernelFailed`; tickets whose frontiers only touch shard 0's
+/// columns are served in the *same flush*, bit-identical to the oracle —
+/// and once the shot is spent, the previously doomed frontiers (including
+/// cross-shard merges) serve exactly.
+#[test]
+fn single_shard_outage_fails_only_routed_tickets() {
+    use spmspv::shard::ShardedEngine;
+    let _fp = fp_lock();
+    let a = integral_matrix(140, 5.0, 77);
+    let router = ShardedEngine::partition(&a, PlusTimes, 3);
+    assert!(router.num_shards() >= 2, "need ≥ 2 shards for an isolation story");
+    let r0 = router.plan().range(0);
+    let r1 = router.plan().range(1);
+
+    let safe_x: Vec<SparseVec<f64>> =
+        (0..3).map(|i| confined_vec(a.ncols(), &r0, 10 + i)).collect();
+    let doomed_x: Vec<SparseVec<f64>> =
+        (0..3).map(|i| confined_vec(a.ncols(), &r1, 50 + i)).collect();
+
+    let before = failpoint::hits("shard.flush.1");
+    let _g = failpoint::arm(
+        "shard.flush.1",
+        FailAction::Error("chaos: shard 1 unreachable".into()),
+        Some(1),
+    );
+    let safe: Vec<_> = safe_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let doomed: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(failpoint::hits("shard.flush.1"), before + 1, "the outage must have fired");
+    assert_eq!(outcome.merged, safe.len(), "sibling-shard tickets resolve untouched");
+    assert_eq!(outcome.failed, doomed.len(), "only shard-1-routed tickets fail");
+    for (t, x) in safe.iter().zip(&safe_x) {
+        let y = claim(t).expect("shard 0 must be unaffected by shard 1's outage");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "survivor diverged from oracle");
+    }
+    for t in &doomed {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => {
+                assert!(msg.contains("shard 1 unreachable"), "outage message lost: {msg}")
+            }
+            other => panic!("shard-1 ticket must fail with KernelFailed, got {other:?}"),
+        }
+    }
+
+    // The shot is spent: the same frontiers — plus one straddling both
+    // shards — now serve exactly through the healed fleet.
+    let mut straddle = confined_vec(a.ncols(), &r0, 3);
+    for (i, v) in confined_vec(a.ncols(), &r1, 4).iter() {
+        straddle.push(i, *v);
+    }
+    let retry: Vec<_> = doomed_x
+        .iter()
+        .chain(std::iter::once(&straddle))
+        .map(|x| router.submit(MxvRequest::new(x.clone())))
+        .collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, 0, "healed fleet must serve everything");
+    assert_eq!(outcome.merged, retry.len());
+    for (t, x) in retry.iter().zip(doomed_x.iter().chain(std::iter::once(&straddle))) {
+        let y = claim(t).expect("healed shard must serve");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "post-outage result diverged");
+    }
+    assert_eq!(router.obs().snapshot().counter("shard.failed"), Some(doomed_x.len() as u64));
+}

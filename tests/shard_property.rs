@@ -1,0 +1,281 @@
+//! Property tests for the shard router: **a [`ShardedEngine`] serves every
+//! request bit-identically to a single unsharded [`Engine`]** — across
+//! semirings (`PlusTimes`, `MinPlus`, `Select2ndMin` via BFS), mask modes
+//! (unmasked / keep / complement), shard counts {1, 2, 3, 7}, fixed and
+//! adaptive kernel paths, and skewed nnz distributions (power-law matrices,
+//! frontiers confined to one shard's columns).
+//!
+//! Entry values are small integers, so `PlusTimes`'s ⊕ is exact and the
+//! ascending-shard merge fold is *bitwise* the unsharded ascending-column
+//! fold (`min`-based semirings are exactly associative outright). The
+//! companion satellite asserts [`ShardedEngine::stats`] is the sum of the
+//! per-shard [`EngineStats`].
+
+use proptest::prelude::*;
+use sparse_substrate::{
+    CooMatrix, CscMatrix, MaskBits, MinPlus, PlusTimes, Scalar, Semiring, SparseVec,
+};
+use spmspv::engine::{Engine, EngineConfig, MxvRequest};
+use spmspv::shard::{ShardPlan, ShardedEngine};
+use spmspv::stats::EngineStats;
+use spmspv::{BatchAlgorithmKind, MaskMode};
+
+/// Strategy: a random sparse square matrix with small-integer entries and a
+/// skew knob — `skew` of the entries land in the first `n/8` columns, so
+/// high-skew cases concentrate nearly all nnz in the lowest shard.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = CscMatrix<f64>> {
+    (4usize..max_dim, 0.0f64..0.95).prop_flat_map(|(n, skew)| {
+        let entry = (0..n, 0..n, 1i32..16, 0.0f64..1.0);
+        proptest::collection::vec(entry, 1..(n * n).min(300)).prop_map(move |entries| {
+            let mut coo = CooMatrix::new(n, n);
+            let head = (n / 8).max(1);
+            for (i, j, v, roll) in entries {
+                let col = if roll < skew { j % head } else { j };
+                coo.push(i, col, v as f64);
+            }
+            CscMatrix::from_coo(coo, |a, b| a + b)
+        })
+    })
+}
+
+/// One generated request: an integer-valued frontier (possibly confined to
+/// a narrow column band, exercising single-shard fan-out) and a mask pick.
+#[derive(Debug, Clone)]
+struct GenRequest {
+    frontier: SparseVec<f64>,
+    mask: Option<(MaskBits, MaskMode)>,
+}
+
+fn request_strategy(n: usize) -> impl Strategy<Value = GenRequest> {
+    let frontier =
+        (proptest::collection::btree_map(0..n, 1i32..16, 1..n.min(24)), any::<bool>(), 0..n)
+            .prop_map(move |(map, confine, start)| {
+                let band = (n / 4).max(1);
+                let pairs: Vec<(usize, f64)> = map
+                    .into_iter()
+                    .map(|(i, v)| (if confine { start + i % band } else { i }.min(n - 1), v as f64))
+                    .collect::<std::collections::BTreeMap<usize, f64>>()
+                    .into_iter()
+                    .collect();
+                SparseVec::from_pairs(n, pairs).expect("unique in-range indices")
+            });
+    let mask = prop_oneof![
+        Just(None),
+        (proptest::collection::btree_map(0..n, 1i32..2, 0..n), any::<bool>()).prop_map(
+            move |(rows, keep)| {
+                let bits = MaskBits::from_indices(n, rows.into_keys());
+                let mode = if keep { MaskMode::Keep } else { MaskMode::Complement };
+                Some((bits, mode))
+            }
+        ),
+    ];
+    (frontier, mask).prop_map(|(frontier, mask)| GenRequest { frontier, mask })
+}
+
+fn operands(max_dim: usize) -> impl Strategy<Value = (CscMatrix<f64>, Vec<GenRequest>)> {
+    matrix_strategy(max_dim).prop_flat_map(|a| {
+        let n = a.ncols();
+        (Just(a), proptest::collection::vec(request_strategy(n), 1..6))
+    })
+}
+
+fn build_request(r: &GenRequest, kind: BatchAlgorithmKind) -> MxvRequest<f64> {
+    let mut req = MxvRequest::new(r.frontier.clone()).algorithm(kind);
+    if let Some((bits, mode)) = &r.mask {
+        req = req.mask(bits.clone(), *mode);
+    }
+    req
+}
+
+/// Serves `requests` through an unsharded engine and a `shards`-way router
+/// and asserts every pair of results carries the same entry set with
+/// bitwise-equal values.
+fn assert_sharded_is_bit_identical<S>(
+    a: &CscMatrix<f64>,
+    requests: &[GenRequest],
+    semiring: S,
+    shards: usize,
+    kind: BatchAlgorithmKind,
+) -> Result<(), TestCaseError>
+where
+    S: Semiring<f64, f64> + Clone + 'static,
+    S::Output: Scalar + PartialOrd + std::fmt::Debug,
+{
+    let oracle = Engine::over_with(a, semiring.clone(), EngineConfig::default());
+    let expect: Vec<SparseVec<S::Output>> = {
+        let tickets: Vec<_> =
+            requests.iter().map(|r| oracle.submit(build_request(r, kind))).collect();
+        oracle.flush();
+        tickets
+            .iter()
+            .map(|t| t.try_take().expect("oracle flush serves").expect("oracle cannot fail"))
+            .collect()
+    };
+
+    let router = ShardedEngine::partition(a, semiring, shards);
+    prop_assert!(router.num_shards() <= shards.max(1));
+    let tickets: Vec<_> = requests.iter().map(|r| router.submit(build_request(r, kind))).collect();
+    let outcome = router.flush();
+    prop_assert_eq!(outcome.requests, requests.len());
+    prop_assert_eq!(outcome.merged + outcome.failed + outcome.retired, outcome.requests);
+    prop_assert_eq!(outcome.failed, 0, "no chaos armed: nothing may fail");
+
+    for (i, (t, want)) in tickets.iter().zip(&expect).enumerate() {
+        let got = t.try_take().expect("router flush serves").expect("router cannot fail");
+        prop_assert_eq!(got.len(), want.len());
+        prop_assert!(
+            got.same_entries(want),
+            "request {} diverged under {} shards: got {:?}, want {:?}",
+            i,
+            router.num_shards(),
+            got,
+            want
+        );
+    }
+
+    // Satellite: the router's merged stats are exactly the per-shard sum.
+    let mut summed = EngineStats::default();
+    for s in 0..router.num_shards() {
+        summed.absorb(&router.shard_stats(s));
+    }
+    prop_assert_eq!(summed, router.stats(), "stats() must equal the absorb-sum of shard stats");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline property: sharded ≡ unsharded, bit for bit, for the
+    /// exact-⊕ arithmetic semiring, across shard counts and both the fixed
+    /// bucket kernel and the adaptive dispatcher.
+    #[test]
+    fn plus_times_sharded_equals_unsharded(
+        (a, requests) in operands(28),
+        shards_ix in 0usize..4,
+        adaptive in any::<bool>(),
+    ) {
+        let kind = if adaptive { BatchAlgorithmKind::Adaptive } else { BatchAlgorithmKind::Bucket };
+        let shards = [1usize, 2, 3, 7][shards_ix];
+        assert_sharded_is_bit_identical(&a, &requests, PlusTimes, shards, kind)?;
+    }
+
+    /// Same property under the tropical `(min, +)` semiring — exactly
+    /// associative, so bit-identity needs no integrality argument — with
+    /// the naive kernel in the mix.
+    #[test]
+    fn min_plus_sharded_equals_unsharded(
+        (a, requests) in operands(24),
+        shards_ix in 0usize..4,
+        naive in any::<bool>(),
+    ) {
+        let kind = if naive { BatchAlgorithmKind::Naive } else { BatchAlgorithmKind::Adaptive };
+        let shards = [1usize, 2, 3, 7][shards_ix];
+        assert_sharded_is_bit_identical(&a, &requests, MinPlus, shards, kind)?;
+    }
+}
+
+/// Deterministic corner: every shard count on a matrix whose nnz all sit in
+/// one column (the plan collapses to fewer shards; routing still works).
+#[test]
+fn concentrated_matrix_serves_through_any_shard_count() {
+    let n = 12;
+    let mut coo = CooMatrix::new(n, n);
+    for i in 0..n {
+        coo.push(i, 5, (i + 1) as f64);
+    }
+    let a = CscMatrix::from_coo(coo, |x, y| x + y);
+    let x = SparseVec::from_pairs(n, vec![(5, 3.0)]).unwrap();
+    let oracle = {
+        let engine = Engine::over(&a, PlusTimes);
+        let t = engine.submit(MxvRequest::new(x.clone()));
+        engine.flush();
+        t.try_take().unwrap().unwrap()
+    };
+    for shards in [1usize, 2, 3, 7, 100] {
+        let router = ShardedEngine::partition(&a, PlusTimes, shards);
+        let t = router.submit(MxvRequest::new(x.clone()));
+        let outcome = router.flush();
+        assert_eq!(outcome.merged, 1);
+        assert!(t.try_take().unwrap().unwrap().same_entries(&oracle), "{shards} shards diverged");
+    }
+}
+
+/// Deterministic corner: a frontier that straddles every shard boundary of
+/// an explicit uneven plan, masked both ways.
+#[test]
+fn explicit_plan_with_masks_matches_oracle() {
+    let n = 20;
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..n {
+        for k in 0..3 {
+            coo.push((j * 7 + k * 5) % n, j, ((j + k) % 9 + 1) as f64);
+        }
+    }
+    let a = CscMatrix::from_coo(coo, |x, y| x + y);
+    let x = SparseVec::from_pairs(n, (0..n).step_by(2).map(|j| (j, (j % 7 + 1) as f64)).collect())
+        .unwrap();
+    let mask = MaskBits::from_indices(n, (0..n).filter(|v| v % 3 == 0));
+    for mode in [MaskMode::Keep, MaskMode::Complement] {
+        let oracle = {
+            let engine = Engine::over(&a, PlusTimes);
+            let t = engine.submit(MxvRequest::new(x.clone()).mask(mask.clone(), mode));
+            engine.flush();
+            t.try_take().unwrap().unwrap()
+        };
+        let plan = ShardPlan::from_bounds(n, vec![0, 3, 4, 11, n]);
+        let router = ShardedEngine::partition_with(&a, PlusTimes, plan, EngineConfig::default());
+        let t = router.submit(MxvRequest::new(x.clone()).mask(mask.clone(), mode));
+        router.flush();
+        assert!(
+            t.try_take().unwrap().unwrap().same_entries(&oracle),
+            "masked ({mode:?}) sharded run diverged"
+        );
+    }
+}
+
+/// Routing bookkeeping: fan-out is the number of owning shards, empty
+/// frontiers resolve to empty outputs, and cancellation retires cleanly.
+#[test]
+fn fanout_empty_and_cancel_edges() {
+    let n = 16;
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..n {
+        coo.push(j, j, 1.0);
+        coo.push((j + 1) % n, j, 2.0);
+    }
+    let a = CscMatrix::from_coo(coo, |x, y| x + y);
+    let router = ShardedEngine::partition(&a, PlusTimes, 4);
+    assert_eq!(router.ncols(), n);
+    assert_eq!(router.nrows(), n);
+
+    // Empty frontier: fan-out 0, merged into an empty output.
+    let empty = router.submit(MxvRequest::new(SparseVec::new(n)));
+    // Confined frontier: it only owns columns inside shard 0's range.
+    let r0 = router.plan().range(0);
+    let confined =
+        router.submit(MxvRequest::new(SparseVec::from_pairs(n, vec![(r0.start, 2.0)]).unwrap()));
+    // Cancelled before the flush: resolves as Cancelled, never merged.
+    let doomed = router.submit(MxvRequest::new(SparseVec::from_pairs(n, vec![(0, 1.0)]).unwrap()));
+    assert!(doomed.cancel());
+
+    assert_eq!(router.pending(), 3);
+    let outcome = router.flush();
+    assert_eq!(outcome.requests, 3);
+    assert_eq!(outcome.merged, 2);
+    assert_eq!(outcome.retired, 1);
+    let y = empty.try_take().unwrap().unwrap();
+    assert_eq!(y.len(), n);
+    assert_eq!(y.nnz(), 0);
+    assert!(confined.try_take().unwrap().is_ok());
+    assert!(matches!(doomed.try_take(), Some(Err(spmspv::engine::EngineError::Cancelled))));
+
+    // The fan-out histogram saw all three routings (0, 1, and the doomed
+    // one's own fan-out), and dropping the router disconnects stragglers.
+    let snap = router.obs().snapshot();
+    assert_eq!(snap.counter("shard.requests"), Some(3));
+    assert_eq!(snap.histogram("shard.fanout").map(|h| h.count), Some(3));
+    let straggler =
+        router.submit(MxvRequest::new(SparseVec::from_pairs(n, vec![(1, 1.0)]).unwrap()));
+    drop(router);
+    assert!(matches!(straggler.try_take(), Some(Err(spmspv::engine::EngineError::Disconnected))));
+}
