@@ -34,12 +34,19 @@
 //!
 //! Env knobs: `ENGINE_LOAD_SMOKE=1` (reduced run + shape assertions, the CI
 //! lane), `ENGINE_LOAD_SCALE`, `ENGINE_LOAD_CLIENTS`, `ENGINE_LOAD_ROUNDS`,
-//! `ENGINE_LOAD_SHARDS` (shard count for the sharded phase, default 4).
+//! `ENGINE_LOAD_SHARDS` (shard count for the sharded phase, default 4),
+//! `ENGINE_LOAD_REMOTE=1` (also serve the sharded workload through
+//! [`ShardHost`] daemons over localhost sockets).
 //!
 //! After the serve-loop phase, the same burst workload replays through a
 //! [`ShardedEngine`] (1D column-partitioned engines behind the scatter/merge
 //! router) and the report gains a `sharded` section: tail latency plus the
-//! share of flush wall time spent ⊕-merging shard partials.
+//! share of flush wall time spent ⊕-merging shard partials. With
+//! `ENGINE_LOAD_REMOTE=1` it replays once more through a TCP-connected
+//! fleet and the report gains a `remote` section: tail latency plus the
+//! `net.*` wire telemetry (bytes, RPC time, reconnects).
+//!
+//! [`ShardHost`]: spmspv::net::ShardHost
 //!
 //! [`ShardedEngine`]: spmspv::shard::ShardedEngine
 //!
@@ -183,6 +190,122 @@ fn sharded_phase(scale: u32, shards: usize, clients: usize, rounds: usize) -> Js
         ("merge_share", Json::Num(merge_share)),
         ("fanout_mean", Json::Num(fanout_mean)),
         ("lanes_executed", Json::Int(stats.lanes_executed as i64)),
+    ])
+}
+
+/// The remote phase (`ENGINE_LOAD_REMOTE=1`): the sharded burst workload
+/// again, but served by [`spmspv::net::ShardHost`] daemons on ephemeral
+/// localhost ports behind a TCP-connected router — the full wire protocol
+/// (framing, deadline re-anchoring, gather) under load. Returns the
+/// `remote` report section: tail latency plus the `net.*` transport
+/// telemetry (bytes moved, per-exchange RPC time, reconnects — which must
+/// be zero on a healthy localhost fleet).
+fn remote_phase(scale: u32, shards: usize, clients: usize, rounds: usize) -> Json {
+    use spmspv::net::{ShardHost, TcpConfig};
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+
+    let a = rmat(scale, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let nrows = a.nrows();
+    let plan = ShardPlan::balanced(&a, shards);
+    let mut hosts = Vec::new();
+    let mut addrs = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let host = ShardHost::bind(
+            "127.0.0.1:0",
+            s,
+            part,
+            PlusTimes,
+            EngineConfig::default().max_lanes(16),
+        )
+        .expect("bind a shard host on an ephemeral localhost port");
+        addrs.push(host.local_addr().expect("bound listener has an address"));
+        hosts.push(host.spawn());
+    }
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect(
+        plan,
+        nrows,
+        PlusTimes,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial every freshly spawned host");
+
+    let latency = Histogram::default();
+    let mut requests = 0usize;
+    let mut reqno = 0usize;
+    for round in 0..rounds {
+        let mut inflight = Vec::new();
+        for c in 0..clients {
+            let burst = 1 + (c + round) % 4;
+            for _ in 0..burst {
+                reqno += 1;
+                let frontier: SparseVec<f64> =
+                    random_sparse_vec(n, 16 + (reqno * 13) % 48, (c * 10_007 + reqno) as u64);
+                let mut req = MxvRequest::new(frontier);
+                if reqno.is_multiple_of(3) {
+                    let bits = MaskBits::from_indices(nrows, (c % 3..nrows).step_by(2 + reqno % 3));
+                    req = req.mask(bits, MaskMode::Complement);
+                }
+                let submitted = Instant::now();
+                inflight.push((router.submit(req), submitted));
+            }
+        }
+        let outcome = router.flush();
+        assert_eq!(outcome.failed, 0, "healthy localhost fleet: {:?}", outcome.failures);
+        for (ticket, submitted) in inflight {
+            let resolved = ticket.wait_timeout(Duration::from_secs(10));
+            latency.record(submitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            assert!(resolved.is_ok(), "remote phase has no faults armed: {resolved:?}");
+            requests += 1;
+        }
+    }
+    let snap = latency.snapshot();
+    let (p50, p95, p99) = (snap.quantile(0.50), snap.quantile(0.95), snap.quantile(0.99));
+    let obs = router.obs().snapshot();
+    let bytes_out = obs.counter("net.bytes.out").unwrap_or(0);
+    let bytes_in = obs.counter("net.bytes.in").unwrap_or(0);
+    let reconnects = obs.counter("net.reconnects").unwrap_or(0);
+    // Obs histograms record nanoseconds; the report speaks microseconds.
+    let (rpc_count, rpc_mean) = obs
+        .histogram("net.rpc.time")
+        .map(|h| (h.count, if h.count == 0 { 0.0 } else { h.sum as f64 / h.count as f64 / 1e3 }))
+        .unwrap_or((0, 0.0));
+
+    println!(
+        "\nremote phase ({} hosts over {n} columns): {requests} requests, latency (µs) p50 {p50} \
+         p95 {p95} p99 {p99}; wire {bytes_out} B out / {bytes_in} B in, {rpc_count} exchanges \
+         (mean {rpc_mean:.0} µs), {reconnects} reconnects",
+        router.num_shards(),
+    );
+    assert!(requests > 0, "remote phase must serve traffic");
+    assert!(p50 <= p95 && p95 <= p99, "remote percentiles must be monotone");
+    assert!(bytes_out > 0 && bytes_in > 0, "served traffic must have crossed the wire");
+    assert_eq!(reconnects, 0, "a healthy localhost fleet never reconnects");
+
+    drop(router);
+    for host in hosts {
+        host.shutdown();
+    }
+
+    Json::obj([
+        ("shards", Json::Int(shards as i64)),
+        ("requests", Json::Int(requests as i64)),
+        (
+            "latency_micros",
+            Json::obj([
+                ("p50", Json::Int(p50 as i64)),
+                ("p95", Json::Int(p95 as i64)),
+                ("p99", Json::Int(p99 as i64)),
+                ("max", Json::Int(snap.max as i64)),
+            ]),
+        ),
+        ("bytes_out", Json::Int(bytes_out as i64)),
+        ("bytes_in", Json::Int(bytes_in as i64)),
+        ("rpc_exchanges", Json::Int(rpc_count as i64)),
+        ("rpc_time_micros_mean", Json::Num(rpc_mean)),
+        ("reconnects", Json::Int(reconnects as i64)),
     ])
 }
 
@@ -412,6 +535,15 @@ fn main() {
     println!("engine telemetry: {stats}");
 
     let sharded = sharded_phase(scale, shards, clients, if smoke { rounds } else { rounds / 2 });
+    // The socket phase replays the sharded workload through ShardHost
+    // daemons when asked for (`ENGINE_LOAD_REMOTE=1`); the committed
+    // artifact is generated with it on.
+    let remote = if std::env::var_os("ENGINE_LOAD_REMOTE").is_some() {
+        remote_phase(scale, shards, clients, if smoke { rounds } else { rounds / 2 })
+    } else {
+        println!("\nremote phase skipped (set ENGINE_LOAD_REMOTE=1 to serve it over sockets)");
+        Json::Null
+    };
 
     let (obs_on, obs_off) = obs_overhead_probe(if smoke { 10 } else { 40 });
     let obs_ratio =
@@ -460,6 +592,7 @@ fn main() {
         ),
         ("shed_rate", Json::Num(shed_rate)),
         ("sharded", sharded),
+        ("remote", remote),
         (
             "obs_overhead",
             Json::obj([

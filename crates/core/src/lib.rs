@@ -130,6 +130,7 @@ pub mod engine;
 pub mod executor;
 pub mod failpoint;
 pub mod masked;
+pub mod net;
 pub mod obs;
 pub mod ops;
 pub mod shard;
@@ -146,6 +147,7 @@ pub use bucket::SpMSpVBucket;
 pub use engine::{Engine, EngineConfig, EngineError, MxvRequest, OverloadPolicy, Session, Ticket};
 pub use executor::Executor;
 pub use masked::{BatchMaskView, MaskMode, MaskView};
+pub use net::{ShardHost, TcpConfig, TcpTransport};
 pub use obs::{ObsConfig, Registry};
 pub use ops::{Mxv, MxvOp, PreparedMxv};
 pub use shard::{ShardFlushOutcome, ShardMsg, ShardPlan, ShardSession, ShardedEngine};

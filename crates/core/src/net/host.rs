@@ -1,0 +1,298 @@
+//! [`ShardHost`]: the daemon side of the remote shard protocol.
+//!
+//! One host owns one shard's [`Engine`] behind a `TcpListener`. Routers
+//! connect and stream `Frontier` frames; a `Flush` frame makes the host
+//! flush its engine and reply — one `Partial`/`Error` per frontier, in
+//! arrival order, followed by a `Done` summary frame. Deadlines arrive as
+//! *relative* budgets and are re-anchored to a local `Instant` the moment
+//! the frame is read, so elapsed transit time is clamped out of the budget
+//! (a budget that is already zero resolves `DeadlineExceeded` without ever
+//! touching the engine).
+
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{CscMatrix, Scalar, Semiring};
+
+use crate::engine::{Engine, EngineConfig, EngineError, MxvRequest, Ticket};
+
+use super::codec::{read_frame, write_frame, Frame, WireScalar, DEFAULT_MAX_FRAME};
+
+/// How long the accept loop sleeps between polls for new connections and
+/// the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// A daemon serving one shard's engine over TCP. Build one with
+/// [`ShardHost::bind`], then either [`ShardHost::run`] it on the current
+/// thread or [`ShardHost::spawn`] it onto a background thread (returning a
+/// [`ShardHostHandle`] for shutdown).
+///
+/// Every accepted connection gets its own worker thread; the engine is
+/// shared, so frontiers from concurrent routers coalesce into the same
+/// flushes exactly as concurrent sessions of a local engine do.
+pub struct ShardHost<A, X, S>
+where
+    A: Scalar,
+    X: WireScalar,
+    S: Semiring<A, X> + Clone + 'static,
+    S::Output: WireScalar,
+{
+    engine: Arc<Engine<'static, A, X, S>>,
+    listener: TcpListener,
+    shard: usize,
+    max_frame: usize,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl<A, X, S> ShardHost<A, X, S>
+where
+    A: Scalar,
+    X: WireScalar,
+    S: Semiring<A, X> + Clone + 'static,
+    S::Output: WireScalar,
+{
+    /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
+    /// loads `matrix` — this shard's column slice, full output height —
+    /// into a fresh engine. `shard` is the global shard index echoed in
+    /// every reply.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        shard: usize,
+        matrix: CscMatrix<A>,
+        semiring: S,
+        config: EngineConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(ShardHost {
+            engine: Arc::new(Engine::load_with(matrix, semiring, config)),
+            listener,
+            shard,
+            max_frame: DEFAULT_MAX_FRAME,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(Vec::new())),
+            workers: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Caps the accepted frame payload size (default
+    /// [`DEFAULT_MAX_FRAME`]).
+    pub fn max_frame(mut self, bytes: usize) -> Self {
+        self.max_frame = bytes;
+        self
+    }
+
+    /// The bound address (resolves the actual port after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// This host's shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The hosted engine (e.g. for reading its stats or registry from the
+    /// host process).
+    pub fn engine(&self) -> &Engine<'static, A, X, S> {
+        &self.engine
+    }
+
+    /// Runs the accept loop on the current thread until shutdown is
+    /// signalled (see [`ShardHost::spawn`] for the handle that signals
+    /// it). Each connection is served by its own worker thread.
+    pub fn run(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Blocking per-connection I/O; the nonblocking flag is
+                    // a listener-level property on all mainstream
+                    // platforms, but reset it explicitly to stay portable.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(clone) = stream.try_clone() {
+                        crate::engine::lock(&self.conns).push(clone);
+                    }
+                    let engine = Arc::clone(&self.engine);
+                    let shard = self.shard;
+                    let max_frame = self.max_frame;
+                    let worker = std::thread::spawn(move || {
+                        serve_connection(engine, shard, stream, max_frame);
+                    });
+                    crate::engine::lock(&self.workers).push(worker);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Moves the host onto a background thread and returns the handle that
+    /// can stop it.
+    pub fn spawn(self) -> ShardHostHandle {
+        let addr = self.local_addr().expect("listener has a local address");
+        let shutdown = Arc::clone(&self.shutdown);
+        let conns = Arc::clone(&self.conns);
+        let workers = Arc::clone(&self.workers);
+        let accept = std::thread::spawn(move || self.run());
+        ShardHostHandle { addr, shutdown, conns, workers, accept }
+    }
+}
+
+/// Handle to a [`ShardHost::spawn`]ed host: stop it gracefully with
+/// [`ShardHostHandle::shutdown`] or abruptly with
+/// [`ShardHostHandle::kill`] (the chaos-test path — connected routers see
+/// broken pipes and fail exactly the tickets routed here).
+pub struct ShardHostHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    accept: JoinHandle<()>,
+}
+
+impl ShardHostHandle {
+    /// The address the host is serving on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop(self, join_workers: bool) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for stream in crate::engine::lock(&self.conns).drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let _ = self.accept.join();
+        if join_workers {
+            let workers: Vec<JoinHandle<()>> =
+                crate::engine::lock(&self.workers).drain(..).collect();
+            for w in workers {
+                let _ = w.join();
+            }
+        }
+    }
+
+    /// Stops accepting, severs every connection, and joins the worker
+    /// threads. The listening port is released when this returns.
+    pub fn shutdown(self) {
+        self.stop(true);
+    }
+
+    /// Severs every connection *without* waiting for workers — the abrupt
+    /// mid-load failure the chaos suite injects. Routers connected here
+    /// observe broken pipes on their next exchange; a replacement host can
+    /// rebind the same port immediately (the accept loop has exited).
+    pub fn kill(self) {
+        self.stop(false);
+    }
+}
+
+/// One connection's state for a sub-request received since the last flush:
+/// either a live engine ticket or an error resolved before submission (a
+/// deadline budget that was already exhausted on arrival).
+enum Inflight<Y> {
+    Ticket(Ticket<Y>),
+    Resolved(EngineError),
+}
+
+fn serve_connection<A, X, S>(
+    engine: Arc<Engine<'static, A, X, S>>,
+    shard: usize,
+    mut stream: TcpStream,
+    max_frame: usize,
+) where
+    A: Scalar,
+    X: WireScalar,
+    S: Semiring<A, X> + Clone + 'static,
+    S::Output: WireScalar,
+{
+    let mut inflight: Vec<(u64, Inflight<S::Output>)> = Vec::new();
+    // Clean EOF, stream failure, or a peer speaking garbage all end the
+    // connection the same way.
+    while let Ok(Some((frame, _))) = read_frame::<X, S::Output, _>(&mut stream, max_frame) {
+        match frame {
+            Frame::Frontier(w) => {
+                // Re-anchor the relative budget to the local clock *now*:
+                // transit time has already been spent from the budget, and
+                // a budget of zero (expired in flight) resolves without
+                // touching the engine — the router gets `DeadlineExceeded`,
+                // never a hung ticket.
+                let received = Instant::now();
+                let entry = match w.deadline_micros {
+                    Some(0) => Inflight::Resolved(EngineError::DeadlineExceeded),
+                    budget => {
+                        let request = MxvRequest {
+                            frontier: w.slice,
+                            mask: w.mask.map(|(bits, mode)| (Arc::new(bits), mode)),
+                            algorithm: w.algorithm,
+                            deadline: budget.map(|b| received + Duration::from_micros(b)),
+                        };
+                        Inflight::Ticket(engine.submit(request))
+                    }
+                };
+                inflight.push((w.request, entry));
+            }
+            Frame::Flush => {
+                let outcome = engine.flush();
+                let mut buf = Vec::new();
+                let mut ok = true;
+                for (id, entry) in inflight.drain(..) {
+                    let reply: Frame<X, S::Output> = match entry {
+                        Inflight::Resolved(e) => Frame::Error { request: id, shard, error: e },
+                        Inflight::Ticket(t) => match t.try_take() {
+                            Some(Ok(y)) => Frame::Partial { request: id, shard, partial: y },
+                            Some(Err(e)) => Frame::Error { request: id, shard, error: e },
+                            None => {
+                                t.cancel();
+                                Frame::Error {
+                                    request: id,
+                                    shard,
+                                    error: EngineError::KernelFailed(
+                                        "host never flushed the sub-request".into(),
+                                    ),
+                                }
+                            }
+                        },
+                    };
+                    if write_frame(&mut buf, &reply, max_frame).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                let done: Frame<X, S::Output> = Frame::Done {
+                    shard,
+                    lanes: outcome.lanes as u64,
+                    requests: outcome.requests as u64,
+                    execute_micros: u64::try_from(outcome.timings.execute.as_micros())
+                        .unwrap_or(u64::MAX),
+                };
+                if !ok
+                    || write_frame(&mut buf, &done, max_frame).is_err()
+                    || stream.write_all(&buf).is_err()
+                {
+                    break;
+                }
+            }
+            Frame::Goodbye => break,
+            // Reply-direction frames from a client are a protocol
+            // violation; drop the connection.
+            Frame::Partial { .. } | Frame::Error { .. } | Frame::Done { .. } => break,
+        }
+    }
+    // Whatever is still queued from this connection will never be asked
+    // for again: cancel so the engine sheds the lanes at its next flush.
+    for (_, entry) in inflight {
+        if let Inflight::Ticket(t) = entry {
+            t.cancel();
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}

@@ -1,0 +1,83 @@
+//! Remote sharding: the shard protocol over sockets.
+//!
+//! The [`shard`](crate::shard) router was built against the plain-data
+//! [`ShardMsg`](crate::shard::ShardMsg) protocol precisely so the
+//! per-shard hop could leave the process. This module is that step — the
+//! CombBLAS lineage's distributed-memory decomposition realized as a
+//! serving fleet: shard engines live in [`ShardHost`] daemons, and a
+//! [`TcpTransport`] behind the unchanged
+//! [`ShardedEngine`](crate::shard::ShardedEngine) front door carries
+//! frontiers out and partials back. No external dependencies: the wire
+//! format is hand-rolled length-prefixed little-endian framing over
+//! `std::net`.
+//!
+//! ## Wire format
+//!
+//! Every frame is a 10-byte header followed by its payload; all integers
+//! are little-endian:
+//!
+//! | offset | bytes | field |
+//! |---|---|---|
+//! | 0 | 4 | magic `"SMSV"` |
+//! | 4 | 1 | protocol version (currently 1) |
+//! | 5 | 1 | frame tag |
+//! | 6 | 4 | payload length `u32` |
+//!
+//! | tag | frame | direction | payload |
+//! |---|---|---|---|
+//! | 1 | `Frontier` | router → host | `request u64 \| shard u32 \| scalar tag u8 \| dim u64 \| nnz u64 \| indices u64×nnz \| values X×nnz \| deadline flag u8 (+ budget µs u64) \| mask flag u8 (0 none / 1 keep / 2 complement; + dim u64, words u64, bitmap u64×words) \| algorithm u8` |
+//! | 2 | `Partial` | host → router | `request u64 \| shard u32 \| scalar tag u8 \| dim u64 \| nnz u64 \| indices u64×nnz \| values Y×nnz` |
+//! | 3 | `Error` | host → router | `request u64 \| shard u32 \| error code u8 (+ message u32-len + UTF-8 for KernelFailed)` |
+//! | 4 | `Flush` | router → host | empty — "flush the engine, reply to every frontier on this connection" |
+//! | 6 | `Done` | host → router | `shard u32 \| lanes u64 \| requests u64 \| execute µs u64` — sent after the per-request replies |
+//! | 5 | `Goodbye` | either | empty — orderly close |
+//!
+//! Frames are bounded ([`DEFAULT_MAX_FRAME`], configurable) and decoding
+//! is total: truncation, bad magic/version/tag, over-limit lengths, and
+//! inconsistent payloads all come back as a typed [`DecodeError`], never a
+//! panic. Scalar tags ([`WireScalar::TAG`]) make a router and host
+//! compiled for different semirings fail loudly with
+//! [`DecodeError::ScalarMismatch`].
+//!
+//! ## Deadline semantics
+//!
+//! Wall clocks don't cross process boundaries, so deadlines travel as
+//! *relative* budgets: the transport computes `deadline − now` when it
+//! **writes** the frame (clamping out queue wait), and the host re-anchors
+//! `budget` to a local `Instant` the moment the frame is **read**
+//! (clamping out transit). A budget that reaches the host already
+//! exhausted resolves `DeadlineExceeded` without touching the engine, and
+//! the gathering transport re-checks each reply against the router-local
+//! absolute deadline — a partial that arrives too late is converted to
+//! `DeadlineExceeded` rather than delivered as fresh.
+//!
+//! ## Failure semantics
+//!
+//! A connection outage (refused dial, broken pipe, short reply, protocol
+//! violation, I/O timeout) fails **exactly the sub-requests routed through
+//! that shard** as [`EngineError`](crate::engine::EngineError)
+//! `::KernelFailed` with a `shard <s>:` prefix — the same blast radius the
+//! `shard.flush.<s>` failpoint injects in-process, and sibling shards are
+//! untouched. The connection is re-dialed with exponential backoff on the
+//! next exchange (`net.reconnects` counts successes), so a restarted host
+//! rejoins the fleet without any waiter stranding: every routed ticket
+//! resolves every flush, outage or not.
+//!
+//! ## Observability
+//!
+//! A socket-backed router's registry carries the `net.*` family next to
+//! `shard.*`: `net.bytes.out` / `net.bytes.in` counters, `net.encode.time`
+//! / `net.decode.time` / `net.rpc.time` histograms, the `net.reconnects`
+//! counter, and the `net.connections` gauge (see the [`crate::obs`]
+//! taxonomy).
+
+mod codec;
+mod host;
+mod transport;
+
+pub use codec::{
+    decode_frame, encode_frame, read_frame, write_frame, DecodeError, Frame, WireError,
+    WireFrontier, WireScalar, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, VERSION,
+};
+pub use host::{ShardHost, ShardHostHandle};
+pub use transport::{TcpConfig, TcpTransport};

@@ -1,0 +1,449 @@
+//! [`TcpTransport`]: the router side of the remote shard protocol.
+//!
+//! One persistent connection per shard, written to in parallel during
+//! [`exchange`](crate::shard::ShardTransport::exchange) (one scoped thread
+//! per involved shard: scatter the queued `Frontier` frames + one `Flush`,
+//! then gather the replies with a per-reply deadline check). A broken
+//! connection fails **exactly the sub-requests routed through it** as
+//! [`EngineError::KernelFailed`] with a `shard <s>:` prefix — the same
+//! blast radius as the `shard.flush.<s>` failpoint — and is re-dialed with
+//! backoff on the next exchange, so a restarted host is picked back up
+//! without stranding any waiter.
+
+use std::io::Write;
+use std::marker::PhantomData;
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sparse_substrate::{Scalar, Semiring};
+
+use crate::engine::{EngineError, FlushOutcome};
+use crate::obs::{Counter, Gauge, Histogram, ObsConfig, Registry};
+use crate::shard::transport::{Exchange, ShardTransport, WireRequest};
+use crate::shard::{ShardMsg, ShardPlan, ShardedEngine};
+use crate::stats::EngineStats;
+
+use super::codec::{encode_frame, read_frame, Frame, WireScalar, DEFAULT_MAX_FRAME};
+
+/// Tuning knobs of a [`TcpTransport`].
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Upper bound on one frame's payload, enforced when encoding and
+    /// decoding (default [`DEFAULT_MAX_FRAME`]).
+    pub max_frame: usize,
+    /// Re-dial attempts per exchange when a shard's connection is down.
+    pub connect_retries: u32,
+    /// Sleep before each re-dial retry, doubling per attempt.
+    pub retry_backoff: Duration,
+    /// Socket read/write timeout; an exchange that exceeds it fails its
+    /// shard's sub-requests instead of blocking forever (`None` = block).
+    pub io_timeout: Option<Duration>,
+    /// `TCP_NODELAY` on shard connections (default on — frontier frames
+    /// are latency-sensitive).
+    pub nodelay: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            max_frame: DEFAULT_MAX_FRAME,
+            connect_retries: 3,
+            retry_backoff: Duration::from_millis(10),
+            io_timeout: Some(Duration::from_secs(30)),
+            nodelay: true,
+        }
+    }
+}
+
+/// The `net.*` metric family, resolved once from the router's registry.
+struct NetMetrics {
+    /// `net.bytes.out` — frame bytes written to shard connections.
+    bytes_out: Arc<Counter>,
+    /// `net.bytes.in` — frame bytes read from shard connections.
+    bytes_in: Arc<Counter>,
+    /// `net.encode.time` — per-exchange frame encoding latency.
+    encode_time: Arc<Histogram>,
+    /// `net.decode.time` — per-reply decode latency.
+    decode_time: Arc<Histogram>,
+    /// `net.rpc.time` — per-shard scatter→gather round-trip latency.
+    rpc_time: Arc<Histogram>,
+    /// `net.reconnects` — successful re-dials after a connection was lost.
+    reconnects: Arc<Counter>,
+    /// `net.connections` — shard connections currently open.
+    connections: Arc<Gauge>,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> Self {
+        NetMetrics {
+            bytes_out: registry.counter("net.bytes.out"),
+            bytes_in: registry.counter("net.bytes.in"),
+            encode_time: registry.histogram("net.encode.time"),
+            decode_time: registry.histogram("net.decode.time"),
+            rpc_time: registry.histogram("net.rpc.time"),
+            reconnects: registry.counter("net.reconnects"),
+            connections: registry.gauge("net.connections"),
+        }
+    }
+}
+
+/// One shard's connection slot.
+struct Conn {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Whether this slot ever held a live connection (a successful dial
+    /// after that counts as a *re*-connect).
+    ever_connected: bool,
+}
+
+/// A [`ShardTransport`] whose shards are [`ShardHost`](super::ShardHost)
+/// daemons reached over TCP. Build a router on top of it with
+/// [`ShardedEngine::connect`].
+pub struct TcpTransport<X, Y> {
+    conns: Vec<Mutex<Conn>>,
+    queues: Vec<Mutex<Vec<WireRequest<X>>>>,
+    config: TcpConfig,
+    metrics: NetMetrics,
+    marker: PhantomData<fn() -> (X, Y)>,
+}
+
+impl<X: WireScalar, Y: WireScalar> TcpTransport<X, Y> {
+    /// Dials every shard host once (so a bad address fails here, not at
+    /// the first flush) and returns the transport. Later connection
+    /// losses are re-dialed lazily per exchange.
+    fn dial(addrs: &[SocketAddr], config: TcpConfig, metrics: NetMetrics) -> std::io::Result<Self> {
+        let transport = TcpTransport {
+            conns: addrs
+                .iter()
+                .map(|&addr| Mutex::new(Conn { addr, stream: None, ever_connected: false }))
+                .collect(),
+            queues: addrs.iter().map(|_| Mutex::new(Vec::new())).collect(),
+            config,
+            metrics,
+            marker: PhantomData,
+        };
+        for s in 0..transport.conns.len() {
+            let mut conn = crate::engine::lock(&transport.conns[s]);
+            transport.ensure_connected(&mut conn)?;
+        }
+        Ok(transport)
+    }
+
+    /// Connects `conn` if it is down, with backoff between retries.
+    fn ensure_connected(&self, conn: &mut Conn) -> std::io::Result<()> {
+        if conn.stream.is_some() {
+            return Ok(());
+        }
+        let mut delay = self.config.retry_backoff;
+        let mut attempt = 0;
+        loop {
+            match TcpStream::connect(conn.addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(self.config.nodelay);
+                    let _ = stream.set_read_timeout(self.config.io_timeout);
+                    let _ = stream.set_write_timeout(self.config.io_timeout);
+                    if conn.ever_connected {
+                        self.metrics.reconnects.inc();
+                    }
+                    conn.ever_connected = true;
+                    conn.stream = Some(stream);
+                    self.metrics.connections.add(1);
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= self.config.connect_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(delay);
+                    delay *= 2;
+                }
+            }
+        }
+    }
+
+    /// Drops `conn`'s stream after a failure so the next exchange
+    /// re-dials.
+    fn disconnect(&self, conn: &mut Conn) {
+        if let Some(stream) = conn.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+            self.metrics.connections.sub(1);
+        }
+    }
+
+    /// The whole scatter→gather round trip for one shard: write every
+    /// queued frontier + a flush frame, then read one reply per frontier
+    /// and the host's `Done` summary. Any failure along the way fails the
+    /// not-yet-answered sub-requests with a `shard <s>:`-prefixed
+    /// `KernelFailed` — one reply per live sub-request, always.
+    fn exchange_shard(
+        &self,
+        s: usize,
+        batch: Vec<WireRequest<X>>,
+    ) -> (Vec<ShardMsg<X, Y>>, Option<FlushOutcome>) {
+        // Fails every sub-request that has no reply yet — the invariant is
+        // one reply per routed sub-request, whatever broke.
+        let fail_unanswered = |replies: &mut Vec<ShardMsg<X, Y>>, msg: &str| {
+            for req in &batch {
+                if !replies.iter().any(|m| m.request() == req.request) {
+                    replies.push(ShardMsg::error(
+                        req.request,
+                        s,
+                        EngineError::KernelFailed(format!("shard {s}: {msg}")),
+                    ));
+                }
+            }
+        };
+        let mut replies = Vec::with_capacity(batch.len());
+        let t_rpc = Instant::now();
+        let mut conn = crate::engine::lock(&self.conns[s]);
+        if let Err(e) = self.ensure_connected(&mut conn) {
+            fail_unanswered(&mut replies, &format!("connect {}: {e}", conn.addr));
+            return (replies, None);
+        }
+
+        // Scatter: encode all frames into one buffer, one write.
+        let t_encode = Instant::now();
+        let mut buf = Vec::new();
+        for req in &batch {
+            // Recompute the budget at write time: queue wait since submit
+            // is clamped out, and a budget that is already exhausted
+            // travels as zero (the host resolves it `DeadlineExceeded`
+            // without touching its engine).
+            let budget = req
+                .deadline
+                .map(|d| d.saturating_duration_since(Instant::now()).as_micros() as u64)
+                .or(req.deadline_micros);
+            let frame: Frame<X, Y> = Frame::Frontier(super::codec::wire_frontier(
+                req.request,
+                s,
+                req.slice.clone(),
+                budget,
+                req.mask.clone(),
+                req.algorithm,
+            ));
+            if let Err(e) = encode_frame(&frame, &mut buf, self.config.max_frame) {
+                // An unencodable frontier (oversize) fails only its own
+                // request; the rest of the batch still travels.
+                replies.push(ShardMsg::error(
+                    req.request,
+                    s,
+                    EngineError::KernelFailed(format!("shard {s}: encode: {e}")),
+                ));
+            }
+        }
+        let flush: Frame<X, Y> = Frame::Flush;
+        if encode_frame(&flush, &mut buf, self.config.max_frame).is_err() {
+            fail_unanswered(&mut replies, "encode: flush frame");
+            return (replies, None);
+        }
+        self.metrics.encode_time.record_duration(t_encode.elapsed());
+        // Oversize casualties were already failed above; everything else
+        // expects exactly one reply.
+        let expect: Vec<&WireRequest<X>> =
+            batch.iter().filter(|r| !replies.iter().any(|m| m.request() == r.request)).collect();
+
+        let stream = conn.stream.as_mut().expect("just connected");
+        if let Err(e) = stream.write_all(&buf) {
+            self.disconnect(&mut conn);
+            fail_unanswered(&mut replies, &format!("write: {e}"));
+            return (replies, None);
+        }
+        self.metrics.bytes_out.add(buf.len() as u64);
+
+        // Gather: one reply per live frontier, then the Done summary.
+        let mut got: usize = 0;
+        let mut done: Option<FlushOutcome> = None;
+        loop {
+            let t_decode = Instant::now();
+            let frame = match read_frame::<X, Y, _>(stream, self.config.max_frame) {
+                Ok(Some((frame, n))) => {
+                    self.metrics.bytes_in.add(n as u64);
+                    self.metrics.decode_time.record_duration(t_decode.elapsed());
+                    frame
+                }
+                Ok(None) => {
+                    self.disconnect(&mut conn);
+                    fail_unanswered(&mut replies, "connection closed by host");
+                    break;
+                }
+                Err(e) => {
+                    self.disconnect(&mut conn);
+                    fail_unanswered(&mut replies, &format!("read: {e}"));
+                    break;
+                }
+            };
+            match frame {
+                Frame::Partial { request, shard, partial } => {
+                    // Per-reply deadline check: a partial gathered after
+                    // its request's deadline is already worthless.
+                    let late = expect
+                        .iter()
+                        .find(|r| r.request == request)
+                        .and_then(|r| r.deadline)
+                        .is_some_and(|d| Instant::now() >= d);
+                    if late {
+                        replies.push(ShardMsg::error(
+                            request,
+                            shard,
+                            EngineError::DeadlineExceeded,
+                        ));
+                    } else {
+                        replies.push(ShardMsg::partial(request, shard, partial));
+                    }
+                    got += 1;
+                }
+                Frame::Error { request, shard, error } => {
+                    // Attribute remote failures to their shard.
+                    let error = match error {
+                        EngineError::KernelFailed(msg) => {
+                            EngineError::KernelFailed(format!("shard {shard}: {msg}"))
+                        }
+                        other => other,
+                    };
+                    replies.push(ShardMsg::error(request, shard, error));
+                    got += 1;
+                }
+                Frame::Done { lanes, requests, execute_micros, .. } => {
+                    if got < expect.len() {
+                        fail_unanswered(&mut replies, "host replied short");
+                    }
+                    done = Some(FlushOutcome {
+                        lanes: lanes as usize,
+                        requests: requests as usize,
+                        timings: crate::timing::FlushTimings {
+                            execute: Duration::from_micros(execute_micros),
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    });
+                    break;
+                }
+                Frame::Frontier(_) | Frame::Flush | Frame::Goodbye => {
+                    self.disconnect(&mut conn);
+                    fail_unanswered(&mut replies, "protocol violation from host");
+                    break;
+                }
+            }
+        }
+        self.metrics.rpc_time.record_duration(t_rpc.elapsed());
+        (replies, done)
+    }
+}
+
+impl<X, Y> ShardTransport<X, Y> for TcpTransport<X, Y>
+where
+    X: WireScalar,
+    Y: WireScalar,
+{
+    fn num_shards(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn enqueue(&self, request: WireRequest<X>) {
+        crate::engine::lock(&self.queues[request.shard]).push(request);
+    }
+
+    fn queued(&self, shard: usize) -> usize {
+        crate::engine::lock(&self.queues[shard]).len()
+    }
+
+    fn involved(&self) -> Vec<usize> {
+        (0..self.queues.len()).filter(|&s| self.queued(s) > 0).collect()
+    }
+
+    fn retire(&self, ids: &[u64]) {
+        for queue in &self.queues {
+            crate::engine::lock(queue).retain(|req| !ids.contains(&req.request));
+        }
+    }
+
+    fn exchange(&self, down: &[Option<String>], retired: &[u64]) -> Exchange<X, Y> {
+        let shards = self.conns.len();
+        let mut per_shard = vec![FlushOutcome::default(); shards];
+        let mut shards_flushed = 0;
+        let mut replies = Vec::new();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (s, queue) in self.queues.iter().enumerate() {
+                let batch: Vec<WireRequest<X>> = {
+                    let mut queue = crate::engine::lock(queue);
+                    queue.drain(..).filter(|req| !retired.contains(&req.request)).collect()
+                };
+                if batch.is_empty() {
+                    continue;
+                }
+                // An injected outage never reaches the wire: the downed
+                // shard's sub-requests fail with the same shape a broken
+                // connection produces.
+                if let Some(msg) = &down[s] {
+                    for req in &batch {
+                        replies.push(ShardMsg::error(
+                            req.request,
+                            s,
+                            EngineError::KernelFailed(format!("shard {s}: {msg}")),
+                        ));
+                    }
+                    continue;
+                }
+                handles.push((s, scope.spawn(move || self.exchange_shard(s, batch))));
+            }
+            for (s, handle) in handles {
+                let (shard_replies, done) = handle.join().expect("shard exchange thread panicked");
+                replies.extend(shard_replies);
+                if let Some(outcome) = done {
+                    per_shard[s] = outcome;
+                    shards_flushed += 1;
+                }
+            }
+        });
+        Exchange { replies, per_shard, shards_flushed, execute_time: t0.elapsed() }
+    }
+
+    fn shard_stats(&self, _shard: usize) -> Option<EngineStats> {
+        None
+    }
+
+    fn shard_obs(&self, _shard: usize) -> Option<&Registry> {
+        None
+    }
+}
+
+impl<A, X, S> ShardedEngine<A, X, S>
+where
+    A: Scalar,
+    X: WireScalar,
+    S: Semiring<A, X> + Clone + 'static,
+    S::Output: WireScalar,
+{
+    /// Builds a router whose shards are [`ShardHost`](super::ShardHost)
+    /// daemons: `addrs[s]` serves the columns of `plan.range(s)`. Dials
+    /// every host once before returning (so a dead address fails fast);
+    /// later outages are isolated per shard and re-dialed with backoff.
+    ///
+    /// The routing, merge, and failure semantics are identical to
+    /// [`ShardedEngine::partition`] — the shard property suite asserts the
+    /// results are bit-identical across transports.
+    pub fn connect(
+        plan: ShardPlan,
+        nrows: usize,
+        semiring: S,
+        addrs: &[SocketAddr],
+        config: TcpConfig,
+        obs: ObsConfig,
+    ) -> std::io::Result<Self> {
+        assert_eq!(
+            addrs.len(),
+            plan.num_shards(),
+            "plan has {} shards but {} host addresses were given",
+            plan.num_shards(),
+            addrs.len()
+        );
+        let registry = Registry::new(obs);
+        let metrics = NetMetrics::new(&registry);
+        let transport = TcpTransport::<X, S::Output>::dial(addrs, config, metrics)?;
+        Ok(Self::from_transport(plan, nrows, semiring, registry, Box::new(transport)))
+    }
+}

@@ -63,6 +63,19 @@
 //! | `shard.merge.time` | histogram | ns ⊕-merging partials, one sample per flush |
 //! | `shard.queue_depth.<s>` | gauge | sub-requests queued in shard `s`'s engine |
 //!
+//! A router connected over sockets ([`crate::shard::ShardedEngine::connect`])
+//! adds the transport family to the same registry:
+//!
+//! | metric | type | meaning |
+//! |---|---|---|
+//! | `net.bytes.out` | counter | wire bytes written (frontiers, flushes, goodbyes) |
+//! | `net.bytes.in` | counter | wire bytes read (partials, errors, done frames) |
+//! | `net.reconnects` | counter | successful re-dials after a connection loss |
+//! | `net.connections` | gauge | shard connections currently established |
+//! | `net.encode.time` | histogram | ns encoding outbound frames, one sample per frame |
+//! | `net.decode.time` | histogram | ns decoding inbound frames, one sample per frame |
+//! | `net.rpc.time` | histogram | ns for one shard's full flush exchange (write → `Done`) |
+//!
 //! **Process-global registry** ([`global()`])
 //!
 //! | metric | type | meaning |

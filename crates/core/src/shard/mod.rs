@@ -48,17 +48,19 @@
 //! ticket. Dropping the router fails every still-queued ticket with
 //! `Disconnected`, exactly like dropping an engine.
 //!
-//! ## Transport readiness
+//! ## Transports
 //!
 //! Everything that crosses the router↔shard boundary is expressed as a
 //! [`ShardMsg`] — a plain-data enum (frontier slice / partial result /
 //! error) with no `Arc`s, borrows, handles, or `Instant`s in its payload.
-//! Today the "transport" is an in-process function call; a socket transport
-//! only needs to serialize `ShardMsg` (every field is `Vec`s of plain
-//! scalars, `u64` ids, and `String` errors) and host the shard engines in
-//! separate processes. The router logic — scatter, fan-out bookkeeping,
-//! merge, failure isolation — is already written against the message shape,
-//! not against in-process internals.
+//! The per-shard hop itself is pluggable: the router drives a
+//! [`ShardTransport`], with [`transport::InProcess`] submitting into shard
+//! engines in this address space (the [`ShardedEngine::partition`] path)
+//! and [`crate::net::TcpTransport`] carrying the same frames over sockets
+//! to [`crate::net::ShardHost`] daemons
+//! ([`ShardedEngine::connect`](crate::net)). The router logic — scatter,
+//! fan-out bookkeeping, merge, failure isolation — is written against the
+//! message shape, so results are bit-identical across transports.
 //!
 //! ## Observability
 //!
@@ -74,8 +76,10 @@ mod merge;
 mod messages;
 mod plan;
 mod router;
+pub mod transport;
 
 pub use merge::merge_partials;
 pub use messages::ShardMsg;
 pub use plan::ShardPlan;
 pub use router::{ShardFlushOutcome, ShardSession, ShardedEngine};
+pub use transport::ShardTransport;

@@ -1,5 +1,7 @@
 //! The scatter/merge router: [`ShardedEngine`] and its session handle.
 
+use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -13,21 +15,23 @@ use crate::failpoint;
 use crate::obs::{Counter, Gauge, Histogram, Registry, TraceKind};
 use crate::stats::EngineStats;
 
+use super::transport::{InProcess, ShardTransport, WireRequest};
 use super::{merge_partials, ShardMsg, ShardPlan};
 
 /// One routed request awaiting its shards' partials: the client-facing
-/// ticket slot plus the sub-tickets it fans out to, in ascending shard
-/// order (the merge fold order).
+/// ticket slot plus the owning shards it fanned out to, in ascending shard
+/// order (the merge fold order). The per-shard sub-requests live in the
+/// transport.
 struct Routed<Y> {
     id: u64,
     session: u64,
     shared: Arc<TicketShared<Y>>,
-    fanout: Vec<(usize, Ticket<Y>)>,
+    fanout: Vec<usize>,
     deadline: Option<Instant>,
 }
 
 /// The `shard.*` metric family, resolved once at construction.
-struct ShardMetrics {
+pub(crate) struct ShardMetrics {
     registry: Registry,
     /// `shard.requests` — requests routed through the scatter path.
     requests: Arc<Counter>,
@@ -39,7 +43,7 @@ struct ShardMetrics {
     fanout: Arc<Histogram>,
     /// `shard.merge.time` — per-flush ⊕-merge latency.
     merge_time: Arc<Histogram>,
-    /// `shard.queue_depth.<s>` — sub-requests queued in shard `s`'s engine.
+    /// `shard.queue_depth.<s>` — sub-requests queued for shard `s`.
     queue_depth: Vec<Arc<Gauge>>,
 }
 
@@ -85,8 +89,15 @@ pub struct ShardFlushOutcome {
     pub execute_time: Duration,
     /// Wall time spent ⊕-merging partials into final outputs.
     pub merge_time: Duration,
-    /// Each shard engine's own [`FlushOutcome`], indexed by shard.
+    /// Each shard engine's own [`FlushOutcome`], indexed by shard. For a
+    /// remote transport these carry the summary the host ships back
+    /// (lanes, requests, execute time).
     pub per_shard: Vec<FlushOutcome>,
+    /// The error message of every request failed by a shard error this
+    /// flush, in resolution order. Failures originating from a remote
+    /// shard carry their `shard <s>:` prefix, so multi-process outages
+    /// stay attributable in logs.
+    pub failures: Vec<String>,
 }
 
 /// A fleet of column-range shard engines behind one engine-shaped front
@@ -96,15 +107,22 @@ pub struct ShardFlushOutcome {
 /// The router is flush-driven, like [`Engine`] in its synchronous style:
 /// submit through [`ShardedEngine::submit`] or a [`ShardSession`], then
 /// [`ShardedEngine::flush`] to scatter-execute-merge everything queued.
+///
+/// *Where* the shard engines live is the transport's business:
+/// [`ShardedEngine::partition`] keeps them in-process, while
+/// [`ShardedEngine::connect`](crate::net) reaches
+/// [`ShardHost`](crate::net::ShardHost) daemons over TCP — the routing,
+/// merge, and failure semantics are identical.
 pub struct ShardedEngine<A: Scalar, X: Scalar, S: Semiring<A, X> + Clone + 'static> {
     plan: ShardPlan,
     nrows: usize,
     semiring: S,
-    engines: Vec<Engine<'static, A, X, S>>,
+    transport: Box<dyn ShardTransport<X, S::Output>>,
     pending: Mutex<Vec<Routed<S::Output>>>,
     metrics: ShardMetrics,
     next_session: AtomicU64,
     next_request: AtomicU64,
+    marker: PhantomData<fn() -> A>,
 }
 
 impl<A, X, S> ShardedEngine<A, X, S>
@@ -144,16 +162,37 @@ where
             .into_iter()
             .map(|sub| Engine::load_with(sub, semiring.clone(), config.clone()))
             .collect();
-        let metrics = ShardMetrics::new(Registry::new(config.obs.clone()), engines.len());
+        let registry = Registry::new(config.obs.clone());
+        Self::from_transport(
+            plan,
+            matrix.nrows(),
+            semiring,
+            registry,
+            Box::new(InProcess::new(engines)),
+        )
+    }
+
+    /// Assembles a router over an already-built transport. The shared
+    /// entry point of [`ShardedEngine::partition_with`] (in-process) and
+    /// [`ShardedEngine::connect`](crate::net) (sockets).
+    pub(crate) fn from_transport(
+        plan: ShardPlan,
+        nrows: usize,
+        semiring: S,
+        registry: Registry,
+        transport: Box<dyn ShardTransport<X, S::Output>>,
+    ) -> Self {
+        let metrics = ShardMetrics::new(registry, transport.num_shards());
         ShardedEngine {
             plan,
-            nrows: matrix.nrows(),
+            nrows,
             semiring,
-            engines,
+            transport,
             pending: Mutex::new(Vec::new()),
             metrics,
             next_session: AtomicU64::new(1),
             next_request: AtomicU64::new(0),
+            marker: PhantomData,
         }
     }
 
@@ -164,7 +203,7 @@ where
 
     /// Number of shard engines behind the router.
     pub fn num_shards(&self) -> usize {
-        self.engines.len()
+        self.transport.num_shards()
     }
 
     /// Output dimension (rows of the original matrix — every shard keeps
@@ -184,29 +223,43 @@ where
     }
 
     /// The router's own observability registry: the `shard.*` metric
-    /// family. Per-shard engine registries are reachable through
-    /// [`ShardedEngine::shard_obs`].
+    /// family (plus `net.*` for a socket transport). Per-shard engine
+    /// registries are reachable through [`ShardedEngine::shard_obs`].
     pub fn obs(&self) -> &Registry {
         &self.metrics.registry
     }
 
     /// Shard `s`'s engine registry (the `engine.*` family for that shard).
+    ///
+    /// # Panics
+    ///
+    /// When the shard lives in another process — its registry is local to
+    /// the [`ShardHost`](crate::net::ShardHost) that owns it.
     pub fn shard_obs(&self, s: usize) -> &Registry {
-        self.engines[s].obs()
+        self.transport.shard_obs(s).expect("shard observability is local to the shard host process")
     }
 
     /// Shard `s`'s own engine stats (one addend of
     /// [`ShardedEngine::stats`]).
+    ///
+    /// # Panics
+    ///
+    /// When the shard lives in another process (see
+    /// [`ShardedEngine::shard_obs`]).
     pub fn shard_stats(&self, s: usize) -> EngineStats {
-        self.engines[s].stats()
+        self.transport.shard_stats(s).expect("shard stats are local to the shard host process")
     }
 
-    /// The sum of every shard engine's [`EngineStats`] — existing engine
-    /// dashboards read a sharded deployment through the same shape.
+    /// The sum of every *local* shard engine's [`EngineStats`] — existing
+    /// engine dashboards read a sharded deployment through the same shape.
+    /// For a remote transport this is empty (each host owns its stats);
+    /// the router's own telemetry lives in [`ShardedEngine::obs`].
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
-        for engine in &self.engines {
-            total.absorb(&engine.stats());
+        for s in 0..self.transport.num_shards() {
+            if let Some(stats) = self.transport.shard_stats(s) {
+                total.absorb(&stats);
+            }
         }
         total
     }
@@ -219,9 +272,8 @@ where
 
     /// Submits an anonymous request. Scattering happens here: the frontier
     /// is sliced per owning shard ([`SparseVec::slice_remap`]), packed
-    /// through the [`ShardMsg`] protocol, and queued into each owning
-    /// shard's engine. The returned ticket resolves at the next
-    /// [`ShardedEngine::flush`].
+    /// through the [`ShardMsg`] protocol, and queued into the transport.
+    /// The returned ticket resolves at the next [`ShardedEngine::flush`].
     pub fn submit(&self, request: MxvRequest<X>) -> Ticket<S::Output> {
         self.submit_tagged(0, request)
     }
@@ -237,26 +289,27 @@ where
         let id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let (ticket, shared) = Ticket::detached();
         let mut fanout = Vec::new();
-        for s in 0..self.engines.len() {
+        for s in 0..self.transport.num_shards() {
             let slice = request.frontier.slice_remap(self.plan.range(s));
             if slice.nnz() == 0 {
                 continue;
             }
-            // Round-trip the slice through the wire shape: the router is
-            // written against the protocol, not against in-process access.
+            // The remaining budget at submit time; a socket transport
+            // recomputes it at write time so queue wait is clamped out.
             let budget = request
                 .deadline
                 .map(|d| d.saturating_duration_since(Instant::now()).as_micros() as u64);
-            let msg: ShardMsg<X, S::Output> = ShardMsg::frontier(id, s, slice, budget);
-            let sub = MxvRequest {
-                frontier: msg.into_frontier().expect("just packed a frontier"),
+            self.transport.enqueue(WireRequest {
+                request: id,
+                shard: s,
+                slice,
+                deadline_micros: budget,
+                deadline: request.deadline,
                 mask: request.mask.clone(),
                 algorithm: request.algorithm,
-                deadline: request.deadline,
-            };
-            let sub_ticket = self.engines[s].submit(sub);
-            self.metrics.queue_depth[s].set(self.engines[s].pending() as u64);
-            fanout.push((s, sub_ticket));
+            });
+            self.metrics.queue_depth[s].set(self.transport.queued(s) as u64);
+            fanout.push(s);
         }
         self.metrics.requests.inc();
         self.metrics.fanout.record(fanout.len() as u64);
@@ -271,22 +324,22 @@ where
     }
 
     /// Scatter-execute-merge for everything queued: flushes every involved
-    /// shard engine **in parallel** (one scoped thread per shard with
-    /// work), then folds each request's partials with the semiring's `⊕`
-    /// in ascending shard order and resolves its ticket. Every routed
-    /// request resolves before this returns; a shard failure resolves only
-    /// the tickets routed through that shard.
+    /// shard **in parallel** through the transport, then folds each
+    /// request's partials with the semiring's `⊕` in ascending shard order
+    /// and resolves its ticket. Every routed request resolves before this
+    /// returns; a shard failure resolves only the tickets routed through
+    /// that shard.
     pub fn flush(&self) -> ShardFlushOutcome {
         let routed: Vec<Routed<S::Output>> = {
             let mut p = crate::engine::lock(&self.pending);
             p.drain(..).collect()
         };
+        let shards = self.transport.num_shards();
         let mut outcome = ShardFlushOutcome {
-            per_shard: vec![FlushOutcome::default(); self.engines.len()],
+            per_shard: vec![FlushOutcome::default(); shards],
             ..ShardFlushOutcome::default()
         };
-        let involved: Vec<usize> =
-            (0..self.engines.len()).filter(|&s| self.engines[s].pending() > 0).collect();
+        let involved = self.transport.involved();
         if routed.is_empty() && involved.is_empty() {
             return outcome;
         }
@@ -294,66 +347,50 @@ where
             self.metrics.registry.trace(TraceKind::FlushBegin { requests: routed.len() });
         }
 
-        // Single-shard outage injection: a downed shard's engine is not
-        // flushed at all this round; only tickets routed through it fail.
-        let mut down: Vec<Option<String>> = vec![None; self.engines.len()];
+        // Single-shard outage injection: a downed shard is not flushed at
+        // all this round; only tickets routed through it fail.
+        let mut down: Vec<Option<String>> = vec![None; shards];
         for &s in &involved {
             if let Err(msg) = failpoint::act(&format!("shard.flush.{s}")) {
                 down[s] = Some(msg);
             }
         }
 
-        let t0 = Instant::now();
-        std::thread::scope(|scope| {
-            let handles: Vec<(usize, _)> = involved
-                .iter()
-                .filter(|&&s| down[s].is_none())
-                .map(|&s| (s, scope.spawn(move || self.engines[s].flush())))
-                .collect();
-            for (s, handle) in handles {
-                outcome.per_shard[s] = handle.join().expect("shard flush thread panicked");
-                outcome.shards_flushed += 1;
-            }
-        });
-        outcome.execute_time = t0.elapsed();
+        // Clients that cancelled between submit and flush: the transport
+        // drops their sub-requests without producing replies.
+        let retired: Vec<u64> =
+            routed.iter().filter(|r| !r.shared.is_pending()).map(|r| r.id).collect();
+
+        let exchange = self.transport.exchange(&down, &retired);
+        outcome.per_shard = exchange.per_shard;
+        outcome.shards_flushed = exchange.shards_flushed;
+        outcome.execute_time = exchange.execute_time;
         for &s in &involved {
-            self.metrics.queue_depth[s].set(self.engines[s].pending() as u64);
+            self.metrics.queue_depth[s].set(self.transport.queued(s) as u64);
         }
         outcome.lanes = outcome.per_shard.iter().map(|o| o.lanes).sum();
 
+        let mut replies: HashMap<(u64, usize), ShardMsg<X, S::Output>> =
+            exchange.replies.into_iter().map(|msg| ((msg.request(), msg.shard()), msg)).collect();
+
         for r in routed {
             outcome.requests += 1;
-            if !r.shared.is_pending() {
-                // Client cancelled between submit and flush: drop the
-                // sub-tickets too so shard queues shed the dead lanes.
-                for (_, t) in &r.fanout {
-                    t.cancel();
-                }
+            if retired.contains(&r.id) {
                 outcome.retired += 1;
                 continue;
             }
             let mut partials: Vec<SparseVec<S::Output>> = Vec::with_capacity(r.fanout.len());
             let mut error: Option<EngineError> = None;
-            for (s, t) in &r.fanout {
-                if let Some(msg) = &down[*s] {
-                    t.cancel();
-                    error = error.or_else(|| Some(EngineError::KernelFailed(msg.clone())));
-                    continue;
-                }
-                // Collect the shard's reply in wire shape, then unpack.
-                let reply: ShardMsg<X, S::Output> = match t.try_take() {
-                    Some(Ok(y)) => ShardMsg::partial(r.id, *s, y),
-                    Some(Err(e)) => ShardMsg::error(r.id, *s, e),
-                    None => {
-                        t.cancel();
-                        ShardMsg::error(
-                            r.id,
-                            *s,
-                            EngineError::KernelFailed("shard never flushed the sub-request".into()),
-                        )
-                    }
+            for &s in &r.fanout {
+                let result = match replies.remove(&(r.id, s)) {
+                    Some(reply) => reply.into_result().expect("partial or error"),
+                    // The transport contract says every live sub-request
+                    // gets a reply; a hole is a transport fault.
+                    None => Err(EngineError::KernelFailed(format!(
+                        "shard {s}: no reply for the sub-request"
+                    ))),
                 };
-                match reply.into_result().expect("partial or error") {
+                match result {
                     Ok(y) => partials.push(y),
                     // First error in ascending shard order wins.
                     Err(e) => error = error.or(Some(e)),
@@ -367,6 +404,7 @@ where
                 Some(e) => {
                     outcome.failed += 1;
                     self.metrics.failed.inc();
+                    outcome.failures.push(e.to_string());
                     r.shared.fail(e);
                 }
                 None => {
@@ -402,11 +440,10 @@ where
             *p = keep;
             gone
         };
+        let ids: Vec<u64> = retired.iter().map(|r| r.id).collect();
+        self.transport.retire(&ids);
         for r in &retired {
             r.shared.fail(EngineError::Cancelled);
-            for (_, t) in &r.fanout {
-                t.cancel();
-            }
         }
         retired.len()
     }
@@ -419,8 +456,9 @@ where
     S: Semiring<A, X> + Clone + 'static,
 {
     fn drop(&mut self) {
-        // Resolve router-level tickets before the shard engines drop (their
-        // own `Drop` fails the sub-tickets with `Disconnected` in turn).
+        // Resolve router-level tickets before the transport drops (a local
+        // transport's engines fail their sub-tickets with `Disconnected`
+        // in turn).
         let routed: Vec<Routed<S::Output>> = {
             let mut p = crate::engine::lock(&self.pending);
             p.drain(..).collect()

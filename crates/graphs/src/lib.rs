@@ -31,7 +31,7 @@ pub use bfs::{bfs, bfs_frontiers, bfs_prepared, BfsResult};
 pub use components::connected_components;
 pub use matching::bipartite_matching;
 pub use mis::maximal_independent_set;
-pub use multi_bfs::{multi_bfs, multi_bfs_using, MultiBfsResult};
+pub use multi_bfs::{multi_bfs, multi_bfs_routed, multi_bfs_using, MultiBfsResult};
 pub use pagerank::{
     pagerank_datadriven, pagerank_personalized_batch, PageRankOptions, PersonalizedPageRankResult,
 };

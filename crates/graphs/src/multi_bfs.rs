@@ -200,6 +200,27 @@ pub fn multi_bfs_sharded(
     drive_lockstep(&engine, a.ncols(), sources)
 }
 
+/// [`multi_bfs`] through an **existing** router front door, whatever its
+/// transport: the caller builds (and owns the lifecycle of) the
+/// [`ShardedEngine`] — e.g. one connected to remote
+/// [`ShardHost`](spmspv::net::ShardHost) daemons via
+/// [`ShardedEngine::connect`] — and this drives the same lock-step
+/// traversal over it. With an in-process router this is exactly
+/// [`multi_bfs_sharded`]; with a socket transport every level's frontiers
+/// travel the wire and the results are still bit-identical (the remote
+/// shard property suite holds the transport to that).
+pub fn multi_bfs_routed(
+    engine: &ShardedEngine<f64, usize, Select2ndMin>,
+    sources: &[usize],
+) -> MultiBfsResult {
+    let n = engine.ncols();
+    assert_eq!(engine.nrows(), n, "BFS expects a square adjacency matrix");
+    for &s in sources {
+        assert!(s < n, "source vertex {s} out of range for {n} vertices");
+    }
+    drive_lockstep(engine, n, sources)
+}
+
 fn check_bfs_inputs(a: &CscMatrix<f64>, sources: &[usize]) {
     assert_eq!(a.nrows(), a.ncols(), "BFS expects a square adjacency matrix");
     for &s in sources {
@@ -264,7 +285,7 @@ fn drive_lockstep<E: BfsFrontDoor>(engine: &E, n: usize, sources: &[usize]) -> M
             let reached = ticket
                 .try_take()
                 .expect("flush served every live request")
-                .expect("in-process BFS requests cannot fail");
+                .expect("BFS requests cannot fail on a healthy fleet");
             // The lane's ¬visited mask already dropped known vertices in the
             // kernel; everything that comes back is a fresh discovery.
             let mut next = SparseVec::new(n);

@@ -151,6 +151,40 @@ impl MaskBits {
         MaskBits { len: b.len, words: b.words.clone(), count }
     }
 
+    /// The raw bitmap words (`len.div_ceil(64)` of them, LSB-first). This is
+    /// the wire representation of a mask: together with
+    /// [`MaskBits::from_words`] it lets a transport ship the membership set
+    /// without re-enumerating positions.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a mask from its raw bitmap words (the inverse of
+    /// [`MaskBits::words`]). The word count must match `len.div_ceil(64)`
+    /// and no bit past `len` may be set — a decoder feeding this from
+    /// untrusted bytes gets an error, never an inconsistent mask.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Result<Self, SparseError> {
+        if words.len() != len.div_ceil(64) {
+            return Err(SparseError::InvalidStructure(format!(
+                "mask of dimension {len} needs {} words, got {}",
+                len.div_ceil(64),
+                words.len()
+            )));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&tail) = words.last() {
+                if tail >> (len % 64) != 0 {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "mask word {} has bits set past dimension {len}",
+                        words.len() - 1
+                    )));
+                }
+            }
+        }
+        let count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(MaskBits { len, words, count })
+    }
+
     /// Logical dimension of the index space.
     #[inline]
     pub fn len(&self) -> usize {

@@ -1,0 +1,139 @@
+//! Remote sharding end to end: a fleet of [`ShardHost`] **processes** on
+//! localhost serving multi-source BFS through a TCP-connected
+//! [`ShardedEngine`].
+//!
+//! The example re-invokes its own binary once per shard with a `host <s>`
+//! argument: each child builds the same deterministic R-MAT graph, takes
+//! its column slice, binds an ephemeral port, and prints `LISTENING <addr>`
+//! before serving. The parent collects the addresses, dials the fleet with
+//! [`ShardedEngine::connect`], drives the lock-step BFS over the wire with
+//! [`multi_bfs_routed`], and checks the result is bit-identical to a local
+//! single-engine traversal — BFS's `(min, select2nd)` semiring is exactly
+//! associative, so not even the scatter/merge over sockets can show.
+//!
+//! Run with: `cargo run --release --example remote_shards`
+
+use std::env;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+use sparse_substrate::gen::{rmat, RmatParams};
+use sparse_substrate::{CscMatrix, Select2ndMin};
+use spmspv::engine::EngineConfig;
+use spmspv::net::{ShardHost, TcpConfig};
+use spmspv::obs::ObsConfig;
+use spmspv::shard::{ShardPlan, ShardedEngine};
+use spmspv::SpMSpVOptions;
+use spmspv_graphs::{multi_bfs, multi_bfs_routed};
+
+const SCALE: u32 = 8;
+const EDGE_FACTOR: usize = 8;
+const SEED: u64 = 7;
+const SHARDS: usize = 3;
+
+/// Parent and children must agree on the graph and the plan; both are
+/// deterministic functions of the constants above.
+fn build_graph() -> CscMatrix<f64> {
+    rmat(SCALE, EDGE_FACTOR, RmatParams::graph500(), SEED)
+}
+
+/// Child role: serve one shard's column slice until the parent kills us.
+fn run_host(shard: usize) {
+    let a = build_graph();
+    let plan = ShardPlan::balanced(&a, SHARDS);
+    let part = a.column_split(plan.bounds()).swap_remove(shard);
+    let host = ShardHost::<f64, usize, Select2ndMin>::bind(
+        ("127.0.0.1", 0),
+        shard,
+        part,
+        Select2ndMin,
+        EngineConfig::default().max_lanes(0),
+    )
+    .expect("bind an ephemeral localhost port");
+    println!("LISTENING {}", host.local_addr().expect("bound listener has an address"));
+    std::io::stdout().flush().expect("hand the address to the parent");
+    host.run();
+}
+
+/// Parent role: spawn one host process per shard and harvest their
+/// addresses from the `LISTENING` handshake line.
+fn spawn_fleet() -> (Vec<Child>, Vec<SocketAddr>) {
+    let exe = env::current_exe().expect("own executable path");
+    let mut children = Vec::new();
+    let mut addrs = Vec::new();
+    for s in 0..SHARDS {
+        let mut child = Command::new(&exe)
+            .arg("host")
+            .arg(s.to_string())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn a shard host process");
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines.next().expect("host announces its address").expect("readable stdout");
+            if let Some(rest) = line.strip_prefix("LISTENING ") {
+                break rest.parse::<SocketAddr>().expect("well-formed socket address");
+            }
+        };
+        addrs.push(addr);
+        children.push(child);
+    }
+    (children, addrs)
+}
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    if args.get(1).map(String::as_str) == Some("host") {
+        run_host(args[2].parse().expect("host <shard-index>"));
+        return;
+    }
+
+    let a = build_graph();
+    let n = a.ncols();
+    println!("graph: {n} vertices, {} edges (rmat scale {SCALE})", a.nnz());
+
+    let (mut children, addrs) = spawn_fleet();
+    println!("fleet: {SHARDS} shard host processes at {addrs:?}");
+
+    let plan = ShardPlan::balanced(&a, SHARDS);
+    let router = ShardedEngine::<f64, usize, Select2ndMin>::connect(
+        plan,
+        n,
+        Select2ndMin,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial every shard host");
+
+    let sources = [0usize, 3, 17, 99];
+    let remote = multi_bfs_routed(&router, &sources);
+    println!(
+        "remote BFS over {} sources: {} levels, visited {:?}",
+        sources.len(),
+        remote.iterations,
+        remote.num_visited
+    );
+
+    let local = multi_bfs(&a, &sources, SpMSpVOptions::default());
+    assert_eq!(remote.parents, local.parents, "remote parents diverged from the local run");
+    assert_eq!(remote.levels, local.levels, "remote levels diverged from the local run");
+    println!("bit-identical to the local single-engine traversal");
+
+    let snap = router.obs().snapshot();
+    for name in ["net.bytes.out", "net.bytes.in", "net.reconnects"] {
+        println!("{name:>16} = {}", snap.counter(name).unwrap_or(0));
+    }
+    if let Some(h) = snap.histogram("net.rpc.time") {
+        println!("    net.rpc.time = {} shard exchanges", h.count);
+    }
+
+    drop(router);
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    println!("fleet shut down");
+}

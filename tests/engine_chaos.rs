@@ -461,3 +461,94 @@ fn single_shard_outage_fails_only_routed_tickets() {
     }
     assert_eq!(router.obs().snapshot().counter("shard.failed"), Some(doomed_x.len() as u64));
 }
+
+/// Failpoint parity over sockets: the same `shard.flush.1` outage armed on
+/// a TCP-connected router has the same blast radius as in-process — the
+/// downed shard's tickets fail with the transport's `shard 1:` attribution,
+/// sibling hosts serve bit-exact in the same flush, and the injected outage
+/// never touches the wire (healing needs no reconnect).
+#[test]
+fn single_shard_outage_has_the_same_blast_radius_over_tcp() {
+    use spmspv::net::{ShardHost, TcpConfig};
+    use spmspv::obs::ObsConfig;
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+    let _fp = fp_lock();
+    let a = integral_matrix(120, 5.0, 78);
+    let plan = ShardPlan::balanced(&a, 3);
+    assert!(plan.num_shards() >= 2, "need ≥ 2 shards for an isolation story");
+
+    let mut hosts = Vec::new();
+    let mut addrs = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let host = ShardHost::bind("127.0.0.1:0", s, part, PlusTimes, EngineConfig::default())
+            .expect("bind an ephemeral localhost port");
+        addrs.push(host.local_addr().expect("bound"));
+        hosts.push(host.spawn());
+    }
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect(
+        plan.clone(),
+        a.nrows(),
+        PlusTimes,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial every host");
+    let r0 = router.plan().range(0);
+    let r1 = router.plan().range(1);
+
+    let safe_x: Vec<SparseVec<f64>> =
+        (0..3).map(|i| confined_vec(a.ncols(), &r0, 20 + i)).collect();
+    let doomed_x: Vec<SparseVec<f64>> =
+        (0..3).map(|i| confined_vec(a.ncols(), &r1, 60 + i)).collect();
+
+    let before = failpoint::hits("shard.flush.1");
+    let _g = failpoint::arm(
+        "shard.flush.1",
+        FailAction::Error("chaos: shard 1 unreachable".into()),
+        Some(1),
+    );
+    let safe: Vec<_> = safe_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let doomed: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(failpoint::hits("shard.flush.1"), before + 1, "the outage must have fired");
+    assert_eq!(outcome.merged, safe.len(), "sibling hosts serve in the same flush");
+    assert_eq!(outcome.failed, doomed.len(), "only shard-1-routed tickets fail");
+    assert!(
+        outcome.failures.iter().all(|m| m.contains("shard 1:")),
+        "remote failures carry their shard attribution: {:?}",
+        outcome.failures
+    );
+    for (t, x) in safe.iter().zip(&safe_x) {
+        let y = claim(t).expect("sibling hosts must be unaffected");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "survivor diverged from oracle");
+    }
+    for t in &doomed {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => assert!(
+                msg.contains("shard 1:") && msg.contains("unreachable"),
+                "outage attribution lost: {msg}"
+            ),
+            other => panic!("shard-1 ticket must fail with KernelFailed, got {other:?}"),
+        }
+    }
+
+    // The shot is spent: the doomed frontiers now serve exactly — and the
+    // injected outage never broke the connection, so no reconnect happened.
+    let retry: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, 0, "healed fleet serves everything: {:?}", outcome.failures);
+    for (t, x) in retry.iter().zip(&doomed_x) {
+        let y = claim(t).expect("healed shard must serve");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "post-outage result diverged");
+    }
+    let snap = router.obs().snapshot();
+    assert_eq!(snap.counter("net.reconnects").unwrap_or(0), 0, "the outage was injected, not real");
+
+    drop(router);
+    for host in hosts {
+        host.shutdown();
+    }
+}

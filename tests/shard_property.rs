@@ -11,11 +11,19 @@
 //! companion satellite asserts [`ShardedEngine::stats`] is the sum of the
 //! per-shard [`EngineStats`].
 
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
 use proptest::prelude::*;
 use sparse_substrate::{
     CooMatrix, CscMatrix, MaskBits, MinPlus, PlusTimes, Scalar, Semiring, SparseVec,
 };
-use spmspv::engine::{Engine, EngineConfig, MxvRequest};
+use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest};
+use spmspv::net::{
+    read_frame, write_frame, Frame, ShardHost, ShardHostHandle, TcpConfig, WireFrontier,
+    WireScalar, DEFAULT_MAX_FRAME,
+};
+use spmspv::obs::ObsConfig;
 use spmspv::shard::{ShardPlan, ShardedEngine};
 use spmspv::stats::EngineStats;
 use spmspv::{BatchAlgorithmKind, MaskMode};
@@ -278,4 +286,321 @@ fn fanout_empty_and_cancel_edges() {
         router.submit(MxvRequest::new(SparseVec::from_pairs(n, vec![(1, 1.0)]).unwrap()));
     drop(router);
     assert!(matches!(straggler.try_take(), Some(Err(spmspv::engine::EngineError::Disconnected))));
+}
+
+// ---------------------------------------------------------------------------
+// Remote transport: the same properties over sockets.
+// ---------------------------------------------------------------------------
+
+/// Spawns one [`ShardHost`] per shard of `plan` on ephemeral localhost
+/// ports, each loaded with its column slice of `a`.
+fn spawn_hosts<S>(
+    a: &CscMatrix<f64>,
+    plan: &ShardPlan,
+    semiring: S,
+) -> (Vec<ShardHostHandle>, Vec<SocketAddr>)
+where
+    S: Semiring<f64, f64> + Clone + 'static,
+    S::Output: WireScalar,
+{
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let host =
+            ShardHost::bind("127.0.0.1:0", s, part, semiring.clone(), EngineConfig::default())
+                .expect("bind an ephemeral localhost port");
+        addrs.push(host.local_addr().expect("bound listener has an address"));
+        handles.push(host.spawn());
+    }
+    (handles, addrs)
+}
+
+/// The socket counterpart of [`assert_sharded_is_bit_identical`]: the same
+/// requests served through [`ShardHost`] daemons over a [`TcpTransport`]
+/// must match both the unsharded oracle and the in-process router, bit for
+/// bit.
+fn assert_tcp_matches_in_process<S>(
+    a: &CscMatrix<f64>,
+    requests: &[GenRequest],
+    semiring: S,
+    shards: usize,
+    kind: BatchAlgorithmKind,
+) -> Result<(), TestCaseError>
+where
+    S: Semiring<f64, f64> + Clone + 'static,
+    S::Output: WireScalar + PartialOrd + std::fmt::Debug,
+{
+    let oracle = Engine::over_with(a, semiring.clone(), EngineConfig::default());
+    let expect: Vec<SparseVec<S::Output>> = {
+        let tickets: Vec<_> =
+            requests.iter().map(|r| oracle.submit(build_request(r, kind))).collect();
+        oracle.flush();
+        tickets
+            .iter()
+            .map(|t| t.try_take().expect("oracle flush serves").expect("oracle cannot fail"))
+            .collect()
+    };
+
+    let plan = ShardPlan::balanced(a, shards);
+    let local =
+        ShardedEngine::partition_with(a, semiring.clone(), plan.clone(), EngineConfig::default());
+    let (hosts, addrs) = spawn_hosts(a, &plan, semiring.clone());
+    let remote = ShardedEngine::<f64, f64, S>::connect(
+        plan,
+        a.nrows(),
+        semiring,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial every freshly spawned host");
+
+    let local_tickets: Vec<_> =
+        requests.iter().map(|r| local.submit(build_request(r, kind))).collect();
+    let remote_tickets: Vec<_> =
+        requests.iter().map(|r| remote.submit(build_request(r, kind))).collect();
+    local.flush();
+    let outcome = remote.flush();
+    prop_assert_eq!(outcome.requests, requests.len());
+    prop_assert_eq!(outcome.failed, 0, "healthy hosts: nothing may fail: {:?}", outcome.failures);
+    prop_assert_eq!(outcome.merged, requests.len());
+    prop_assert_eq!(
+        outcome.shards_flushed,
+        outcome.per_shard.iter().filter(|o| o.requests > 0).count()
+    );
+
+    for (i, ((lt, rt), want)) in local_tickets.iter().zip(&remote_tickets).zip(&expect).enumerate()
+    {
+        let via_local = lt.try_take().expect("local serves").expect("local cannot fail");
+        let via_tcp = rt.try_take().expect("remote serves").expect("remote cannot fail");
+        prop_assert!(
+            via_tcp.same_entries(want),
+            "request {} over TCP diverged from the oracle: got {:?}, want {:?}",
+            i,
+            via_tcp,
+            want
+        );
+        prop_assert!(via_tcp.same_entries(&via_local), "request {} diverged across transports", i);
+    }
+
+    // The wire moved real bytes both ways.
+    let snap = remote.obs().snapshot();
+    prop_assert!(snap.counter("net.bytes.out").unwrap_or(0) > 0);
+    prop_assert!(snap.counter("net.bytes.in").unwrap_or(0) > 0);
+    drop(remote);
+    for host in hosts {
+        host.shutdown();
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Transport equivalence: TCP-served results are bit-identical to the
+    /// in-process router and the unsharded oracle, across semirings, mask
+    /// modes, shard counts, and kernel paths.
+    #[test]
+    fn tcp_router_matches_in_process_and_oracle(
+        (a, requests) in operands(20),
+        shards_ix in 0usize..3,
+        adaptive in any::<bool>(),
+    ) {
+        let kind = if adaptive { BatchAlgorithmKind::Adaptive } else { BatchAlgorithmKind::Bucket };
+        let shards = [1usize, 2, 3][shards_ix];
+        assert_tcp_matches_in_process(&a, &requests, PlusTimes, shards, kind)?;
+    }
+
+    /// The same equivalence under `(min, +)` — a second `S::Output` type
+    /// travelling the wire.
+    #[test]
+    fn tcp_router_matches_under_min_plus(
+        (a, requests) in operands(16),
+        naive in any::<bool>(),
+    ) {
+        let kind = if naive { BatchAlgorithmKind::Naive } else { BatchAlgorithmKind::Adaptive };
+        assert_tcp_matches_in_process(&a, &requests, MinPlus, 3, kind)?;
+    }
+}
+
+/// A deterministic three-shard fixture: ring + diagonal, so every column
+/// owns nnz and per-shard confined frontiers are easy to aim.
+fn chaos_fixture(n: usize) -> CscMatrix<f64> {
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..n {
+        coo.push(j, j, (j + 1) as f64);
+        coo.push((j + 3) % n, j, 2.0);
+    }
+    CscMatrix::from_coo(coo, |x, y| x + y)
+}
+
+fn oracle_result(a: &CscMatrix<f64>, x: &SparseVec<f64>) -> SparseVec<f64> {
+    let engine = Engine::over(a, PlusTimes);
+    let t = engine.submit(MxvRequest::new(x.clone()));
+    engine.flush();
+    t.try_take().unwrap().unwrap()
+}
+
+/// Acceptance: killing one `ShardHost` mid-load fails **only the tickets
+/// routed through it** (with its `shard <s>:` attribution), siblings keep
+/// serving bit-exact results, and after the host restarts on the same port
+/// the router reconnects (`net.reconnects` > 0) with no stranded waiters.
+#[test]
+fn killed_host_fails_only_its_tickets_then_reconnects() {
+    let n = 24;
+    let a = chaos_fixture(n);
+    let plan = ShardPlan::uniform(n, 3);
+    let frontier = |col: usize| SparseVec::from_pairs(n, vec![(col, 2.0)]).unwrap();
+    let want: Vec<SparseVec<f64>> =
+        [1, 9, 17].iter().map(|&c| oracle_result(&a, &frontier(c))).collect();
+
+    let (mut hosts, addrs) = spawn_hosts(&a, &plan, PlusTimes);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect(
+        plan.clone(),
+        n,
+        PlusTimes,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial all three hosts");
+
+    // Round 1: one confined request per shard, then shard 1's host dies
+    // before the flush reaches it.
+    let tickets: Vec<_> =
+        [1, 9, 17].iter().map(|&c| router.submit(MxvRequest::new(frontier(c)))).collect();
+    hosts.remove(1).kill();
+    let outcome = router.flush();
+    assert_eq!(outcome.requests, 3);
+    assert_eq!(outcome.merged, 2, "the two live shards still serve");
+    assert_eq!(outcome.failed, 1, "exactly the dead shard's ticket fails");
+    assert!(
+        outcome.failures.iter().all(|m| m.contains("shard 1:")),
+        "failure must name the dead shard: {:?}",
+        outcome.failures
+    );
+
+    // Every ticket resolved — an outage must never strand a waiter.
+    let r0 = tickets[0].try_take().expect("resolved").expect("shard 0 serves");
+    assert!(r0.same_entries(&want[0]), "sibling shard 0 diverged");
+    match tickets[1].try_take() {
+        Some(Err(EngineError::KernelFailed(msg))) => {
+            assert!(msg.contains("shard 1:"), "unattributed failure: {msg}")
+        }
+        other => panic!("dead shard's ticket must fail as KernelFailed, got {other:?}"),
+    }
+    let r2 = tickets[2].try_take().expect("resolved").expect("shard 2 serves");
+    assert!(r2.same_entries(&want[2]), "sibling shard 2 diverged");
+
+    // Restart shard 1 on the *same* port (std listeners set SO_REUSEADDR,
+    // so the rebind races only the old accept loop's exit).
+    let part1 = a.column_split(plan.bounds()).swap_remove(1);
+    let mut rebound = None;
+    for _ in 0..50 {
+        match ShardHost::bind(addrs[1], 1, part1.clone(), PlusTimes, EngineConfig::default()) {
+            Ok(host) => {
+                rebound = Some(host.spawn());
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let rebound = rebound.expect("host rebinds its old port");
+
+    // Round 2: the full fleet serves again, bit-exact, through a fresh
+    // connection.
+    let tickets: Vec<_> =
+        [1, 9, 17].iter().map(|&c| router.submit(MxvRequest::new(frontier(c)))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.merged, 3, "recovered fleet serves everything: {:?}", outcome.failures);
+    for (t, want) in tickets.iter().zip(&want) {
+        assert!(t.try_take().expect("resolved").expect("serves").same_entries(want));
+    }
+    let snap = router.obs().snapshot();
+    assert!(
+        snap.counter("net.reconnects").unwrap_or(0) > 0,
+        "recovery must register as a reconnect"
+    );
+
+    drop(router);
+    rebound.shutdown();
+    for host in hosts {
+        host.shutdown();
+    }
+}
+
+/// Satellite: a deadline that expires *in flight* resolves as
+/// `DeadlineExceeded` — never a hung ticket. Checked at the protocol level
+/// (a zero budget on the wire never touches the host engine) and end to
+/// end through the router.
+#[test]
+fn deadline_expiring_in_flight_resolves_not_hangs() {
+    let n = 8;
+    let a = chaos_fixture(n);
+
+    // Protocol level: a raw connection sends a frontier whose budget is
+    // already exhausted; the host must answer `DeadlineExceeded` (and the
+    // flush summary), not execute it.
+    let host = ShardHost::bind("127.0.0.1:0", 0, a.clone(), PlusTimes, EngineConfig::default())
+        .expect("bind");
+    let addr = host.local_addr().unwrap();
+    let handle = host.spawn();
+    let mut stream = TcpStream::connect(addr).expect("dial the host");
+    let dead: Frame<f64, f64> = Frame::Frontier(WireFrontier {
+        request: 42,
+        shard: 0,
+        slice: SparseVec::from_pairs(n, vec![(1, 1.0)]).unwrap(),
+        deadline_micros: Some(0),
+        mask: None,
+        algorithm: None,
+    });
+    write_frame(&mut stream, &dead, DEFAULT_MAX_FRAME).unwrap();
+    write_frame::<f64, f64, _>(&mut stream, &Frame::Flush, DEFAULT_MAX_FRAME).unwrap();
+    let (reply, _) = read_frame::<f64, f64, _>(&mut stream, DEFAULT_MAX_FRAME)
+        .expect("reply arrives")
+        .expect("not EOF");
+    assert!(
+        matches!(reply, Frame::Error { request: 42, error: EngineError::DeadlineExceeded, .. }),
+        "expired budget must come back DeadlineExceeded, got {reply:?}"
+    );
+    let (done, _) = read_frame::<f64, f64, _>(&mut stream, DEFAULT_MAX_FRAME)
+        .expect("summary arrives")
+        .expect("not EOF");
+    match done {
+        Frame::Done { requests, .. } => {
+            assert_eq!(requests, 0, "the dead request never reached the engine")
+        }
+        other => panic!("expected the Done summary, got {other:?}"),
+    }
+    write_frame::<f64, f64, _>(&mut stream, &Frame::Goodbye, DEFAULT_MAX_FRAME).unwrap();
+    handle.shutdown();
+
+    // End to end: through a connected router, an already-expired deadline
+    // resolves `DeadlineExceeded` while a generous one still serves.
+    let plan = ShardPlan::uniform(n, 2);
+    let (hosts, addrs) = spawn_hosts(&a, &plan, PlusTimes);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect(
+        plan,
+        n,
+        PlusTimes,
+        &addrs,
+        TcpConfig::default(),
+        ObsConfig::default(),
+    )
+    .expect("dial both hosts");
+    let x = SparseVec::from_pairs(n, vec![(1, 1.0), (6, 2.0)]).unwrap();
+    let expired = router.submit(MxvRequest::new(x.clone()).deadline(Instant::now()));
+    let fresh = router
+        .submit(MxvRequest::new(x.clone()).deadline(Instant::now() + Duration::from_secs(60)));
+    let outcome = router.flush();
+    assert_eq!(outcome.requests, 2);
+    assert_eq!(outcome.timeouts, 1, "the expired request times out, nothing else");
+    assert_eq!(outcome.merged, 1);
+    assert!(matches!(expired.try_take(), Some(Err(EngineError::DeadlineExceeded))));
+    let got = fresh.try_take().expect("resolved").expect("generous deadline serves");
+    assert!(got.same_entries(&oracle_result(&a, &x)));
+    drop(router);
+    for host in hosts {
+        host.shutdown();
+    }
 }
