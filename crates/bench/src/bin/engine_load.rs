@@ -36,7 +36,10 @@
 //! lane), `ENGINE_LOAD_SCALE`, `ENGINE_LOAD_CLIENTS`, `ENGINE_LOAD_ROUNDS`,
 //! `ENGINE_LOAD_SHARDS` (shard count for the sharded phase, default 4),
 //! `ENGINE_LOAD_REMOTE=1` (also serve the sharded workload through
-//! [`ShardHost`] daemons over localhost sockets).
+//! [`ShardHost`] daemons over localhost sockets), `ENGINE_LOAD_REPLICAS=N`
+//! (N ≥ 2: also run the replication chaos phase — every shard served by N
+//! replica hosts, every **primary killed mid-load**, zero failed tickets
+//! tolerated — reported as the `failover` section).
 //!
 //! After the serve-loop phase, the same burst workload replays through a
 //! [`ShardedEngine`] (1D column-partitioned engines behind the scatter/merge
@@ -214,6 +217,7 @@ fn remote_phase(scale: u32, shards: usize, clients: usize, rounds: usize) -> Jso
         let host = ShardHost::bind(
             "127.0.0.1:0",
             s,
+            plan.range(s),
             part,
             PlusTimes,
             EngineConfig::default().max_lanes(16),
@@ -306,6 +310,154 @@ fn remote_phase(scale: u32, shards: usize, clients: usize, rounds: usize) -> Jso
         ("rpc_exchanges", Json::Int(rpc_count as i64)),
         ("rpc_time_micros_mean", Json::Num(rpc_mean)),
         ("reconnects", Json::Int(reconnects as i64)),
+    ])
+}
+
+/// The replication chaos phase (`ENGINE_LOAD_REPLICAS=N`, N ≥ 2): the
+/// burst workload against a fleet with `replicas` hosts per shard, where
+/// **every primary is killed halfway through the run**. The surviving
+/// replicas must absorb the outage with zero failed tickets (the tentpole
+/// failover guarantee, measured under load rather than in a unit test).
+/// Returns the `failover` report section: request/failure counts, the
+/// `shard.replica.*` failover telemetry, and tail latency across the kill.
+fn failover_phase(
+    scale: u32,
+    shards: usize,
+    clients: usize,
+    rounds: usize,
+    replicas: usize,
+) -> Json {
+    use spmspv::net::{ShardHost, TcpConfig};
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+
+    let a = rmat(scale, 12, RmatParams::graph500(), 7);
+    let n = a.ncols();
+    let nrows = a.nrows();
+    let plan = ShardPlan::balanced(&a, shards).with_fingerprints_of(&a);
+    let mut hosts: Vec<Vec<spmspv::net::ShardHostHandle>> = Vec::new();
+    let mut groups: Vec<Vec<std::net::SocketAddr>> = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let mut hs = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let host = ShardHost::bind(
+                "127.0.0.1:0",
+                s,
+                plan.range(s),
+                part.clone(),
+                PlusTimes,
+                EngineConfig::default().max_lanes(16),
+            )
+            .expect("bind a replica host on an ephemeral localhost port");
+            addrs.push(host.local_addr().expect("bound listener has an address"));
+            hs.push(host.spawn());
+        }
+        hosts.push(hs);
+        groups.push(addrs);
+    }
+    let num_shards = plan.num_shards();
+    // No background heartbeat: the kill must be discovered *by the flush*,
+    // so the measured failovers are the mid-flush re-sends themselves.
+    let config = TcpConfig {
+        connect_retries: 1,
+        retry_backoff: Duration::from_millis(1),
+        heartbeat: None,
+        ..TcpConfig::default()
+    };
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan,
+        nrows,
+        PlusTimes,
+        &groups,
+        config,
+        ObsConfig::default(),
+    )
+    .expect("dial every replica of every shard");
+
+    let latency = Histogram::default();
+    let mut requests = 0usize;
+    let mut reqno = 0usize;
+    let mut hosts_killed = 0usize;
+    let kill_round = (rounds / 2).max(1);
+    for round in 0..rounds {
+        if round == kill_round {
+            // Mid-load chaos: every primary dies between two bursts.
+            for group in &mut hosts {
+                group.remove(0).kill();
+                hosts_killed += 1;
+            }
+        }
+        let mut inflight = Vec::new();
+        for c in 0..clients {
+            let burst = 1 + (c + round) % 4;
+            for _ in 0..burst {
+                reqno += 1;
+                let frontier: SparseVec<f64> =
+                    random_sparse_vec(n, 16 + (reqno * 13) % 48, (c * 10_007 + reqno) as u64);
+                let mut req = MxvRequest::new(frontier);
+                if reqno.is_multiple_of(3) {
+                    let bits = MaskBits::from_indices(nrows, (c % 3..nrows).step_by(2 + reqno % 3));
+                    req = req.mask(bits, MaskMode::Complement);
+                }
+                let submitted = Instant::now();
+                inflight.push((router.submit(req), submitted));
+            }
+        }
+        let outcome = router.flush();
+        assert_eq!(
+            outcome.failed, 0,
+            "round {round}: replicas must absorb every primary death: {:?}",
+            outcome.failures
+        );
+        for (ticket, submitted) in inflight {
+            let resolved = ticket.wait_timeout(Duration::from_secs(10));
+            latency.record(submitted.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            assert!(resolved.is_ok(), "failover phase must serve every ticket: {resolved:?}");
+            requests += 1;
+        }
+    }
+    let snap = latency.snapshot();
+    let (p50, p95, p99) = (snap.quantile(0.50), snap.quantile(0.95), snap.quantile(0.99));
+    let obs = router.obs().snapshot();
+    let failovers = obs.counter("shard.replica.failovers").unwrap_or(0);
+    let quarantined = obs.counter("shard.replica.quarantined").unwrap_or(0);
+    let trips = obs.counter("shard.replica.trips").unwrap_or(0);
+
+    println!(
+        "\nfailover phase ({num_shards} shards × {replicas} replicas): {requests} requests, \
+         {hosts_killed} primaries killed mid-load, 0 failed; {failovers} failovers, \
+         {trips} breaker trips; latency (µs) p50 {p50} p95 {p95} p99 {p99}",
+    );
+    assert!(requests > 0, "failover phase must serve traffic");
+    assert!(hosts_killed == num_shards, "every primary must have been killed");
+    assert!(failovers >= 1, "a killed primary under load must register as a failover");
+    assert!(p50 <= p95 && p95 <= p99, "failover percentiles must be monotone");
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
+    }
+
+    Json::obj([
+        ("shards", Json::Int(num_shards as i64)),
+        ("replicas", Json::Int(replicas as i64)),
+        ("requests", Json::Int(requests as i64)),
+        ("failed", Json::Int(0)),
+        ("hosts_killed", Json::Int(hosts_killed as i64)),
+        ("failovers", Json::Int(failovers as i64)),
+        ("quarantined", Json::Int(quarantined as i64)),
+        ("breaker_trips", Json::Int(trips as i64)),
+        (
+            "latency_micros",
+            Json::obj([
+                ("p50", Json::Int(p50 as i64)),
+                ("p95", Json::Int(p95 as i64)),
+                ("p99", Json::Int(p99 as i64)),
+                ("max", Json::Int(snap.max as i64)),
+            ]),
+        ),
     ])
 }
 
@@ -544,6 +696,15 @@ fn main() {
         println!("\nremote phase skipped (set ENGINE_LOAD_REMOTE=1 to serve it over sockets)");
         Json::Null
     };
+    let replicas = env_usize("ENGINE_LOAD_REPLICAS", 1);
+    let failover = if replicas >= 2 {
+        failover_phase(scale, shards, clients, if smoke { rounds } else { rounds / 2 }, replicas)
+    } else {
+        println!(
+            "\nfailover phase skipped (set ENGINE_LOAD_REPLICAS=2 to kill primaries mid-load)"
+        );
+        Json::Null
+    };
 
     let (obs_on, obs_off) = obs_overhead_probe(if smoke { 10 } else { 40 });
     let obs_ratio =
@@ -593,6 +754,7 @@ fn main() {
         ("shed_rate", Json::Num(shed_rate)),
         ("sharded", sharded),
         ("remote", remote),
+        ("failover", failover),
         (
             "obs_overhead",
             Json::obj([

@@ -28,9 +28,18 @@
 //! | `--max-lanes <l>` | `16` | engine lane budget (`0` = unbounded) |
 //!
 //! The bound address is printed as `LISTENING <addr>` once the engine is
-//! loaded, so wrappers can harvest ephemeral ports. The daemon serves until
-//! the process is killed; routers that lose it mid-flush fail exactly the
-//! tickets routed here and re-dial once a replacement binds the same port.
+//! loaded, so wrappers can harvest ephemeral ports. The daemon answers the
+//! discovery handshake with its shard id, column range, and the slice's
+//! structural fingerprint, so a router dialing a host started with the
+//! wrong `--shard`/`--scale`/`--seed` rejects it at dial time instead of
+//! merging wrong partials. It serves until the process is killed; routers
+//! that lose it mid-flush fail over to a replica if one exists, otherwise
+//! fail exactly the tickets routed here and re-dial once a replacement
+//! binds the same port. Start several hosts with the same `--shard` and
+//! hand [`ShardedEngine::connect_replicated`] one address group per shard
+//! to get failover.
+//!
+//! [`ShardedEngine::connect_replicated`]: spmspv::shard::ShardedEngine::connect_replicated
 //!
 //! [`ShardHost`]: spmspv::net::ShardHost
 //! [`ShardedEngine::connect`]: spmspv::shard::ShardedEngine::connect
@@ -122,6 +131,7 @@ where
     let host = ShardHost::bind(
         &args.listen as &str,
         args.shard,
+        plan.range(args.shard),
         part,
         semiring,
         EngineConfig::default().max_lanes(args.max_lanes),

@@ -18,6 +18,9 @@
 //! | `engine.flush.demux`    | per fused group, before results are scattered | delay (deadline races) |
 //! | `batch.merge`           | [`crate::SpMSpVBucketBatch`], entering the merge step | panic ("panic in merge") |
 //! | `shard.flush.<s>`       | [`crate::shard::ShardedEngine`], before shard `s`'s engine flushes | error (single-shard outage: only tickets routed through shard `s` fail) |
+//! | `net.host.byzantine.wrong_id.<s>` | [`crate::net::ShardHost`] for shard `s`, before a reply is encoded | error (reply carries a corrupted correlation id → router quarantines) |
+//! | `net.host.byzantine.bad_index.<s>` | [`crate::net::ShardHost`] for shard `s`, after a non-empty `Partial` is encoded | error (first partial index overwritten with `u64::MAX` → decode rejects) |
+//! | `net.host.byzantine.truncate.<s>` | [`crate::net::ShardHost`] for shard `s`, after the flush reply batch is encoded | error (frame cut mid-header and the connection dropped → `Truncated`) |
 //!
 //! Arming is process-global (the sites are static program points), so tests
 //! that arm failpoints must serialize themselves — take a shared

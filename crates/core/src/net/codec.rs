@@ -24,8 +24,11 @@ use crate::shard::ShardMsg;
 
 /// First four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SMSV";
-/// Wire protocol version carried by every frame header.
-pub const VERSION: u8 = 1;
+/// Wire protocol version carried by every frame header. Version 2 added the
+/// discovery/health frames (`Hello`/`Welcome`, `Ping`/`Pong`) and made
+/// `Partial` index order a protocol invariant (encoded sorted, rejected at
+/// decode when not strictly increasing).
+pub const VERSION: u8 = 2;
 /// Bytes of `magic | version | tag | payload_len: u32`.
 pub const HEADER_LEN: usize = 10;
 /// Default upper bound on one frame's payload (64 MiB). Both sides of a
@@ -39,6 +42,10 @@ const TAG_ERROR: u8 = 3;
 const TAG_FLUSH: u8 = 4;
 const TAG_GOODBYE: u8 = 5;
 const TAG_DONE: u8 = 6;
+const TAG_HELLO: u8 = 7;
+const TAG_WELCOME: u8 = 8;
+const TAG_PING: u8 = 9;
+const TAG_PONG: u8 = 10;
 
 /// Why a frame could not be decoded (or, for [`DecodeError::Oversize`],
 /// encoded). Every variant is a protocol-level fault a peer can trigger;
@@ -255,6 +262,37 @@ pub enum Frame<X, Y> {
     },
     /// Either direction: orderly connection close.
     Goodbye,
+    /// Router → host: discovery probe sent immediately after dialing. The
+    /// host answers with [`Frame::Welcome`] before any traffic flows.
+    Hello,
+    /// Host → router: the host's advertisement, verified against the
+    /// router's `ShardPlan` at dial time — a host serving the wrong shard,
+    /// column range, height, or matrix structure is rejected with a typed
+    /// `PlanMismatch` instead of silently corrupting merges.
+    Welcome {
+        /// Shard id this host serves.
+        shard: usize,
+        /// First global column of the host's slice (inclusive).
+        col_start: usize,
+        /// One past the last global column of the host's slice.
+        col_end: usize,
+        /// Output height (rows of the original matrix).
+        nrows: usize,
+        /// Structural fingerprint of the host's matrix slice
+        /// (`CscMatrix::fingerprint`).
+        fingerprint: u64,
+    },
+    /// Router → host: liveness probe from the background heartbeat. The
+    /// host echoes the nonce in a [`Frame::Pong`].
+    Ping {
+        /// Opaque echo token correlating probe and reply.
+        nonce: u64,
+    },
+    /// Host → router: heartbeat reply.
+    Pong {
+        /// The nonce from the matching [`Frame::Ping`].
+        nonce: u64,
+    },
 }
 
 impl<X: Scalar, Y: Scalar> Frame<X, Y> {
@@ -294,7 +332,13 @@ impl<X: Scalar, Y: Scalar> Frame<X, Y> {
                 Some(ShardMsg::partial(request, shard, partial))
             }
             Frame::Error { request, shard, error } => Some(ShardMsg::error(request, shard, error)),
-            Frame::Flush | Frame::Done { .. } | Frame::Goodbye => None,
+            Frame::Flush
+            | Frame::Done { .. }
+            | Frame::Goodbye
+            | Frame::Hello
+            | Frame::Welcome { .. }
+            | Frame::Ping { .. }
+            | Frame::Pong { .. } => None,
         }
     }
 }
@@ -480,7 +524,15 @@ pub fn encode_frame<X: WireScalar, Y: WireScalar>(
             put_u64(&mut payload, *request);
             put_u32(&mut payload, *shard as u32);
             payload.push(Y::TAG);
-            spvec_payload(&mut payload, partial);
+            // Partial index order is a protocol invariant (the decoder
+            // rejects anything non-monotone as hostile), so canonicalize
+            // kernel output that arrives unsorted. Values ride along with
+            // their indices — entry content is untouched.
+            if partial.is_sorted() {
+                spvec_payload(&mut payload, partial);
+            } else {
+                spvec_payload(&mut payload, &partial.sorted());
+            }
             TAG_PARTIAL
         }
         Frame::Error { request, shard, error } => {
@@ -501,6 +553,23 @@ pub fn encode_frame<X: WireScalar, Y: WireScalar>(
             put_u64(&mut payload, *requests);
             put_u64(&mut payload, *execute_micros);
             TAG_DONE
+        }
+        Frame::Hello => TAG_HELLO,
+        Frame::Welcome { shard, col_start, col_end, nrows, fingerprint } => {
+            put_u32(&mut payload, *shard as u32);
+            put_u64(&mut payload, *col_start as u64);
+            put_u64(&mut payload, *col_end as u64);
+            put_u64(&mut payload, *nrows as u64);
+            put_u64(&mut payload, *fingerprint);
+            TAG_WELCOME
+        }
+        Frame::Ping { nonce } => {
+            put_u64(&mut payload, *nonce);
+            TAG_PING
+        }
+        Frame::Pong { nonce } => {
+            put_u64(&mut payload, *nonce);
+            TAG_PONG
         }
     };
     if payload.len() > max_frame || u32::try_from(payload.len()).is_err() {
@@ -597,6 +666,12 @@ fn decode_payload<X: WireScalar, Y: WireScalar>(
                 return Err(DecodeError::ScalarMismatch { expected: Y::TAG, got: ytag });
             }
             let partial = read_spvec::<Y>(&mut r)?;
+            // A hostile or buggy host could otherwise inject duplicate or
+            // shuffled rows into the merge; `read_spvec` already rejected
+            // out-of-range indices via `SparseVec::from_parts`.
+            if !partial.is_sorted() {
+                return Err(DecodeError::Corrupt("partial indices not strictly increasing"));
+            }
             Frame::Partial { request, shard, partial }
         }
         TAG_ERROR => {
@@ -629,6 +704,20 @@ fn decode_payload<X: WireScalar, Y: WireScalar>(
             let execute_micros = r.u64()?;
             Frame::Done { shard, lanes, requests, execute_micros }
         }
+        TAG_HELLO => Frame::Hello,
+        TAG_WELCOME => {
+            let shard = r.u32()? as usize;
+            let col_start = r.usize()?;
+            let col_end = r.usize()?;
+            let nrows = r.usize()?;
+            let fingerprint = r.u64()?;
+            if col_start > col_end {
+                return Err(DecodeError::Corrupt("welcome column range inverted"));
+            }
+            Frame::Welcome { shard, col_start, col_end, nrows, fingerprint }
+        }
+        TAG_PING => Frame::Ping { nonce: r.u64()? },
+        TAG_PONG => Frame::Pong { nonce: r.u64()? },
         other => return Err(DecodeError::BadTag(other)),
     };
     r.finish()?;

@@ -8,6 +8,20 @@
 //! the frame is read, so elapsed transit time is clamped out of the budget
 //! (a budget that is already zero resolves `DeadlineExceeded` without ever
 //! touching the engine).
+//!
+//! The host also answers the discovery/health frames at any point in a
+//! connection's life: `Hello` → `Welcome` (shard id, column range, output
+//! height, matrix fingerprint — what the router verifies against its plan)
+//! and `Ping` → `Pong` (nonce echoed). Clients that skip the handshake are
+//! tolerated: the advertisement is for routers that want to verify, not a
+//! gate.
+//!
+//! For the byzantine chaos harness, the reply path consults three
+//! feature-gated failpoint sites (`net.host.byzantine.wrong_id.<shard>`,
+//! `…bad_index.<shard>`, `…truncate.<shard>`) that turn this honest daemon
+//! into a malicious variant answering wrong correlation ids, out-of-range
+//! partial indices, or truncated frames — proving the router quarantines
+//! such a peer instead of merging its lies.
 
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -20,7 +34,7 @@ use sparse_substrate::{CscMatrix, Scalar, Semiring};
 
 use crate::engine::{Engine, EngineConfig, EngineError, MxvRequest, Ticket};
 
-use super::codec::{read_frame, write_frame, Frame, WireScalar, DEFAULT_MAX_FRAME};
+use super::codec::{read_frame, write_frame, Frame, WireScalar, DEFAULT_MAX_FRAME, HEADER_LEN};
 
 /// How long the accept loop sleeps between polls for new connections and
 /// the shutdown flag.
@@ -43,11 +57,22 @@ where
 {
     engine: Arc<Engine<'static, A, X, S>>,
     listener: TcpListener,
-    shard: usize,
+    info: HostInfo,
     max_frame: usize,
     shutdown: Arc<AtomicBool>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// What the host advertises in its `Welcome` frame — enough for a router
+/// to verify the host against its `ShardPlan` before routing traffic.
+#[derive(Debug, Clone)]
+struct HostInfo {
+    shard: usize,
+    col_start: usize,
+    col_end: usize,
+    nrows: usize,
+    fingerprint: u64,
 }
 
 impl<A, X, S> ShardHost<A, X, S>
@@ -60,20 +85,45 @@ where
     /// Binds a listener on `addr` (use port 0 for an ephemeral port) and
     /// loads `matrix` — this shard's column slice, full output height —
     /// into a fresh engine. `shard` is the global shard index echoed in
-    /// every reply.
+    /// every reply; `columns` is the *global* column range the slice was
+    /// cut from (`plan.range(shard)`), advertised in the `Welcome` frame
+    /// together with the slice's structural fingerprint so dialing routers
+    /// can verify the host against their plan.
+    ///
+    /// Fails with `InvalidInput` when `matrix` is not `columns.len()` wide
+    /// — the advertisement would be a lie.
     pub fn bind(
         addr: impl ToSocketAddrs,
         shard: usize,
+        columns: std::ops::Range<usize>,
         matrix: CscMatrix<A>,
         semiring: S,
         config: EngineConfig,
     ) -> std::io::Result<Self> {
+        if matrix.ncols() != columns.len() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "shard {shard}: matrix is {} columns wide but claims global range {}..{}",
+                    matrix.ncols(),
+                    columns.start,
+                    columns.end
+                ),
+            ));
+        }
+        let info = HostInfo {
+            shard,
+            col_start: columns.start,
+            col_end: columns.end,
+            nrows: matrix.nrows(),
+            fingerprint: matrix.fingerprint(),
+        };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         Ok(ShardHost {
             engine: Arc::new(Engine::load_with(matrix, semiring, config)),
             listener,
-            shard,
+            info,
             max_frame: DEFAULT_MAX_FRAME,
             shutdown: Arc::new(AtomicBool::new(false)),
             conns: Arc::new(Mutex::new(Vec::new())),
@@ -95,7 +145,7 @@ where
 
     /// This host's shard index.
     pub fn shard(&self) -> usize {
-        self.shard
+        self.info.shard
     }
 
     /// The hosted engine (e.g. for reading its stats or registry from the
@@ -120,10 +170,10 @@ where
                         crate::engine::lock(&self.conns).push(clone);
                     }
                     let engine = Arc::clone(&self.engine);
-                    let shard = self.shard;
+                    let info = self.info.clone();
                     let max_frame = self.max_frame;
                     let worker = std::thread::spawn(move || {
-                        serve_connection(engine, shard, stream, max_frame);
+                        serve_connection(engine, info, stream, max_frame);
                     });
                     crate::engine::lock(&self.workers).push(worker);
                 }
@@ -203,9 +253,22 @@ enum Inflight<Y> {
     Resolved(EngineError),
 }
 
+/// The failpoint sites that turn this host into the chaos harness's
+/// malicious variant, formatted once per connection. Without the
+/// `failpoints` feature `act` is an inlined no-op and nothing fires.
+struct ByzantineSites {
+    wrong_id: String,
+    bad_index: String,
+    truncate: String,
+}
+
+/// Offset of a `Partial` frame's first index byte from the frame start:
+/// the header plus `request u64 | shard u32 | ytag u8 | len u64 | nnz u64`.
+const PARTIAL_FIRST_INDEX: usize = HEADER_LEN + 8 + 4 + 1 + 8 + 8;
+
 fn serve_connection<A, X, S>(
     engine: Arc<Engine<'static, A, X, S>>,
-    shard: usize,
+    info: HostInfo,
     mut stream: TcpStream,
     max_frame: usize,
 ) where
@@ -214,6 +277,12 @@ fn serve_connection<A, X, S>(
     S: Semiring<A, X> + Clone + 'static,
     S::Output: WireScalar,
 {
+    let shard = info.shard;
+    let sites = ByzantineSites {
+        wrong_id: format!("net.host.byzantine.wrong_id.{shard}"),
+        bad_index: format!("net.host.byzantine.bad_index.{shard}"),
+        truncate: format!("net.host.byzantine.truncate.{shard}"),
+    };
     let mut inflight: Vec<(u64, Inflight<S::Output>)> = Vec::new();
     // Clean EOF, stream failure, or a peer speaking garbage all end the
     // connection the same way.
@@ -245,7 +314,7 @@ fn serve_connection<A, X, S>(
                 let mut buf = Vec::new();
                 let mut ok = true;
                 for (id, entry) in inflight.drain(..) {
-                    let reply: Frame<X, S::Output> = match entry {
+                    let mut reply: Frame<X, S::Output> = match entry {
                         Inflight::Resolved(e) => Frame::Error { request: id, shard, error: e },
                         Inflight::Ticket(t) => match t.try_take() {
                             Some(Ok(y)) => Frame::Partial { request: id, shard, partial: y },
@@ -262,9 +331,28 @@ fn serve_connection<A, X, S>(
                             }
                         },
                     };
+                    // Malicious variant: echo a correlation id nobody asked
+                    // for (chaos harness only — a no-op unless armed).
+                    if crate::failpoint::act(&sites.wrong_id).is_err() {
+                        if let Frame::Partial { request, .. } | Frame::Error { request, .. } =
+                            &mut reply
+                        {
+                            *request = request.wrapping_add(0xDEAD_BEEF);
+                        }
+                    }
+                    let frame_start = buf.len();
                     if write_frame(&mut buf, &reply, max_frame).is_err() {
                         ok = false;
                         break;
+                    }
+                    // Malicious variant: smash the first partial index to
+                    // u64::MAX *after* encoding (an honest host cannot even
+                    // build such a vector — the lie has to be byte surgery).
+                    if let Frame::Partial { partial, .. } = &reply {
+                        if partial.nnz() > 0 && crate::failpoint::act(&sites.bad_index).is_err() {
+                            let at = frame_start + PARTIAL_FIRST_INDEX;
+                            buf[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+                        }
                     }
                 }
                 let done: Frame<X, S::Output> = Frame::Done {
@@ -274,17 +362,49 @@ fn serve_connection<A, X, S>(
                     execute_micros: u64::try_from(outcome.timings.execute.as_micros())
                         .unwrap_or(u64::MAX),
                 };
-                if !ok
-                    || write_frame(&mut buf, &done, max_frame).is_err()
-                    || stream.write_all(&buf).is_err()
-                {
+                if !ok || write_frame(&mut buf, &done, max_frame).is_err() {
+                    break;
+                }
+                // Malicious variant: send half a header and hang up —
+                // truncation inside a frame, not a clean close.
+                if crate::failpoint::act(&sites.truncate).is_err() {
+                    buf.truncate(HEADER_LEN / 2);
+                    let _ = stream.write_all(&buf);
+                    break;
+                }
+                if stream.write_all(&buf).is_err() {
+                    break;
+                }
+            }
+            Frame::Hello => {
+                // Discovery: advertise what this host serves. Answered at
+                // any point — the handshake is for routers that verify,
+                // never a gate (raw protocol clients may skip it).
+                let welcome: Frame<X, S::Output> = Frame::Welcome {
+                    shard,
+                    col_start: info.col_start,
+                    col_end: info.col_end,
+                    nrows: info.nrows,
+                    fingerprint: info.fingerprint,
+                };
+                if write_frame(&mut stream, &welcome, max_frame).is_err() {
+                    break;
+                }
+            }
+            Frame::Ping { nonce } => {
+                let pong: Frame<X, S::Output> = Frame::Pong { nonce };
+                if write_frame(&mut stream, &pong, max_frame).is_err() {
                     break;
                 }
             }
             Frame::Goodbye => break,
             // Reply-direction frames from a client are a protocol
             // violation; drop the connection.
-            Frame::Partial { .. } | Frame::Error { .. } | Frame::Done { .. } => break,
+            Frame::Partial { .. }
+            | Frame::Error { .. }
+            | Frame::Done { .. }
+            | Frame::Welcome { .. }
+            | Frame::Pong { .. } => break,
         }
     }
     // Whatever is still queued from this connection will never be asked

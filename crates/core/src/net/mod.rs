@@ -19,25 +19,33 @@
 //! | offset | bytes | field |
 //! |---|---|---|
 //! | 0 | 4 | magic `"SMSV"` |
-//! | 4 | 1 | protocol version (currently 1) |
+//! | 4 | 1 | protocol version (currently 2) |
 //! | 5 | 1 | frame tag |
 //! | 6 | 4 | payload length `u32` |
 //!
 //! | tag | frame | direction | payload |
 //! |---|---|---|---|
 //! | 1 | `Frontier` | router → host | `request u64 \| shard u32 \| scalar tag u8 \| dim u64 \| nnz u64 \| indices u64×nnz \| values X×nnz \| deadline flag u8 (+ budget µs u64) \| mask flag u8 (0 none / 1 keep / 2 complement; + dim u64, words u64, bitmap u64×words) \| algorithm u8` |
-//! | 2 | `Partial` | host → router | `request u64 \| shard u32 \| scalar tag u8 \| dim u64 \| nnz u64 \| indices u64×nnz \| values Y×nnz` |
+//! | 2 | `Partial` | host → router | `request u64 \| shard u32 \| scalar tag u8 \| dim u64 \| nnz u64 \| indices u64×nnz \| values Y×nnz` — indices strictly increasing (enforced at decode) |
 //! | 3 | `Error` | host → router | `request u64 \| shard u32 \| error code u8 (+ message u32-len + UTF-8 for KernelFailed)` |
 //! | 4 | `Flush` | router → host | empty — "flush the engine, reply to every frontier on this connection" |
 //! | 6 | `Done` | host → router | `shard u32 \| lanes u64 \| requests u64 \| execute µs u64` — sent after the per-request replies |
 //! | 5 | `Goodbye` | either | empty — orderly close |
+//! | 7 | `Hello` | router → host | empty — discovery probe at dial time |
+//! | 8 | `Welcome` | host → router | `shard u32 \| col_start u64 \| col_end u64 \| nrows u64 \| fingerprint u64` — the host's advertisement |
+//! | 9 | `Ping` | router → host | `nonce u64` — heartbeat probe |
+//! | 10 | `Pong` | host → router | `nonce u64` — heartbeat reply, nonce echoed |
 //!
 //! Frames are bounded ([`DEFAULT_MAX_FRAME`], configurable) and decoding
 //! is total: truncation, bad magic/version/tag, over-limit lengths, and
 //! inconsistent payloads all come back as a typed [`DecodeError`], never a
 //! panic. Scalar tags ([`WireScalar::TAG`]) make a router and host
 //! compiled for different semirings fail loudly with
-//! [`DecodeError::ScalarMismatch`].
+//! [`DecodeError::ScalarMismatch`]. `Partial` index order is a protocol
+//! invariant since version 2: the encoder canonicalizes (sorting unsorted
+//! kernel output), and the decoder rejects non-monotone or duplicate
+//! indices as [`DecodeError::Corrupt`] — a hostile host cannot inject
+//! shuffled or duplicated rows into the merge.
 //!
 //! ## Deadline semantics
 //!
@@ -51,25 +59,61 @@
 //! absolute deadline — a partial that arrives too late is converted to
 //! `DeadlineExceeded` rather than delivered as fresh.
 //!
-//! ## Failure semantics
+//! ## Discovery and health
 //!
-//! A connection outage (refused dial, broken pipe, short reply, protocol
-//! violation, I/O timeout) fails **exactly the sub-requests routed through
-//! that shard** as [`EngineError`](crate::engine::EngineError)
-//! `::KernelFailed` with a `shard <s>:` prefix — the same blast radius the
-//! `shard.flush.<s>` failpoint injects in-process, and sibling shards are
-//! untouched. The connection is re-dialed with exponential backoff on the
-//! next exchange (`net.reconnects` counts successes), so a restarted host
-//! rejoins the fleet without any waiter stranding: every routed ticket
-//! resolves every flush, outage or not.
+//! At dial time the router sends `Hello` and verifies the host's `Welcome`
+//! — shard id, global column range, output height, and the matrix slice's
+//! structural fingerprint — against its
+//! [`ShardPlan`](crate::shard::ShardPlan). A contradiction is a typed
+//! [`ConnectError::PlanMismatch`]: a misconfigured or stale host is
+//! rejected before it can serve a single wrong answer. A background
+//! heartbeat (`Ping`/`Pong`, nonce echoed) then marks dead replicas
+//! unhealthy between flushes and half-open-probes tripped ones after their
+//! breaker cooldown. Hosts answer `Hello`/`Ping` at any point; clients
+//! that skip the handshake are tolerated.
+//!
+//! ## Replication and failure semantics
+//!
+//! Each shard may be served by N replica hosts
+//! ([`ShardedEngine::connect_replicated`](crate::shard::ShardedEngine::connect_replicated));
+//! on a replica outage *or* quarantine mid-flush the router re-sends the
+//! whole batch — deadline budgets recomputed — to the next replica in
+//! health order, so a single host death degrades to a retry. A per-replica
+//! circuit breaker (consecutive-failure trip, timed half-open probe) keeps
+//! flushes away from a corpse until it proves itself again. Only when
+//! every replica of a shard fails does a connection outage (refused dial,
+//! broken pipe, short reply, I/O timeout) fail **exactly the sub-requests
+//! routed through that shard** as
+//! [`EngineError`](crate::engine::EngineError) `::KernelFailed` with a
+//! `shard <s>:` prefix — the same blast radius the `shard.flush.<s>`
+//! failpoint injects in-process, and sibling shards are untouched.
+//! Connections are re-dialed with capped, jittered exponential backoff
+//! (`net.reconnects` counts successes), so a restarted host rejoins the
+//! fleet without any waiter stranding: every routed ticket resolves every
+//! flush, outage or not.
+//!
+//! ## Byzantine-frame defense
+//!
+//! Replies are correlated by request id and validated before they touch a
+//! merge: an id nobody asked for (or already answered), a wrong shard
+//! claim, a partial of the wrong height, or bytes that do not decode
+//! (including out-of-range / non-monotone partial indices) quarantine the
+//! connection with a typed [`ByzantineFrame`] — the stream is severed, the
+//! replica's breaker trips immediately, `shard.replica.quarantined` is
+//! incremented, and the flush fails over. The chaos harness proves this
+//! with a malicious [`ShardHost`] variant (failpoint-armed) that answers
+//! wrong ids, oversized indices, and truncated frames.
 //!
 //! ## Observability
 //!
-//! A socket-backed router's registry carries the `net.*` family next to
-//! `shard.*`: `net.bytes.out` / `net.bytes.in` counters, `net.encode.time`
-//! / `net.decode.time` / `net.rpc.time` histograms, the `net.reconnects`
-//! counter, and the `net.connections` gauge (see the [`crate::obs`]
-//! taxonomy).
+//! A socket-backed router's registry carries the `net.*` and
+//! `shard.replica.*` families next to `shard.*`: `net.bytes.out` /
+//! `net.bytes.in` counters, `net.encode.time` / `net.decode.time` /
+//! `net.rpc.time` histograms, the `net.reconnects` /
+//! `net.handshake.rejected` / `net.health.probes` / `net.health.failures`
+//! counters, the `net.connections` / `net.health.unhealthy` gauges, and
+//! the `shard.replica.failovers` / `shard.replica.quarantined` /
+//! `shard.replica.trips` counters (see the [`crate::obs`] taxonomy).
 
 mod codec;
 mod host;
@@ -80,4 +124,4 @@ pub use codec::{
     WireFrontier, WireScalar, DEFAULT_MAX_FRAME, HEADER_LEN, MAGIC, VERSION,
 };
 pub use host::{ShardHost, ShardHostHandle};
-pub use transport::{TcpConfig, TcpTransport};
+pub use transport::{ByzantineFrame, ConnectError, TcpConfig, TcpTransport};

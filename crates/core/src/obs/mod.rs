@@ -71,10 +71,17 @@
 //! | `net.bytes.out` | counter | wire bytes written (frontiers, flushes, goodbyes) |
 //! | `net.bytes.in` | counter | wire bytes read (partials, errors, done frames) |
 //! | `net.reconnects` | counter | successful re-dials after a connection loss |
-//! | `net.connections` | gauge | shard connections currently established |
+//! | `net.connections` | gauge | replica connections currently established |
+//! | `net.handshake.rejected` | counter | dials refused because the host's `Welcome` contradicts the plan |
+//! | `net.health.probes` | counter | heartbeat pings + half-open re-dial probes issued |
+//! | `net.health.failures` | counter | probes that found a replica dead or unreachable |
+//! | `net.health.unhealthy` | gauge | replicas currently circuit-breaker-tripped |
 //! | `net.encode.time` | histogram | ns encoding outbound frames, one sample per frame |
 //! | `net.decode.time` | histogram | ns decoding inbound frames, one sample per frame |
 //! | `net.rpc.time` | histogram | ns for one shard's full flush exchange (write → `Done`) |
+//! | `shard.replica.failovers` | counter | batches re-sent to a sibling replica after a failed attempt |
+//! | `shard.replica.quarantined` | counter | connections severed for a byzantine frame |
+//! | `shard.replica.trips` | counter | circuit-breaker trips (threshold, byzantine, mismatch, heartbeat) |
 //!
 //! **Process-global registry** ([`global()`])
 //!

@@ -58,9 +58,14 @@
 //! engines in this address space (the [`ShardedEngine::partition`] path)
 //! and [`crate::net::TcpTransport`] carrying the same frames over sockets
 //! to [`crate::net::ShardHost`] daemons
-//! ([`ShardedEngine::connect`](crate::net)). The router logic — scatter,
-//! fan-out bookkeeping, merge, failure isolation — is written against the
-//! message shape, so results are bit-identical across transports.
+//! ([`ShardedEngine::connect`](crate::net)), optionally N replicas deep
+//! per shard ([`ShardedEngine::connect_replicated`](crate::net)) with
+//! mid-flush failover, per-replica circuit breakers, and byzantine-frame
+//! quarantine. The router logic — scatter, fan-out bookkeeping, merge,
+//! failure isolation — is written against the message shape, so results
+//! are bit-identical across transports (and across failovers: every
+//! replica of a shard serves the same column slice, verified at dial time
+//! against the plan's structural fingerprint).
 //!
 //! ## Observability
 //!

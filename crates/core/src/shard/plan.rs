@@ -16,10 +16,18 @@ use sparse_substrate::{CscMatrix, DcscMatrix, Scalar};
 /// single trivial shard, and a plan never has more shards than columns (nor
 /// more shards than can each receive at least one column), so callers may
 /// ask for "8 shards" of a 3-column matrix and get a valid 3-shard plan.
+/// Plans may additionally carry one expected matrix [fingerprint] per shard
+/// (see [`ShardPlan::with_fingerprints_of`]); the remote router checks them
+/// against what each host advertises at dial time, so a misconfigured or
+/// stale host is rejected before it can pollute a merge. Plans without
+/// fingerprints skip that check (ranges and dimensions are always verified).
+///
+/// [fingerprint]: CscMatrix::fingerprint
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardPlan {
     ncols: usize,
     bounds: Vec<usize>,
+    fingerprints: Option<Vec<u64>>,
 }
 
 impl ShardPlan {
@@ -114,7 +122,7 @@ impl ShardPlan {
 
     fn finish(mut bounds: Vec<usize>, ncols: usize) -> ShardPlan {
         bounds.push(ncols);
-        ShardPlan { ncols, bounds }
+        ShardPlan { ncols, bounds, fingerprints: None }
     }
 
     /// Builds a plan from explicit boundaries. `bounds` must start at 0, end
@@ -132,7 +140,54 @@ impl ShardPlan {
             bounds.windows(2).all(|w| w[0] < w[1]) || ncols == 0 && bounds.len() == 2,
             "bounds must be strictly increasing (got {bounds:?})"
         );
-        ShardPlan { ncols, bounds }
+        ShardPlan { ncols, bounds, fingerprints: None }
+    }
+
+    /// Attaches the expected per-shard matrix fingerprints, computed from
+    /// the full matrix by hashing each shard's column slice — exactly the
+    /// digest a correctly-loaded [`ShardHost`](crate::net::ShardHost)
+    /// advertises in its `Welcome`. A fingerprinted plan makes the remote
+    /// dial handshake reject hosts whose slice structurally differs from
+    /// what the router will merge against.
+    ///
+    /// # Panics
+    ///
+    /// When `matrix` does not have the plan's column count.
+    pub fn with_fingerprints_of<T: Scalar>(self, matrix: &CscMatrix<T>) -> ShardPlan {
+        assert_eq!(
+            matrix.ncols(),
+            self.ncols,
+            "fingerprint matrix has {} columns, plan covers {}",
+            matrix.ncols(),
+            self.ncols
+        );
+        let fps = (0..self.num_shards()).map(|s| matrix.column_slice(self.range(s)).fingerprint());
+        let fingerprints = Some(fps.collect());
+        ShardPlan { fingerprints, ..self }
+    }
+
+    /// Attaches explicit per-shard fingerprints (one per shard), for callers
+    /// that computed them out of band (e.g. from a manifest rather than the
+    /// assembled matrix).
+    ///
+    /// # Panics
+    ///
+    /// When the list length does not match the shard count.
+    pub fn with_fingerprints(self, fingerprints: Vec<u64>) -> ShardPlan {
+        assert_eq!(
+            fingerprints.len(),
+            self.num_shards(),
+            "expected {} fingerprints, got {}",
+            self.num_shards(),
+            fingerprints.len()
+        );
+        ShardPlan { fingerprints: Some(fingerprints), ..self }
+    }
+
+    /// The expected matrix fingerprint for shard `s`, when the plan carries
+    /// fingerprints. `None` means "don't verify".
+    pub fn fingerprint(&self, s: usize) -> Option<u64> {
+        self.fingerprints.as_ref().map(|fps| fps[s])
     }
 
     /// Number of shards in the plan (≥ 1).
@@ -308,5 +363,22 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn from_bounds_rejects_empty_shards() {
         let _ = ShardPlan::from_bounds(10, vec![0, 4, 4, 10]);
+    }
+
+    #[test]
+    fn fingerprints_match_per_shard_slices() {
+        let a = rmat(8, 6, RmatParams::graph500(), 17);
+        let plan = ShardPlan::balanced(&a, 3);
+        assert_eq!(plan.fingerprint(0), None, "plain plans carry no fingerprints");
+        let plan = plan.with_fingerprints_of(&a);
+        for s in 0..plan.num_shards() {
+            assert_eq!(
+                plan.fingerprint(s),
+                Some(a.column_slice(plan.range(s)).fingerprint()),
+                "shard {s}"
+            );
+        }
+        // Distinct shards of an rmat graph hash differently.
+        assert_ne!(plan.fingerprint(0), plan.fingerprint(1));
     }
 }

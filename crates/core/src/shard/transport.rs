@@ -4,10 +4,12 @@
 //! *how* a sub-request reaches its shard engine is the transport's
 //! business. [`InProcess`] is the original path — one [`Engine`] per shard
 //! in this address space — and [`crate::net::TcpTransport`] carries the
-//! same protocol over sockets to [`crate::net::ShardHost`] processes. The
-//! router is written purely against [`ShardMsg`]-shaped replies, so the
-//! two transports are behaviorally interchangeable (the shard property
-//! suite asserts bit-identical results across them).
+//! same protocol over sockets to [`crate::net::ShardHost`] processes,
+//! failing over between replica hosts of a shard without the router
+//! noticing. The router is written purely against [`ShardMsg`]-shaped
+//! replies, so the transports are behaviorally interchangeable (the shard
+//! property suite asserts bit-identical results across them, replicated
+//! fleets with killed primaries included).
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};

@@ -114,6 +114,34 @@ impl<T: Scalar> CscMatrix<T> {
         (0..self.ncols).filter(|&j| self.colptr[j + 1] > self.colptr[j]).count()
     }
 
+    /// Structural fingerprint: FNV-1a over dimensions, column pointers, and
+    /// row ids. Two matrices with the same sparsity pattern (values ignored
+    /// — the element type carries no byte representation hook) hash equal;
+    /// any structural drift — a shard serving the wrong column slice, a
+    /// stale reload after the matrix changed shape — flips the digest.
+    /// Remote shard hosts advertise this at dial time so the router can
+    /// reject a misconfigured peer before it pollutes a merge.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        for &p in &self.colptr {
+            mix(p as u64);
+        }
+        for &r in &self.rowids {
+            mix(r as u64);
+        }
+        h
+    }
+
     /// Borrow of the column pointer array (`ncols + 1` entries).
     #[inline]
     pub fn colptr(&self) -> &[usize] {
@@ -361,6 +389,22 @@ mod tests {
         assert_eq!(a.ncols(), 8);
         assert_eq!(a.nnz(), 19);
         a.validate().expect("figure-1 matrix is structurally valid");
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_values() {
+        let a = figure1_matrix();
+        assert_eq!(a.fingerprint(), figure1_matrix().fingerprint());
+        // A different column slice of the same matrix is a different shape.
+        let left = a.column_slice(0..4);
+        let right = a.column_slice(4..8);
+        assert_ne!(left.fingerprint(), right.fingerprint());
+        assert_ne!(left.fingerprint(), a.fingerprint());
+        // Equal-shaped empty slices agree regardless of provenance.
+        let e1 = a.column_slice(0..0);
+        let e2 = CscMatrix::<f64>::from_parts(8, 0, vec![0], vec![], vec![])
+            .expect("empty matrix is valid");
+        assert_eq!(e1.fingerprint(), e2.fingerprint());
     }
 
     #[test]

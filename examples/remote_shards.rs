@@ -46,6 +46,7 @@ fn run_host(shard: usize) {
     let host = ShardHost::<f64, usize, Select2ndMin>::bind(
         ("127.0.0.1", 0),
         shard,
+        plan.range(shard),
         part,
         Select2ndMin,
         EngineConfig::default().max_lanes(0),

@@ -480,8 +480,15 @@ fn single_shard_outage_has_the_same_blast_radius_over_tcp() {
     let mut hosts = Vec::new();
     let mut addrs = Vec::new();
     for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
-        let host = ShardHost::bind("127.0.0.1:0", s, part, PlusTimes, EngineConfig::default())
-            .expect("bind an ephemeral localhost port");
+        let host = ShardHost::bind(
+            "127.0.0.1:0",
+            s,
+            plan.range(s),
+            part,
+            PlusTimes,
+            EngineConfig::default(),
+        )
+        .expect("bind an ephemeral localhost port");
         addrs.push(host.local_addr().expect("bound"));
         hosts.push(host.spawn());
     }
@@ -550,5 +557,260 @@ fn single_shard_outage_has_the_same_blast_radius_over_tcp() {
     drop(router);
     for host in hosts {
         host.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byzantine-frame defense: a lying host is quarantined, never merged.
+// ---------------------------------------------------------------------------
+
+/// Spawns `replicas` hosts per shard of `plan`, every replica of a shard
+/// loaded with the same column slice of `a`.
+fn spawn_replicated_fleet(
+    a: &CscMatrix<f64>,
+    plan: &spmspv::shard::ShardPlan,
+    replicas: usize,
+) -> (Vec<Vec<spmspv::net::ShardHostHandle>>, Vec<Vec<std::net::SocketAddr>>) {
+    use spmspv::net::ShardHost;
+    let mut handles = Vec::new();
+    let mut groups = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let mut hs = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let host = ShardHost::bind(
+                "127.0.0.1:0",
+                s,
+                plan.range(s),
+                part.clone(),
+                PlusTimes,
+                EngineConfig::default(),
+            )
+            .expect("bind an ephemeral localhost port");
+            addrs.push(host.local_addr().expect("bound listener has an address"));
+            hs.push(host.spawn());
+        }
+        handles.push(hs);
+        groups.push(addrs);
+    }
+    (handles, groups)
+}
+
+/// Transport config for byzantine tests: no background heartbeat (the
+/// exchange must catch the lie itself) and fast re-dials.
+fn byzantine_config() -> spmspv::net::TcpConfig {
+    spmspv::net::TcpConfig {
+        connect_retries: 1,
+        retry_backoff: Duration::from_millis(1),
+        heartbeat: None,
+        ..spmspv::net::TcpConfig::default()
+    }
+}
+
+/// Tentpole acceptance: a host answering with a **wrong correlation id** is
+/// quarantined within the flush (`shard.replica.quarantined` incremented),
+/// its replica absorbs the batch, and every result stays bit-identical to
+/// the oracle — zero failed tickets.
+#[test]
+fn byzantine_wrong_id_is_quarantined_and_failed_over() {
+    use spmspv::obs::ObsConfig;
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+    let _fp = fp_lock();
+    let a = integral_matrix(120, 5.0, 91);
+    let plan = ShardPlan::balanced(&a, 2).with_fingerprints_of(&a);
+    assert!(plan.num_shards() >= 2);
+
+    let (hosts, groups) = spawn_replicated_fleet(&a, &plan, 2);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan.clone(),
+        a.nrows(),
+        PlusTimes,
+        &groups,
+        byzantine_config(),
+        ObsConfig::default(),
+    )
+    .expect("dial the replicated fleet");
+    let r0 = plan.range(0);
+    let r1 = plan.range(1);
+
+    // Shard 0's primary lies about one reply's id; the replica is honest.
+    let _g = failpoint::arm(
+        "net.host.byzantine.wrong_id.0",
+        FailAction::Error("byzantine: corrupt the correlation id".into()),
+        Some(1),
+    );
+    let xs: Vec<SparseVec<f64>> = (0..3)
+        .map(|i| confined_vec(a.ncols(), &r0, 30 + i))
+        .chain((0..2).map(|i| confined_vec(a.ncols(), &r1, 70 + i)))
+        .collect();
+    let tickets: Vec<_> = xs.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(
+        outcome.failed, 0,
+        "the honest replica must absorb the byzantine primary: {:?}",
+        outcome.failures
+    );
+    for (t, x) in tickets.iter().zip(&xs) {
+        let y = claim(t).expect("every ticket serves through the honest replica");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "byzantine reply leaked a result");
+    }
+    let snap = router.obs().snapshot();
+    assert_eq!(
+        snap.counter("shard.replica.quarantined"),
+        Some(1),
+        "exactly the lying connection is quarantined"
+    );
+    assert!(
+        snap.counter("shard.replica.failovers").unwrap_or(0) >= 1,
+        "the quarantine must register as a failover"
+    );
+    assert!(
+        snap.counter("shard.replica.trips").unwrap_or(0) >= 1,
+        "quarantine trips the replica's breaker"
+    );
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
+    }
+}
+
+/// A replica-less byzantine host has the single-shard-outage blast radius:
+/// an **out-of-range partial index** quarantines the connection, fails only
+/// the tickets routed through that shard (with byzantine attribution),
+/// sibling shards serve in the same flush, and the fleet heals once the
+/// shot is spent.
+#[test]
+fn byzantine_bad_index_fails_only_routed_tickets_then_heals() {
+    use spmspv::obs::ObsConfig;
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+    let _fp = fp_lock();
+    let a = integral_matrix(120, 5.0, 92);
+    let plan = ShardPlan::balanced(&a, 2).with_fingerprints_of(&a);
+    let (hosts, groups) = spawn_replicated_fleet(&a, &plan, 1);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan.clone(),
+        a.nrows(),
+        PlusTimes,
+        &groups,
+        byzantine_config(),
+        ObsConfig::default(),
+    )
+    .expect("dial the fleet");
+    let r0 = plan.range(0);
+    let r1 = plan.range(1);
+
+    let _g = failpoint::arm(
+        "net.host.byzantine.bad_index.1",
+        FailAction::Error("byzantine: first partial index becomes u64::MAX".into()),
+        Some(1),
+    );
+    let safe_x: Vec<SparseVec<f64>> =
+        (0..2).map(|i| confined_vec(a.ncols(), &r0, 40 + i)).collect();
+    let doomed_x: Vec<SparseVec<f64>> =
+        (0..2).map(|i| confined_vec(a.ncols(), &r1, 80 + i)).collect();
+    let safe: Vec<_> = safe_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let doomed: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.merged, safe.len(), "sibling shard serves in the same flush");
+    assert_eq!(outcome.failed, doomed.len(), "only the byzantine shard's tickets fail");
+    for (t, x) in safe.iter().zip(&safe_x) {
+        let y = claim(t).expect("sibling shard unaffected");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "survivor diverged");
+    }
+    for t in &doomed {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => assert!(
+                msg.contains("shard 1:") && msg.contains("byzantine"),
+                "byzantine attribution lost: {msg}"
+            ),
+            other => panic!("byzantine shard's ticket must fail as KernelFailed, got {other:?}"),
+        }
+    }
+    let snap = router.obs().snapshot();
+    assert_eq!(snap.counter("shard.replica.quarantined"), Some(1));
+
+    // The shot is spent: the quarantined connection re-dials and serves.
+    let retry: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, 0, "healed host serves: {:?}", outcome.failures);
+    for (t, x) in retry.iter().zip(&doomed_x) {
+        let y = claim(t).expect("healed host serves");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "post-quarantine result diverged");
+    }
+    assert!(
+        router.obs().snapshot().counter("net.reconnects").unwrap_or(0) >= 1,
+        "healing a quarantine is a real reconnect"
+    );
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
+    }
+}
+
+/// Same blast radius for a host that **truncates** its reply mid-header:
+/// the undecodable frame quarantines the connection, only its routed
+/// tickets fail, and the fleet heals on the next flush.
+#[test]
+fn byzantine_truncated_reply_quarantines_then_heals() {
+    use spmspv::obs::ObsConfig;
+    use spmspv::shard::{ShardPlan, ShardedEngine};
+    let _fp = fp_lock();
+    let a = integral_matrix(120, 5.0, 93);
+    let plan = ShardPlan::balanced(&a, 2).with_fingerprints_of(&a);
+    let (hosts, groups) = spawn_replicated_fleet(&a, &plan, 1);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan.clone(),
+        a.nrows(),
+        PlusTimes,
+        &groups,
+        byzantine_config(),
+        ObsConfig::default(),
+    )
+    .expect("dial the fleet");
+    let r1 = plan.range(1);
+
+    let _g = failpoint::arm(
+        "net.host.byzantine.truncate.1",
+        FailAction::Error("byzantine: cut the reply mid-header".into()),
+        Some(1),
+    );
+    let doomed_x: Vec<SparseVec<f64>> =
+        (0..2).map(|i| confined_vec(a.ncols(), &r1, 85 + i)).collect();
+    let doomed: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, doomed.len(), "the truncating shard's tickets fail");
+    for t in &doomed {
+        match claim(t) {
+            Err(EngineError::KernelFailed(msg)) => {
+                assert!(msg.contains("shard 1:"), "truncation attribution lost: {msg}")
+            }
+            other => panic!("expected KernelFailed, got {other:?}"),
+        }
+    }
+    assert_eq!(router.obs().snapshot().counter("shard.replica.quarantined"), Some(1));
+
+    let retry: Vec<_> =
+        doomed_x.iter().map(|x| router.submit(MxvRequest::new(x.clone()))).collect();
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, 0, "healed host serves: {:?}", outcome.failures);
+    for (t, x) in retry.iter().zip(&doomed_x) {
+        let y = claim(t).expect("healed host serves");
+        assert!(y.same_entries(&independent_run(&a, x, None)), "post-truncation result diverged");
+    }
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
     }
 }

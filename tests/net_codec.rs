@@ -441,3 +441,100 @@ fn encoder_enforces_the_frame_limit_and_restores_the_buffer() {
         DecodeError::Oversize { limit: 16, .. }
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Version 2: discovery / health frames and the Partial sort invariant.
+// ---------------------------------------------------------------------------
+
+/// The v2 handshake and heartbeat frames round-trip bit-identically over
+/// both scalar types (they carry no scalars, but the codec is generic).
+#[test]
+fn discovery_and_health_frames_round_trip() {
+    assert_round_trip::<f64, f64>(&Frame::Hello).unwrap();
+    assert_round_trip::<usize, usize>(&Frame::Hello).unwrap();
+    for (shard, col_start, col_end, nrows, fingerprint) in [
+        (0usize, 0usize, 0usize, 0usize, 0u64),
+        (3, 17, 4096, 100_000, 0xdead_beef_cafe_f00d),
+        (511, usize::MAX / 2, usize::MAX / 2 + 1, usize::MAX / 4, u64::MAX),
+    ] {
+        let welcome: Frame<f64, f64> =
+            Frame::Welcome { shard, col_start, col_end, nrows, fingerprint };
+        assert_round_trip(&welcome).unwrap();
+        let welcome: Frame<usize, usize> =
+            Frame::Welcome { shard, col_start, col_end, nrows, fingerprint };
+        assert_round_trip(&welcome).unwrap();
+    }
+    for nonce in [0u64, 42, u64::MAX] {
+        assert_round_trip::<f64, f64>(&Frame::Ping { nonce }).unwrap();
+        assert_round_trip::<usize, usize>(&Frame::Pong { nonce }).unwrap();
+    }
+}
+
+/// A `Welcome` whose column range is inverted is corrupt, not a frame the
+/// router has to reason about.
+#[test]
+fn inverted_welcome_range_is_corrupt() {
+    let bad: Frame<f64, f64> =
+        Frame::Welcome { shard: 0, col_start: 9, col_end: 3, nrows: 10, fingerprint: 1 };
+    let mut buf = Vec::new();
+    encode_frame(&bad, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+    assert!(matches!(decode_err(&buf), DecodeError::Corrupt(_)));
+}
+
+/// Unsorted kernel output is canonicalized at encode time: the frame on
+/// the wire carries strictly increasing indices and decodes to the sorted
+/// vector, so a cross-transport merge sees one canonical order.
+#[test]
+fn unsorted_partial_encodes_canonically() {
+    let mut partial = SparseVec::<f64>::new(8);
+    partial.push(5, 5.0);
+    partial.push(1, 1.0);
+    partial.push(3, 3.0);
+    assert!(!partial.is_sorted());
+    let frame: Frame<f64, f64> = Frame::Partial { request: 9, shard: 1, partial: partial.clone() };
+    let mut buf = Vec::new();
+    encode_frame(&frame, &mut buf, DEFAULT_MAX_FRAME).unwrap();
+    let (decoded, _) = decode_frame::<f64, f64>(&buf, DEFAULT_MAX_FRAME).unwrap();
+    match decoded {
+        Frame::Partial { request: 9, shard: 1, partial: got } => {
+            assert!(got.is_sorted(), "wire order must be canonical");
+            assert_eq!(got, partial.sorted());
+        }
+        other => panic!("expected the partial back, got {other:?}"),
+    }
+}
+
+/// Byte-surgery: a `Partial` whose indices are non-monotone or duplicated
+/// on the wire is rejected at decode time — a hostile host cannot smuggle
+/// shuffled or repeated rows into the merge fold.
+#[test]
+fn non_monotone_partial_bytes_are_corrupt() {
+    // Payload layout: request u64 | shard u32 | ytag u8 | len u64 | nnz u64
+    // | indices u64×nnz | values — first index at HEADER_LEN + 29.
+    let first_index = HEADER_LEN + 8 + 4 + 1 + 8 + 8;
+    let sorted = SparseVec::from_pairs(8, vec![(1, 1.0), (3, 3.0), (5, 5.0)]).unwrap();
+    let frame: Frame<f64, f64> = Frame::Partial { request: 9, shard: 1, partial: sorted };
+    let mut good = Vec::new();
+    encode_frame(&frame, &mut good, DEFAULT_MAX_FRAME).unwrap();
+    assert!(decode_frame::<f64, f64>(&good, DEFAULT_MAX_FRAME).is_ok());
+
+    // Swap the first two index words: 3, 1, 5 — descending start.
+    let mut swapped = good.clone();
+    swapped[first_index..first_index + 8].copy_from_slice(&3u64.to_le_bytes());
+    swapped[first_index + 8..first_index + 16].copy_from_slice(&1u64.to_le_bytes());
+    assert_eq!(
+        decode_err(&swapped),
+        DecodeError::Corrupt("partial indices not strictly increasing")
+    );
+
+    // Duplicate an index: 1, 1, 5 — monotone requires *strictly* increasing.
+    let mut duped = good.clone();
+    duped[first_index + 8..first_index + 16].copy_from_slice(&1u64.to_le_bytes());
+    assert_eq!(decode_err(&duped), DecodeError::Corrupt("partial indices not strictly increasing"));
+
+    // And the byzantine host's signature move: an index past the vector's
+    // length is out of range, not merged.
+    let mut oversize = good;
+    oversize[first_index + 16..first_index + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(decode_err(&oversize), DecodeError::Corrupt("vector index out of range"));
+}

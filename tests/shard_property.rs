@@ -20,8 +20,8 @@ use sparse_substrate::{
 };
 use spmspv::engine::{Engine, EngineConfig, EngineError, MxvRequest};
 use spmspv::net::{
-    read_frame, write_frame, Frame, ShardHost, ShardHostHandle, TcpConfig, WireFrontier,
-    WireScalar, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, ConnectError, Frame, ShardHost, ShardHostHandle, TcpConfig,
+    WireFrontier, WireScalar, DEFAULT_MAX_FRAME,
 };
 use spmspv::obs::ObsConfig;
 use spmspv::shard::{ShardPlan, ShardedEngine};
@@ -306,9 +306,15 @@ where
     let mut handles = Vec::new();
     let mut addrs = Vec::new();
     for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
-        let host =
-            ShardHost::bind("127.0.0.1:0", s, part, semiring.clone(), EngineConfig::default())
-                .expect("bind an ephemeral localhost port");
+        let host = ShardHost::bind(
+            "127.0.0.1:0",
+            s,
+            plan.range(s),
+            part,
+            semiring.clone(),
+            EngineConfig::default(),
+        )
+        .expect("bind an ephemeral localhost port");
         addrs.push(host.local_addr().expect("bound listener has an address"));
         handles.push(host.spawn());
     }
@@ -497,7 +503,14 @@ fn killed_host_fails_only_its_tickets_then_reconnects() {
     let part1 = a.column_split(plan.bounds()).swap_remove(1);
     let mut rebound = None;
     for _ in 0..50 {
-        match ShardHost::bind(addrs[1], 1, part1.clone(), PlusTimes, EngineConfig::default()) {
+        match ShardHost::bind(
+            addrs[1],
+            1,
+            plan.range(1),
+            part1.clone(),
+            PlusTimes,
+            EngineConfig::default(),
+        ) {
             Ok(host) => {
                 rebound = Some(host.spawn());
                 break;
@@ -541,8 +554,9 @@ fn deadline_expiring_in_flight_resolves_not_hangs() {
     // Protocol level: a raw connection sends a frontier whose budget is
     // already exhausted; the host must answer `DeadlineExceeded` (and the
     // flush summary), not execute it.
-    let host = ShardHost::bind("127.0.0.1:0", 0, a.clone(), PlusTimes, EngineConfig::default())
-        .expect("bind");
+    let host =
+        ShardHost::bind("127.0.0.1:0", 0, 0..n, a.clone(), PlusTimes, EngineConfig::default())
+            .expect("bind");
     let addr = host.local_addr().unwrap();
     let handle = host.spawn();
     let mut stream = TcpStream::connect(addr).expect("dial the host");
@@ -602,5 +616,310 @@ fn deadline_expiring_in_flight_resolves_not_hangs() {
     drop(router);
     for host in hosts {
         host.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replication: failover, discovery handshake, heartbeat.
+// ---------------------------------------------------------------------------
+
+/// Spawns `replicas` [`ShardHost`]s per shard of `plan`, every replica of a
+/// shard loaded with the same column slice.
+fn spawn_replicated_hosts(
+    a: &CscMatrix<f64>,
+    plan: &ShardPlan,
+    replicas: usize,
+) -> (Vec<Vec<ShardHostHandle>>, Vec<Vec<SocketAddr>>) {
+    let mut handles = Vec::new();
+    let mut groups = Vec::new();
+    for (s, part) in a.column_split(plan.bounds()).into_iter().enumerate() {
+        let mut hs = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let host = ShardHost::bind(
+                "127.0.0.1:0",
+                s,
+                plan.range(s),
+                part.clone(),
+                PlusTimes,
+                EngineConfig::default(),
+            )
+            .expect("bind an ephemeral localhost port");
+            addrs.push(host.local_addr().expect("bound listener has an address"));
+            hs.push(host.spawn());
+        }
+        handles.push(hs);
+        groups.push(addrs);
+    }
+    (handles, groups)
+}
+
+/// A transport config for failover tests: no background heartbeat (the
+/// exchange itself must discover the corpse) and short re-dial budgets so
+/// dead-primary attempts fail fast.
+fn failover_config() -> TcpConfig {
+    TcpConfig {
+        connect_retries: 1,
+        retry_backoff: Duration::from_millis(1),
+        heartbeat: None,
+        ..TcpConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tentpole acceptance: with two replicas per shard, killing **every
+    /// primary** mid-load yields zero failed tickets — the router fails
+    /// over to the surviving replicas and the results stay bit-identical
+    /// to the unsharded oracle.
+    #[test]
+    fn killed_primaries_fail_over_bit_identically(
+        (a, requests) in operands(28),
+        shards in 2usize..4,
+    ) {
+        let oracle = Engine::over_with(&a, PlusTimes, EngineConfig::default());
+        let expect: Vec<SparseVec<f64>> = {
+            let tickets: Vec<_> = requests
+                .iter()
+                .map(|r| oracle.submit(build_request(r, BatchAlgorithmKind::Bucket)))
+                .collect();
+            oracle.flush();
+            tickets
+                .iter()
+                .map(|t| t.try_take().expect("oracle flush serves").expect("oracle cannot fail"))
+                .collect()
+        };
+
+        let plan = ShardPlan::balanced(&a, shards).with_fingerprints_of(&a);
+        let (mut hosts, groups) = spawn_replicated_hosts(&a, &plan, 2);
+        let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+            plan,
+            a.nrows(),
+            PlusTimes,
+            &groups,
+            failover_config(),
+            ObsConfig::default(),
+        )
+        .expect("dial every replica of every shard");
+
+        // Kill every primary before the first flush ever reaches it.
+        for group in &mut hosts {
+            group.remove(0).kill();
+        }
+
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| router.submit(build_request(r, BatchAlgorithmKind::Bucket)))
+            .collect();
+        let outcome = router.flush();
+        prop_assert_eq!(
+            outcome.failed, 0,
+            "replicas must absorb every primary death: {:?}",
+            outcome.failures
+        );
+        for (t, want) in tickets.iter().zip(&expect) {
+            let got = t.try_take().expect("resolved").expect("replica serves");
+            prop_assert!(
+                got.same_entries(want),
+                "failover result diverged from the oracle:\n got {got:?}\nwant {want:?}"
+            );
+        }
+        let snap = router.obs().snapshot();
+        prop_assert!(
+            snap.counter("shard.replica.failovers").unwrap_or(0) >= 1,
+            "a dead primary must register as a failover"
+        );
+
+        drop(router);
+        for group in hosts {
+            for host in group {
+                host.shutdown();
+            }
+        }
+    }
+}
+
+/// Satellite: the `single_shard_outage` blast radius shrinks to **zero**
+/// when the shard has a replica — the same kill that fails one ticket on a
+/// replica-less fleet fails none here.
+#[test]
+fn replica_shrinks_outage_blast_radius_to_zero() {
+    let n = 24;
+    let a = chaos_fixture(n);
+    let plan = ShardPlan::uniform(n, 3).with_fingerprints_of(&a);
+    let frontier = |col: usize| SparseVec::from_pairs(n, vec![(col, 2.0)]).unwrap();
+    let want: Vec<SparseVec<f64>> =
+        [1, 9, 17].iter().map(|&c| oracle_result(&a, &frontier(c))).collect();
+
+    let (mut hosts, groups) = spawn_replicated_hosts(&a, &plan, 2);
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan,
+        n,
+        PlusTimes,
+        &groups,
+        failover_config(),
+        ObsConfig::default(),
+    )
+    .expect("dial the replicated fleet");
+
+    // One confined request per shard, then shard 1's *primary* dies.
+    let tickets: Vec<_> =
+        [1, 9, 17].iter().map(|&c| router.submit(MxvRequest::new(frontier(c)))).collect();
+    hosts[1].remove(0).kill();
+    let outcome = router.flush();
+    assert_eq!(outcome.requests, 3);
+    assert_eq!(outcome.failed, 0, "the replica absorbs the outage: {:?}", outcome.failures);
+    assert_eq!(outcome.merged, 3, "every ticket serves");
+    for (t, want) in tickets.iter().zip(&want) {
+        let got = t.try_take().expect("resolved").expect("serves through the replica");
+        assert!(got.same_entries(want), "replica result diverged");
+    }
+    let snap = router.obs().snapshot();
+    assert!(
+        snap.counter("shard.replica.failovers").unwrap_or(0) >= 1,
+        "the mid-flush failover must be counted"
+    );
+    assert_eq!(snap.counter("shard.failed").unwrap_or(0), 0, "no ticket failure may be recorded");
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
+    }
+}
+
+/// Tentpole acceptance: a host that advertises the wrong shard, range, or
+/// matrix fingerprint in its `Welcome` is rejected at dial time as a typed
+/// `PlanMismatch` — before it can serve a single wrong partial.
+#[test]
+fn plan_mismatch_is_rejected_at_dial_time() {
+    let n = 24;
+    let a = chaos_fixture(n);
+    let plan = ShardPlan::uniform(n, 2).with_fingerprints_of(&a);
+
+    // Wrong shard/range: cross-wire the two hosts' addresses.
+    let (hosts, groups) = spawn_replicated_hosts(&a, &plan, 1);
+    let crossed = vec![groups[1].clone(), groups[0].clone()];
+    match ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan.clone(),
+        n,
+        PlusTimes,
+        &crossed,
+        failover_config(),
+        ObsConfig::default(),
+    ) {
+        Err(ConnectError::PlanMismatch { shard: 0, reason, .. }) => {
+            assert!(reason.contains("shard"), "reason should name the contradiction: {reason}")
+        }
+        Err(other) => panic!("crossed wiring must be PlanMismatch, got {other:?}"),
+        Ok(_) => panic!("crossed wiring must not dial"),
+    }
+
+    // Wrong fingerprint: the fleet serves a structurally different matrix.
+    let mut coo = CooMatrix::new(n, n);
+    for j in 0..n {
+        coo.push((j + 1) % n, j, 1.0);
+    }
+    let b = CscMatrix::from_coo(coo, |x, y| x + y);
+    let stale_plan = ShardPlan::uniform(n, 2).with_fingerprints_of(&b);
+    match ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        stale_plan,
+        n,
+        PlusTimes,
+        &groups,
+        failover_config(),
+        ObsConfig::default(),
+    ) {
+        Err(ConnectError::PlanMismatch { reason, .. }) => {
+            assert!(reason.contains("fingerprint"), "reason should name the fingerprint: {reason}")
+        }
+        Err(other) => panic!("stale fingerprint must be PlanMismatch, got {other:?}"),
+        Ok(_) => panic!("a stale fingerprint must not dial"),
+    }
+
+    // The matching plan still dials fine — and counts the rejections above.
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan,
+        n,
+        PlusTimes,
+        &groups,
+        failover_config(),
+        ObsConfig::default(),
+    )
+    .expect("the truthful fleet dials");
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
+    }
+}
+
+/// Tentpole acceptance: the background heartbeat marks a dead primary
+/// unhealthy **between** flushes, so the next flush routes straight to the
+/// replica — no mid-flush failover needed.
+#[test]
+fn heartbeat_marks_dead_replica_unhealthy_before_a_flush() {
+    let n = 24;
+    let a = chaos_fixture(n);
+    let plan = ShardPlan::uniform(n, 1).with_fingerprints_of(&a);
+    let frontier = SparseVec::from_pairs(n, vec![(5, 2.0)]).unwrap();
+    let want = oracle_result(&a, &frontier);
+
+    let (mut hosts, groups) = spawn_replicated_hosts(&a, &plan, 2);
+    let config = TcpConfig {
+        connect_retries: 0,
+        heartbeat: Some(Duration::from_millis(10)),
+        // A cooldown far longer than the test: once the heartbeat trips the
+        // dead primary, nothing re-admits it.
+        breaker_cooldown: Duration::from_secs(60),
+        ..TcpConfig::default()
+    };
+    let router = ShardedEngine::<f64, f64, PlusTimes>::connect_replicated(
+        plan,
+        n,
+        PlusTimes,
+        &groups,
+        config,
+        ObsConfig::default(),
+    )
+    .expect("dial both replicas");
+
+    hosts[0].remove(0).kill();
+    // Give the 10 ms heartbeat ample time to notice the corpse.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let snap = router.obs().snapshot();
+        if snap.gauge("net.health.unhealthy").unwrap_or(0) >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "heartbeat never marked the dead primary unhealthy");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let snap = router.obs().snapshot();
+    assert!(snap.counter("net.health.probes").unwrap_or(0) >= 1, "probes must be counted");
+    assert!(snap.counter("net.health.failures").unwrap_or(0) >= 1, "the death is a probe failure");
+
+    // The flush that follows routes to the replica *first*: it serves with
+    // zero mid-flush failovers.
+    let ticket = router.submit(MxvRequest::new(frontier));
+    let outcome = router.flush();
+    assert_eq!(outcome.failed, 0, "replica serves: {:?}", outcome.failures);
+    let got = ticket.try_take().expect("resolved").expect("serves");
+    assert!(got.same_entries(&want), "heartbeat-routed result diverged");
+    let snap = router.obs().snapshot();
+    assert_eq!(
+        snap.counter("shard.replica.failovers").unwrap_or(0),
+        0,
+        "the heartbeat routed around the corpse before the flush"
+    );
+
+    drop(router);
+    for group in hosts {
+        for host in group {
+            host.shutdown();
+        }
     }
 }
